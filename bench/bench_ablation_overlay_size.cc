@@ -1,0 +1,45 @@
+// Ablation: overlay size (DESIGN.md choice #5). Sweeps the number of
+// testbed nodes and reports reactive routing's benefit against the
+// O(N^2) probing overhead - the scaling trade-off of Section 3.1
+// ("larger networks have more paths to explore, but create scaling
+// problems").
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "model/overhead.h"
+
+using namespace ronpath;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, Duration::hours(10));
+
+  std::printf("== Ablation: overlay size vs reactive benefit and overhead ==\n");
+  TextTable t({"nodes", "paths", "direct %", "loss %", "improvement", "mesh totlp %",
+               "probe KB/s total"});
+  for (std::size_t n : {5u, 10u, 18u, 30u}) {
+    ExperimentConfig cfg;
+    cfg.dataset = Dataset::kRon2003;
+    cfg.duration = args.duration;
+    cfg.seed = args.seed;
+    cfg.node_count = n;
+    const auto res = run_experiment(cfg);
+
+    const double direct =
+        res.agg->scheme_stats(PairScheme::kDirectRand).pair.first_loss_percent();
+    const double loss = res.agg->scheme_stats(PairScheme::kLoss).pair.total_loss_percent();
+    const double mesh = res.agg->scheme_stats(PairScheme::kDirectRand).pair.total_loss_percent();
+
+    ProbeOverheadParams op;
+    op.nodes = n;
+    t.add_row({TextTable::num(static_cast<std::int64_t>(n)),
+               TextTable::num(static_cast<std::int64_t>(n * (n - 1))),
+               TextTable::num(direct), TextTable::num(loss),
+               TextTable::num(direct > 0 ? 100.0 * (direct - loss) / direct : 0.0, 1) + "%",
+               TextTable::num(mesh), TextTable::num(probing_bytes_per_sec(op) / 1e3, 1)});
+  }
+  t.print(std::cout);
+  std::printf("(expected: more nodes -> more alternate paths -> larger reactive and mesh\n"
+              " gains, bought with quadratically growing probe traffic)\n");
+  return 0;
+}

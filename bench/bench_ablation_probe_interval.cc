@@ -1,0 +1,59 @@
+// Ablation: probing rate vs reactive-routing benefit (the Section 5
+// capacity-limit trade-off). Sweeps the RON probe interval and reports
+// the loss of the probe-based tactic against the direct baseline,
+// alongside the probing bandwidth each rate costs.
+
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "model/overhead.h"
+
+using namespace ronpath;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, Duration::hours(12));
+
+  std::printf("== Ablation: probe interval vs reactive benefit ==\n");
+  TextTable t({"probe interval", "direct %", "loss %", "improvement", "probe KB/s/node"});
+  std::ofstream csv_os;
+  std::unique_ptr<CsvWriter> csv;
+  if (!args.csv_path.empty()) {
+    csv_os.open(args.csv_path);
+    csv = std::make_unique<CsvWriter>(csv_os);
+    csv->row({"interval_s", "direct_pct", "loss_pct", "improvement", "kbps_per_node"});
+  }
+
+  for (int interval_s : {5, 15, 30, 60, 120}) {
+    ExperimentConfig cfg;
+    cfg.dataset = Dataset::kRon2003;
+    cfg.duration = args.duration;
+    cfg.seed = args.seed;
+    cfg.probe_interval = Duration::seconds(interval_s);
+    const auto res = run_experiment(cfg);
+
+    const double direct =
+        res.agg->scheme_stats(PairScheme::kDirectRand).pair.first_loss_percent();
+    const double loss = res.agg->scheme_stats(PairScheme::kLoss).pair.total_loss_percent();
+    const double improvement = direct > 0 ? (direct - loss) / direct : 0.0;
+
+    ProbeOverheadParams op;
+    op.nodes = res.topology.size();
+    op.probe_interval = Duration::seconds(interval_s);
+    const double kbps = probing_bytes_per_sec_per_node(op) / 1e3;
+
+    t.add_row({Duration::seconds(interval_s).to_string(), TextTable::num(direct),
+               TextTable::num(loss), TextTable::num(100.0 * improvement, 1) + "%",
+               TextTable::num(kbps, 2)});
+    if (csv) {
+      csv->row({TextTable::num(static_cast<std::int64_t>(interval_s)),
+                TextTable::num(direct, 4), TextTable::num(loss, 4),
+                TextTable::num(improvement, 4), TextTable::num(kbps, 3)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("(expected shape: faster probing buys more of the avoidable loss at\n"
+              " linearly growing overhead; returns flatten once the detection lag is\n"
+              " below the episode duration)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the table/figure bench binaries.
+//
+// Every bench accepts:
+//   --hours H / --days D   measured duration (default: bench-specific)
+//   --seed S               RNG seed
+//   --csv PATH             also dump machine-readable series
+//   --quick                very short run (CI smoke)
+// and prints the paper table/figure it reproduces alongside the paper's
+// published values where applicable.
+
+#ifndef RONPATH_BENCH_COMMON_H_
+#define RONPATH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/experiment.h"
+#include "measure/report.h"
+#include "util/table.h"
+
+namespace ronpath::bench {
+
+struct BenchArgs {
+  Duration duration = Duration::hours(24);
+  std::uint64_t seed = 42;
+  std::string csv_path;
+  bool quick = false;
+
+  static BenchArgs parse(int argc, char** argv, Duration default_duration) {
+    BenchArgs a;
+    a.duration = default_duration;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--hours") {
+        a.duration = Duration::hours(std::atoll(next()));
+      } else if (arg == "--days") {
+        a.duration = Duration::days(std::atoll(next()));
+      } else if (arg == "--seed") {
+        a.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      } else if (arg == "--csv") {
+        a.csv_path = next();
+      } else if (arg == "--quick") {
+        a.quick = true;
+        a.duration = Duration::hours(2);
+      } else if (arg == "--help") {
+        std::printf("usage: %s [--hours H|--days D] [--seed S] [--csv PATH] [--quick]\n",
+                    argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return a;
+  }
+};
+
+// Renders a loss table (Table 5 / Table 7 shape).
+inline void print_loss_table(const std::vector<LossTableRow>& rows, bool round_trip) {
+  TextTable t({"Type", "1lp", "2lp", "totlp", "clp", round_trip ? "RTT" : "lat"});
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const auto& r : rows) {
+    t.add_row({r.name, TextTable::num(r.lp1), TextTable::opt_num(r.lp2.has_value(),
+                                                                 r.lp2.value_or(0)),
+               TextTable::num(r.totlp), TextTable::opt_num(r.clp.has_value(), r.clp.value_or(0)),
+               TextTable::num(r.lat_ms)});
+  }
+  t.print(std::cout);
+}
+
+inline void print_run_banner(const char* title, const ExperimentResult& res,
+                             const BenchArgs& args) {
+  std::printf("== %s ==\n", title);
+  std::printf("measured %s (seed %llu): %lld probes, %lld overlay probes, %llu events\n",
+              res.measured.to_string().c_str(), static_cast<unsigned long long>(args.seed),
+              static_cast<long long>(res.probes), static_cast<long long>(res.overlay_probes),
+              static_cast<unsigned long long>(res.events));
+}
+
+}  // namespace ronpath::bench
+
+#endif  // RONPATH_BENCH_COMMON_H_

@@ -1,0 +1,121 @@
+// Failover time vs probing rate (Section 5.1): "Reactive routing
+// circumvents path failures in time proportional to its probing rate."
+//
+// Forces a total outage of the direct transit between two hosts at a
+// known instant and measures how long the loss-optimized tactic keeps
+// losing packets before its probes notice and it reroutes. Sweeping the
+// probe interval shows the proportionality; the down-detection fast path
+// (4 x 1 s follow-ups) gives reactive routing a floor well below the
+// loss-window's 25-minute nominal memory.
+
+#include <iostream>
+
+#include "core/testbed.h"
+#include "event/scheduler.h"
+#include "net/network.h"
+#include "overlay/overlay.h"
+#include "util/table.h"
+#include "util/rng.h"
+
+using namespace ronpath;
+
+namespace {
+
+struct Trial {
+  Duration failover = Duration::max();  // outage start -> first stable reroute
+  double loss_during_outage_pct = 0.0;
+  bool recovered = false;
+};
+
+Trial run_trial(Duration probe_interval, std::uint64_t seed) {
+  const Topology topo = testbed_2003();
+  const TimePoint outage_start = TimePoint::epoch() + Duration::minutes(50);
+  const Duration outage_len = Duration::minutes(10);
+
+  NetConfig cfg = NetConfig::profile_2003();
+  Incident outage;
+  outage.site_name = "Cornell";
+  outage.scope = Incident::Scope::kCore;
+  outage.start = outage_start;
+  outage.duration = outage_len;
+  // Kill (almost) the direct transit but leave clean vias: hit 70% of
+  // Cornell's segments with ~60% loss.
+  outage.cross_fraction = 0.7;
+  outage.loss_rate = 0.6;
+  outage.description = "forced transit failure";
+  cfg.incidents.push_back(outage);
+
+  Rng rng(seed);
+  Scheduler sched;
+  Network net(topo, cfg, Duration::minutes(75), rng.fork("net"));
+  OverlayConfig ocfg;
+  ocfg.probe_interval = probe_interval;
+  OverlayNetwork overlay(net, sched, ocfg, rng.fork("overlay"));
+  overlay.start();
+
+  const NodeId src = *topo.find("MIT");
+  const NodeId dst = *topo.find("Cornell");
+
+  // Find whether the direct path is actually hit; if not, the trial is
+  // uninformative for failover - report via the loss number anyway.
+  sched.run_until(outage_start);
+  std::int64_t lost = 0;
+  std::int64_t sent = 0;
+  Trial trial;
+  TimePoint rerouted_at = TimePoint::max();
+  const Duration step = Duration::millis(100);
+  for (TimePoint t = outage_start; t < outage_start + outage_len; t += step) {
+    sched.run_until(t);
+    const PathSpec choice = overlay.route(src, dst, RouteTag::kLoss);
+    if (!choice.is_direct() && rerouted_at == TimePoint::max()) {
+      rerouted_at = t;
+    }
+    const auto r = overlay.send(choice, t);
+    ++sent;
+    lost += r.delivered() ? 0 : 1;
+  }
+  trial.loss_during_outage_pct = 100.0 * static_cast<double>(lost) / static_cast<double>(sent);
+  if (rerouted_at != TimePoint::max()) {
+    trial.failover = rerouted_at - outage_start;
+    trial.recovered = true;
+  }
+  return trial;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  int seeds = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    if (a == "--seeds" && i + 1 < argc) seeds = std::atoi(argv[++i]);
+    if (a == "--quick") seeds = 1;
+  }
+
+  std::printf("== Failover time vs probing rate (Section 5.1) ==\n");
+  std::printf("forced 60%%-loss transit failure MIT->Cornell; loss-optimized tactic\n\n");
+  TextTable t({"probe interval", "median failover", "loss during outage"});
+  for (int interval_s : {5, 15, 30, 60}) {
+    std::vector<double> failovers_s;
+    double loss_sum = 0.0;
+    for (int s = 0; s < seeds; ++s) {
+      const Trial trial = run_trial(Duration::seconds(interval_s), seed + static_cast<std::uint64_t>(s));
+      loss_sum += trial.loss_during_outage_pct;
+      if (trial.recovered) failovers_s.push_back(trial.failover.to_seconds_f());
+    }
+    std::sort(failovers_s.begin(), failovers_s.end());
+    const std::string failover =
+        failovers_s.empty() ? std::string("(no reroute)")
+                            : Duration::from_seconds_f(failovers_s[failovers_s.size() / 2])
+                                  .to_string();
+    t.add_row({Duration::seconds(interval_s).to_string(), failover,
+               TextTable::num(loss_sum / seeds, 1) + "%"});
+  }
+  t.print(std::cout);
+  std::printf("\nexpected: failover grows with the probe interval (detection needs a few\n"
+              "lost probes plus the 4 x 1 s down-detection train), and residual loss\n"
+              "during the outage grows with it - Section 5.1's proportionality.\n");
+  return 0;
+}

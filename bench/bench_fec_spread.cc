@@ -1,0 +1,162 @@
+// Empirical companion to bench_fec_analysis: runs spread FEC through the
+// full simulator (not the analytic model) over a bursty consumer path,
+// sweeping packet spacing x striping policy, and reports residual
+// post-FEC application loss. Section 5.2's claim falls out: same-path
+// FEC needs hundreds of ms of spread, while path diversity achieves the
+// same de-correlation with no added latency.
+
+#include <fstream>
+#include <iostream>
+
+#include "core/testbed.h"
+#include "event/scheduler.h"
+#include "net/network.h"
+#include "overlay/overlay.h"
+#include "routing/spread_fec.h"
+#include "util/table.h"
+
+using namespace ronpath;
+
+namespace {
+
+struct CellResult {
+  double residual_loss_pct = 0.0;
+  double wire_loss_pct = 0.0;
+};
+
+CellResult run_cell(FecStriping striping, Duration spacing, int payloads, std::uint64_t seed) {
+  const Topology topo = testbed_2003();
+  Rng rng(seed);
+  Scheduler sched;
+  // A persistently bursty *transit* situation at the destination: 80% of
+  // NC-Cable's core segments run ~5% bursty loss for the whole run. This
+  // is the configuration where both of Section 5.2's escape hatches can
+  // work: temporal spread (bursts end) and path diversity (some vias are
+  // clean, and the loss-optimized alternate finds them). Loss on the
+  // shared access link itself would be escapable by neither - see
+  // bench_ablation_shared_bottleneck.
+  NetConfig net_cfg = NetConfig::profile_2003();
+  Incident transit;
+  transit.site_name = "NC-Cable";
+  transit.scope = Incident::Scope::kCore;
+  transit.start = TimePoint::epoch();
+  transit.duration = Duration::hours(9);
+  transit.cross_fraction = 0.8;
+  transit.loss_rate = 0.05;
+  transit.description = "persistent bursty transit trouble at the destination";
+  net_cfg.incidents.push_back(transit);
+  Network net(topo, net_cfg, Duration::hours(9), rng.fork("net"));
+  OverlayNetwork overlay(net, sched, OverlayConfig{}, rng.fork("overlay"));
+  overlay.start();
+  sched.run_until(TimePoint::epoch() + Duration::minutes(40));
+
+  // Pick a source whose *direct* segment to NC-Cable is inside the
+  // incident (the per-segment hit set is pseudorandom): probe candidates
+  // briefly and take the lossiest.
+  const NodeId dst = *topo.find("NC-Cable");
+  NodeId src = *topo.find("Intel");
+  {
+    double worst = -1.0;
+    Rng probe_rng(seed + 99);
+    for (const char* cand : {"Intel", "MIT", "Utah", "UCSD", "GBLX-CHI", "AT&T"}) {
+      const NodeId c = *topo.find(cand);
+      std::int64_t lost = 0;
+      const int n = 4000;
+      for (int i = 0; i < n; ++i) {
+        const TimePoint pt = sched.now() + Duration::micros(i * 10'000);
+        if (!net.transmit(PathSpec{c, dst, kDirectVia}, pt).delivered) ++lost;
+      }
+      const double rate = static_cast<double>(lost) / n;
+      if (rate > worst) {
+        worst = rate;
+        src = c;
+      }
+      (void)probe_rng;
+    }
+    sched.run_until(sched.now() + Duration::seconds(41));  // past the probes
+  }
+
+  SpreadFecConfig cfg;
+  cfg.data_shards = 5;
+  cfg.parity_shards = 2;
+  cfg.parity_spread = spacing;
+  cfg.striping = striping;
+  SpreadFecChannel channel(overlay, sched, src, dst, cfg, rng.fork("channel"));
+
+  // A 10 pkt/s stream: each RS(5,2) block spans 400 ms of data, so a
+  // typical long burst clips one or two data packets and the parity's
+  // fate decides recovery.
+  TimePoint t = sched.now();
+  for (int i = 0; i < payloads; ++i) {
+    t += Duration::millis(100);
+    sched.run_until(t);
+    channel.send(std::vector<std::uint8_t>(128, static_cast<std::uint8_t>(i)));
+  }
+  channel.flush();
+  sched.run_until(channel.last_tx_time() + Duration::seconds(5));
+
+  const auto& st = channel.stats();
+  CellResult cell;
+  cell.residual_loss_pct =
+      100.0 * (1.0 - st.delivery_rate());
+  cell.wire_loss_pct = st.shards_sent > 0
+                           ? 100.0 * static_cast<double>(st.shards_lost) /
+                                 static_cast<double>(st.shards_sent)
+                           : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int payloads = 120'000;
+  std::uint64_t seed = 42;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--payloads" && i + 1 < argc) payloads = std::atoi(argv[++i]);
+    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    if (a == "--csv" && i + 1 < argc) csv_path = argv[++i];
+    if (a == "--quick") payloads = 30'000;
+  }
+
+  std::printf("== Spread FEC over the overlay: residual loss, RS(5,2), Intel -> NC-Cable ==\n");
+  static constexpr int kSpacingsMs[] = {0, 50, 150, 400, 800};
+  static constexpr FecStriping kStripings[] = {
+      FecStriping::kSinglePath, FecStriping::kAlternating, FecStriping::kParityDetour};
+
+  std::ofstream csv_os;
+  std::unique_ptr<CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv_os.open(csv_path);
+    csv = std::make_unique<CsvWriter>(csv_os);
+    csv->row({"striping", "spacing_ms", "residual_loss_pct", "wire_loss_pct"});
+  }
+
+  TextTable t({"striping", "0ms", "50ms", "150ms", "400ms", "800ms", "wire loss"});
+  t.set_align(0, TextTable::Align::kLeft);
+  for (FecStriping striping : kStripings) {
+    std::vector<std::string> row = {std::string(to_string(striping))};
+    double wire = 0.0;
+    for (int ms : kSpacingsMs) {
+      const auto cell = run_cell(striping, Duration::millis(ms), payloads, seed);
+      row.push_back(TextTable::num(cell.residual_loss_pct, 3) + "%");
+      wire = cell.wire_loss_pct;
+      if (csv) {
+        csv->row({std::string(to_string(striping)), TextTable::num(static_cast<std::int64_t>(ms)),
+                  TextTable::num(cell.residual_loss_pct, 4), TextTable::num(cell.wire_loss_pct, 4)});
+      }
+    }
+    row.push_back(TextTable::num(wire, 2) + "%");
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nexpected (Section 5.2): on the same path, spreading parity by hundreds of\n"
+      "ms shaves residual loss as bursts expire - but cannot beat the burst-level\n"
+      "correlation alone, which is why the paper calls same-path FEC ineffective\n"
+      "here. Striping odd shards onto the loss-optimized alternate (which escapes\n"
+      "the bad transit) cuts residual loss roughly in half with zero added\n"
+      "latency; a random detour helps only as much as a random via is clean.\n");
+  return 0;
+}

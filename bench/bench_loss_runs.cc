@@ -1,0 +1,66 @@
+// Loss run lengths seen by the overlay's own probing: how many
+// consecutive 15-second probes does a path lose at a time?
+//
+// Context the paper builds on: Labovitz et al. report outages lasting
+// several minutes around routing faults; Bolot and Paxson report
+// sub-second burst correlation. The overlay's probe stream samples each
+// link every 15 s, so completed loss runs of length k bound the outage at
+// roughly [15(k-1), 15k] seconds: runs of 1 are bursts/episodes caught
+// once; runs of 2+ are sustained events the reactive router can act on
+// (its 4 x 1 s follow-up train fires inside the first run).
+
+#include <iostream>
+
+#include "core/testbed.h"
+#include "event/scheduler.h"
+#include "net/network.h"
+#include "overlay/overlay.h"
+#include "util/table.h"
+
+using namespace ronpath;
+
+int main(int argc, char** argv) {
+  int hours = 24;
+  std::uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--hours" && i + 1 < argc) hours = std::atoi(argv[++i]);
+    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    if (a == "--quick") hours = 4;
+  }
+
+  const Topology topo = testbed_2003();
+  Rng rng(seed);
+  Scheduler sched;
+  Network net(topo, NetConfig::profile_2003(Duration::hours(hours)), Duration::hours(hours + 1),
+              rng.fork("net"));
+  OverlayNetwork overlay(net, sched, OverlayConfig{}, rng.fork("overlay"));
+  overlay.start();
+  sched.run_until(TimePoint::epoch() + Duration::hours(hours));
+
+  const auto runs = overlay.loss_run_counts();
+  std::int64_t total = 0;
+  for (auto r : runs) total += r;
+
+  std::printf("== Probe loss-run lengths (%d h, %lld probes, 870 links @ 15 s) ==\n", hours,
+              static_cast<long long>(overlay.probes_sent()));
+  TextTable t({"run length", "implied outage", "count", "fraction"});
+  static const char* kImplied[] = {"< 15 s",      "15 - 30 s",  "30 - 45 s",
+                                   "45 - 60 s",   "60 - 75 s",  "> 75 s"};
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    t.add_row({i < 5 ? TextTable::num(static_cast<std::int64_t>(i + 1))
+                     : std::string("6+"),
+               kImplied[i], TextTable::num(runs[i]),
+               TextTable::num(total > 0 ? 100.0 * static_cast<double>(runs[i]) /
+                                              static_cast<double>(total)
+                                        : 0.0,
+                              1) +
+                   "%"});
+  }
+  t.print(std::cout);
+  std::printf("\nexpected shape: single-probe losses dominate (sub-15 s bursts and\n"
+              "episode grazes), with a tail of multi-minute runs from outages and\n"
+              "sustained episodes - the events worth routing around (Section 2,\n"
+              "Labovitz et al.'s minutes-long convergence outages).\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Adaptive transport: composing the library's strategies into a channel
+// with both reliability and bounded latency - the design point the
+// paper's Section 5 analysis leads to.
+//
+//   latency plane : hybrid adaptive duplication (duplicate only when the
+//                   routed path's loss estimate is elevated) keeps the
+//                   common-case delivery latency at path-RTT scale;
+//   reliability   : an ARQ channel with overlay-assisted retransmission
+//                   backstops whatever both copies miss.
+//
+// The demo streams across a brownout and prints, per strategy, delivery
+// rate, mean/worst latency, and bandwidth overhead - showing the
+// composition dominating each ingredient alone.
+
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "event/scheduler.h"
+#include "net/network.h"
+#include "overlay/overlay.h"
+#include "routing/arq.h"
+#include "routing/hybrid.h"
+#include "util/stats.h"
+
+using namespace ronpath;
+
+int main() {
+  const Topology topo = testbed_2003();
+  NetConfig cfg = NetConfig::profile_2003();
+  // A rough half hour: heavy brownout on most of the destination's
+  // transit for minutes 8-16 of the stream.
+  Incident inc;
+  inc.site_name = "Lulea";
+  inc.scope = Incident::Scope::kCore;
+  inc.start = TimePoint::epoch() + Duration::minutes(8);
+  inc.duration = Duration::minutes(8);
+  inc.cross_fraction = 0.75;
+  inc.loss_rate = 0.4;
+  cfg.incidents.push_back(inc);
+
+  Rng rng(5);
+  Scheduler sched;
+  Network net(topo, cfg, Duration::minutes(40), rng.fork("net"));
+  OverlayNetwork overlay(net, sched, OverlayConfig{}, rng.fork("overlay"));
+  overlay.start();
+
+  const NodeId src = *topo.find("Intel");
+  const NodeId dst = *topo.find("Lulea");
+  const int packets = 30'000;  // 25 minutes at 20 pkt/s
+
+  std::printf("Intel -> Lulea, 20 pkt/s for 25 min; 40%%-loss transit brownout at 8-16 min\n\n");
+  std::printf("%-28s %10s %10s %10s %10s\n", "strategy", "delivered", "mean lat", "max lat",
+              "overhead");
+
+  // Strategy 1: hybrid adaptive duplication alone (unreliable datagrams).
+  {
+    HybridConfig hc;
+    hc.mode = HybridMode::kAdaptive;
+    hc.duplicate_threshold = 0.01;
+    HybridSender hybrid(overlay, hc, rng.fork("hybrid"));
+    RunningStat lat;
+    std::int64_t delivered = 0;
+    for (int i = 0; i < packets; ++i) {
+      sched.run_until(sched.now() + Duration::millis(50));
+      const auto out = hybrid.send(src, dst, sched.now());
+      if (out.delivered()) {
+        ++delivered;
+        lat.add((out.probe.first_arrival() - sched.now()).to_millis_f());
+      }
+    }
+    std::printf("%-28s %9.2f%% %8.1fms %8.0fms %9.2fx\n", "adaptive duplication",
+                100.0 * static_cast<double>(delivered) / packets, lat.mean(), lat.max(),
+                hybrid.overhead_factor());
+  }
+
+  // Strategy 2: ARQ alone (reliable, latency tail pays for it). Fresh
+  // network state continues; the brownout incident has passed, so force
+  // a second one by reusing relative offsets in a new simulation.
+  {
+    Rng rng2(6);
+    Scheduler sched2;
+    Network net2(topo, cfg, Duration::minutes(40), rng2.fork("net"));
+    OverlayNetwork overlay2(net2, sched2, OverlayConfig{}, rng2.fork("overlay"));
+    overlay2.start();
+    ArqConfig ac;
+    ac.retransmit_on_alternate = true;
+    ArqChannel arq(overlay2, sched2, src, dst, ac, rng2.fork("arq"));
+    for (int i = 0; i < packets; ++i) {
+      sched2.run_until(sched2.now() + Duration::millis(50));
+      arq.send();
+    }
+    sched2.run_until(sched2.now() + Duration::minutes(3));
+    const auto& st = arq.stats();
+    std::printf("%-28s %9.2f%% %8.1fms %8.0fms %9.2fx\n", "overlay ARQ",
+                100.0 * st.delivery_rate(), st.delivery_latency_ms.mean(),
+                st.delivery_latency_ms.max(), st.mean_transmissions());
+  }
+
+  // Strategy 3: composition - adaptive duplication with ARQ backstop:
+  // count a packet delivered at the earliest copy arrival; packets both
+  // copies miss are re-sent through the ARQ channel.
+  {
+    Rng rng3(7);
+    Scheduler sched3;
+    Network net3(topo, cfg, Duration::minutes(40), rng3.fork("net"));
+    OverlayNetwork overlay3(net3, sched3, OverlayConfig{}, rng3.fork("overlay"));
+    overlay3.start();
+    HybridConfig hc;
+    hc.mode = HybridMode::kAdaptive;
+    hc.duplicate_threshold = 0.01;
+    HybridSender hybrid(overlay3, hc, rng3.fork("hybrid"));
+    ArqConfig ac;
+    ac.retransmit_on_alternate = true;
+    ArqChannel backstop(overlay3, sched3, src, dst, ac, rng3.fork("arq"));
+
+    RunningStat lat;
+    std::int64_t delivered_fast = 0;
+    std::int64_t backstopped = 0;
+    for (int i = 0; i < packets; ++i) {
+      sched3.run_until(sched3.now() + Duration::millis(50));
+      const auto out = hybrid.send(src, dst, sched3.now());
+      if (out.delivered()) {
+        ++delivered_fast;
+        lat.add((out.probe.first_arrival() - sched3.now()).to_millis_f());
+      } else {
+        ++backstopped;
+        backstop.send();
+      }
+    }
+    sched3.run_until(sched3.now() + Duration::minutes(3));
+    const auto& bs = backstop.stats();
+    const double total_delivered =
+        static_cast<double>(delivered_fast + bs.delivered) / packets;
+    const double overhead =
+        (hybrid.overhead_factor() * packets + bs.mean_transmissions() * backstopped) /
+        packets;
+    std::printf("%-28s %9.2f%% %8.1fms %8.0fms %9.2fx\n",
+                "adaptive dup + ARQ backstop", 100.0 * total_delivered, lat.mean(),
+                std::max(lat.max(), bs.delivery_latency_ms.max()), overhead);
+    std::printf("\n(%lld of %d packets needed the backstop; fast-path latency stays at\n"
+                " RTT scale while reliability reaches ARQ's)\n",
+                static_cast<long long>(backstopped), packets);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Resilient streaming: a constant-rate media stream between two hosts
+// while the network goes through a forced outage on the direct path's
+// provider, comparing three strategies side by side:
+//
+//   direct        - plain Internet path (what a normal app gets),
+//   reactive      - the loss-optimized overlay path (RON),
+//   2-redundant   - mesh routing: direct + random intermediate.
+//
+// Demonstrates the paper's core claim: mesh routing masks losses without
+// waiting for detection, while reactive routing recovers once its probes
+// notice (Section 5.1's failure-scenario discussion).
+
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "event/scheduler.h"
+#include "net/network.h"
+#include "overlay/overlay.h"
+#include "routing/multipath.h"
+#include "util/stats.h"
+
+using namespace ronpath;
+
+int main() {
+  const Topology topo = testbed_2003();
+  const NodeId src = *topo.find("UCSD");
+  const NodeId dst = *topo.find("Lulea");
+
+  // Schedule a 4-minute incident on most of Lulea's transit paths,
+  // starting 6 minutes in: heavy loss that one-hop detours can avoid.
+  NetConfig cfg = NetConfig::profile_2003();
+  Incident inc;
+  inc.site_name = "Lulea";
+  inc.scope = Incident::Scope::kCore;
+  inc.start = TimePoint::epoch() + Duration::minutes(6);
+  inc.duration = Duration::minutes(4);
+  inc.cross_fraction = 0.75;
+  inc.loss_rate = 0.55;
+  inc.description = "forced transit brownout for the demo";
+  cfg.incidents.push_back(inc);
+
+  Rng rng(7);
+  Scheduler sched;
+  Network net(topo, cfg, Duration::minutes(20), rng.fork("net"));
+  OverlayNetwork overlay(net, sched, OverlayConfig{}, rng.fork("overlay"));
+  overlay.start();
+  MultipathSender sender(overlay, rng.fork("sender"));
+
+  // Stream: 50 packets/s for 15 virtual minutes; report per 30 s bin.
+  struct Strategy {
+    const char* name;
+    PairScheme scheme;
+    LossCounter bin;
+    LossCounter total;
+  };
+  Strategy strategies[] = {
+      {"direct", PairScheme::kDirect, {}, {}},
+      {"reactive (loss)", PairScheme::kLoss, {}, {}},
+      {"mesh (direct rand)", PairScheme::kDirectRand, {}, {}},
+  };
+
+  std::printf("streaming UCSD -> Lulea at 50 pkt/s; brownout at minutes 6-10\n\n");
+  std::printf("%8s  %18s %18s %18s\n", "time", "direct", "reactive (loss)",
+              "mesh (direct rand)");
+
+  const Duration tick = Duration::millis(20);
+  const Duration bin = Duration::seconds(30);
+  TimePoint next_report = TimePoint::epoch() + bin;
+  for (TimePoint t = TimePoint::epoch(); t < TimePoint::epoch() + Duration::minutes(15);
+       t += tick) {
+    sched.run_until(t);  // keep the probers running alongside the stream
+    for (auto& s : strategies) {
+      const ProbeOutcome out = sender.send(s.scheme, src, dst, t);
+      const bool lost = !out.any_delivered();
+      s.bin.record(lost);
+      s.total.record(lost);
+    }
+    if (t + tick >= next_report) {
+      std::printf("%8s ", next_report.since_epoch().to_string().c_str());
+      for (auto& s : strategies) {
+        std::printf(" %12.1f%% loss", s.bin.loss_percent());
+        s.bin = LossCounter{};
+      }
+      std::printf("\n");
+      next_report += bin;
+    }
+  }
+
+  std::printf("\ntotals over 15 minutes:\n");
+  for (const auto& s : strategies) {
+    std::printf("  %-18s %7.2f%% loss (%lld of %lld packets)\n", s.name,
+                s.total.loss_percent(), static_cast<long long>(s.total.lost()),
+                static_cast<long long>(s.total.sent()));
+  }
+  std::printf("\nexpected: all three match while quiet; during the brownout mesh\n"
+              "masks most loss immediately, reactive recovers after its probes\n"
+              "detect the bad paths, and direct eats the full outage.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "core/driver.h"
+
+#include <cassert>
+
+namespace ronpath {
+
+ProbeDriver::ProbeDriver(OverlayNetwork& overlay, Scheduler& sched, Aggregator& agg,
+                         DriverConfig cfg, Rng rng)
+    : overlay_(overlay),
+      sched_(sched),
+      agg_(agg),
+      cfg_(std::move(cfg)),
+      rng_(rng.fork("driver")),
+      sender_(overlay, rng.fork("sender")) {
+  assert(!cfg_.probe_set.empty());
+  const std::size_t n = overlay_.size();
+  clock_offsets_.assign(n, Duration::zero());
+  Rng clock_rng = rng_.fork("clocks");
+  for (NodeId i = 0; i < n; ++i) {
+    if (clock_rng.next_double() < cfg_.non_gps_fraction) {
+      clock_offsets_[i] =
+          Duration::from_millis_f(clock_rng.normal(0.0, cfg_.clock_offset_sigma_ms));
+    }
+  }
+  scheme_cursor_.assign(n, 0);
+  // Stagger cursors so schemes are probed uniformly across nodes even in
+  // short runs.
+  for (NodeId i = 0; i < n; ++i) scheme_cursor_[i] = i % cfg_.probe_set.size();
+}
+
+void ProbeDriver::start() {
+  if (started_) return;
+  started_ = true;
+  for (NodeId node = 0; node < overlay_.size(); ++node) {
+    const Duration offset = rng_.fork("start").fork(node).uniform_duration(
+        Duration::zero(), cfg_.max_gap);
+    sched_.schedule_after(offset, [this, node] { node_tick(node); });
+  }
+}
+
+void ProbeDriver::node_tick(NodeId node) {
+  if (overlay_.node_up(node, sched_.now())) {
+    emit_probe(node);
+  }
+  // "the host waits for a random amount of time between 0.6 and 1.2
+  // seconds, and then repeats the process" - failed hosts keep ticking
+  // silently and resume probing when they come back.
+  sched_.schedule_after(rng_.uniform_duration(cfg_.min_gap, cfg_.max_gap),
+                        [this, node] { node_tick(node); });
+}
+
+void ProbeDriver::emit_probe(NodeId node) {
+  const TimePoint now = sched_.now();
+  agg_.note_activity(node, now);
+
+  // Cycle probe types; pick a random destination.
+  const PairScheme scheme = cfg_.probe_set[scheme_cursor_[node] % cfg_.probe_set.size()];
+  ++scheme_cursor_[node];
+  const auto n = static_cast<NodeId>(overlay_.size());
+  NodeId dst = node;
+  while (dst == node) dst = static_cast<NodeId>(rng_.next_below(n));
+
+  ProbeOutcome outcome = sender_.send(scheme, node, dst, now);
+  ++probes_;
+  const ProbeRecord rec = to_record(outcome);
+  if (cfg_.record_tee) cfg_.record_tee(rec);
+  agg_.add(rec);
+}
+
+ProbeRecord ProbeDriver::to_record(const ProbeOutcome& outcome) {
+  ProbeRecord rec;
+  rec.scheme = outcome.scheme;
+  rec.src = outcome.src;
+  rec.dst = outcome.dst;
+  rec.probe_id = outcome.probe_id;
+  rec.copy_count = static_cast<std::uint8_t>(outcome.copies.size());
+  for (std::size_t i = 0; i < outcome.copies.size(); ++i) {
+    const CopyOutcome& c = outcome.copies[i];
+    CopyRecord& r = rec.copies[i];
+    r.tag = c.tag;
+    r.via = c.path.via;
+    r.sent = c.sent;
+    r.delivered = c.delivered();
+    r.cause = c.result.net.cause;
+    r.host_drop = !c.result.via_up || (c.result.net.delivered && !c.result.dst_up);
+
+    if (!r.delivered) continue;
+    if (cfg_.round_trip) {
+      // Echo the copy back along the reverse of its path; the copy counts
+      // only if the echo returns, and its latency is the full RTT.
+      const PathSpec reverse{c.path.dst, c.path.src, c.path.via};
+      const OverlaySendResult echo = overlay_.send(reverse, c.arrival());
+      if (!echo.delivered()) {
+        r.delivered = false;
+        r.cause = echo.net.cause;
+        r.host_drop = !echo.via_up || (echo.net.delivered && !echo.dst_up);
+        continue;
+      }
+      r.latency = c.one_way() + echo.net.latency;
+    } else {
+      // One-way delay as measured against the receiving host's clock.
+      r.latency = c.one_way() + clock_offsets_[outcome.dst] - clock_offsets_[outcome.src];
+    }
+  }
+  return rec;
+}
+
+}  // namespace ronpath

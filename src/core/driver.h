@@ -1,0 +1,81 @@
+// The measurement probe driver (Section 4.1).
+//
+// Each node periodically initiates probes: it cycles through the probe
+// types of its dataset's probe set, picks a random destination, sends the
+// probe (one or two packets through the routing schemes under test),
+// waits a random 0.6-1.2 s, and repeats. Every probe carries a random
+// 64-bit identifier; outcomes are logged as ProbeRecords to the
+// aggregator, together with per-node send-activity heartbeats that drive
+// the host-failure filter.
+//
+// Clock model: "most, but not all, hosts have GPS-synchronized clocks".
+// A configurable fraction of hosts receive a fixed clock offset; one-way
+// latencies are recorded against the receiver's skewed clock. The report
+// layer cancels the skew by averaging forward and reverse path latencies,
+// as the paper does.
+//
+// Round-trip mode (RONwide): each delivered copy is echoed back along the
+// reverse of its path; the copy counts as delivered only if the echo
+// returns, and its latency is the RTT.
+
+#ifndef RONPATH_CORE_DRIVER_H_
+#define RONPATH_CORE_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "event/scheduler.h"
+#include "measure/aggregator.h"
+#include "overlay/overlay.h"
+#include "routing/multipath.h"
+#include "routing/schemes.h"
+#include "util/rng.h"
+
+namespace ronpath {
+
+struct DriverConfig {
+  std::vector<PairScheme> probe_set;
+  // Optional tee invoked with every record emitted (dataset capture).
+  std::function<void(const ProbeRecord&)> record_tee;
+  Duration min_gap = Duration::from_millis_f(600);
+  Duration max_gap = Duration::from_millis_f(1200);
+  bool round_trip = false;
+  // Fraction of hosts without GPS-synchronized clocks, and the stddev of
+  // their constant clock offsets.
+  double non_gps_fraction = 0.15;
+  double clock_offset_sigma_ms = 8.0;
+};
+
+class ProbeDriver {
+ public:
+  ProbeDriver(OverlayNetwork& overlay, Scheduler& sched, Aggregator& agg, DriverConfig cfg,
+              Rng rng);
+
+  // Starts the per-node probe loops (idempotent).
+  void start();
+
+  [[nodiscard]] std::int64_t probes_emitted() const { return probes_; }
+  // Clock offset applied to a node's receive timestamps (0 for GPS hosts).
+  [[nodiscard]] Duration clock_offset(NodeId node) const { return clock_offsets_[node]; }
+
+ private:
+  void node_tick(NodeId node);
+  void emit_probe(NodeId node);
+  [[nodiscard]] ProbeRecord to_record(const ProbeOutcome& outcome);
+
+  OverlayNetwork& overlay_;
+  Scheduler& sched_;
+  Aggregator& agg_;
+  DriverConfig cfg_;
+  Rng rng_;
+  MultipathSender sender_;
+  std::vector<Duration> clock_offsets_;
+  std::vector<std::size_t> scheme_cursor_;  // per node
+  std::int64_t probes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_CORE_DRIVER_H_

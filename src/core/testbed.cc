@@ -1,0 +1,125 @@
+#include "core/testbed.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ronpath {
+namespace {
+
+struct HostDef {
+  const char* name;
+  const char* location;
+  LinkClass link_class;
+  double lat;
+  double lon;
+  bool in_2002;
+};
+
+// Table 1, with city coordinates. Class assignment reconciles Table 1's
+// descriptions with Table 2's category counts (7 US universities, 4 large
+// ISPs, 5 small/medium ISPs, 5 US companies, 3 cable/DSL, 1 Canadian
+// company, 3 international universities, 2 international ISPs).
+constexpr HostDef kHosts[] = {
+    {"Aros", "Salt Lake City, UT", LinkClass::kSmallIsp, 40.76, -111.89, true},
+    {"AT&T", "Florham Park, NJ", LinkClass::kLargeIsp, 40.79, -74.38, false},
+    {"CA-DSL", "Foster City, CA", LinkClass::kCableDsl, 37.56, -122.27, true},
+    {"CCI", "Salt Lake City, UT", LinkClass::kCompany, 40.76, -111.89, true},
+    {"CMU", "Pittsburgh, PA", LinkClass::kUniversityI2, 40.44, -79.94, true},
+    {"Coloco", "Laurel, MD", LinkClass::kCompany, 39.10, -76.85, false},
+    {"Cornell", "Ithaca, NY", LinkClass::kUniversityI2, 42.45, -76.48, true},
+    {"Cybermesa", "Santa Fe, NM", LinkClass::kSmallIsp, 35.69, -105.94, false},
+    {"Digitalwest", "San Luis Obispo, CA", LinkClass::kSmallIsp, 35.28, -120.66, false},
+    {"GBLX-AMS", "Amsterdam, Netherlands", LinkClass::kIntlIsp, 52.37, 4.90, false},
+    {"GBLX-ANA", "Anaheim, CA", LinkClass::kLargeIsp, 33.84, -117.91, false},
+    {"GBLX-CHI", "Chicago, IL", LinkClass::kLargeIsp, 41.88, -87.63, false},
+    {"GBLX-JFK", "New York City, NY", LinkClass::kLargeIsp, 40.64, -73.78, false},
+    {"GBLX-LON", "London, England", LinkClass::kIntlIsp, 51.51, -0.13, false},
+    {"Intel", "Palo Alto, CA", LinkClass::kCompany, 37.44, -122.14, false},
+    {"Korea", "KAIST, Korea", LinkClass::kIntlUniversity, 36.37, 127.36, true},
+    {"Lulea", "Lulea, Sweden", LinkClass::kIntlUniversity, 65.58, 22.15, true},
+    {"MA-Cable", "Cambridge, MA", LinkClass::kCableDsl, 42.37, -71.11, true},
+    {"Mazu", "Boston, MA", LinkClass::kCompany, 42.36, -71.06, true},
+    {"MIT", "Cambridge, MA", LinkClass::kUniversityI2, 42.36, -71.09, true},
+    {"MIT-main", "Cambridge, MA", LinkClass::kUniversity, 42.36, -71.09, false},
+    {"NC-Cable", "Durham, NC", LinkClass::kCableDsl, 35.99, -78.90, true},
+    {"Nortel", "Toronto, Canada", LinkClass::kCompany, 43.65, -79.38, true},
+    {"NYU", "New York, NY", LinkClass::kUniversityI2, 40.73, -73.99, true},
+    {"PDI", "Palo Alto, CA", LinkClass::kCompany, 37.44, -122.14, true},
+    {"PSG", "Bainbridge Island, WA", LinkClass::kSmallIsp, 47.63, -122.52, true},
+    {"UCSD", "San Diego, CA", LinkClass::kUniversityI2, 32.88, -117.23, false},
+    {"Utah", "Salt Lake City, UT", LinkClass::kUniversityI2, 40.76, -111.84, true},
+    {"Vineyard", "Cambridge, MA", LinkClass::kSmallIsp, 42.37, -71.10, false},
+    {"VU-NL", "Amsterdam, Netherlands", LinkClass::kIntlUniversity, 52.33, 4.86, true},
+};
+
+Site make_site(const HostDef& h) {
+  Site s;
+  s.name = h.name;
+  s.location = h.location;
+  s.link_class = h.link_class;
+  s.lat_deg = h.lat;
+  s.lon_deg = h.lon;
+  s.in_2002_testbed = h.in_2002;
+  return s;
+}
+
+bool is_canadian(const Site& s) { return s.location.find("Canada") != std::string::npos; }
+
+}  // namespace
+
+Topology testbed_2003() {
+  std::vector<Site> sites;
+  sites.reserve(std::size(kHosts));
+  for (const auto& h : kHosts) sites.push_back(make_site(h));
+  assert(sites.size() == 30);
+  return Topology(std::move(sites));
+}
+
+Topology testbed_2002() {
+  std::vector<Site> sites;
+  for (const auto& h : kHosts) {
+    if (h.in_2002) sites.push_back(make_site(h));
+  }
+  assert(sites.size() == 17);
+  return Topology(std::move(sites));
+}
+
+bool is_internet2(const Site& site) { return site.link_class == LinkClass::kUniversityI2; }
+
+std::vector<CategoryCount> table2_categories(const Topology& topo) {
+  std::vector<CategoryCount> cats = {
+      {"US Universities", 0},        {"US Large ISP", 0},
+      {"US small/med ISP", 0},       {"US Private Company", 0},
+      {"US Cable/DSL", 0},           {"Canada Private Company", 0},
+      {"Int'l Universities", 0},     {"Int'l ISP", 0},
+  };
+  for (const Site& s : topo.sites()) {
+    switch (s.link_class) {
+      case LinkClass::kUniversityI2:
+      case LinkClass::kUniversity:
+        ++cats[0].count;
+        break;
+      case LinkClass::kLargeIsp:
+        ++cats[1].count;
+        break;
+      case LinkClass::kSmallIsp:
+        ++cats[2].count;
+        break;
+      case LinkClass::kCompany:
+        ++(is_canadian(s) ? cats[5] : cats[3]).count;
+        break;
+      case LinkClass::kCableDsl:
+        ++cats[4].count;
+        break;
+      case LinkClass::kIntlUniversity:
+        ++cats[6].count;
+        break;
+      case LinkClass::kIntlIsp:
+        ++cats[7].count;
+        break;
+    }
+  }
+  return cats;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,38 @@
+// The RON testbed host catalog (Tables 1 and 2 of the paper).
+//
+// Host names, locations and access classes follow Table 1; coordinates
+// are the named cities' and drive the propagation-delay model. The 2002
+// testbed is the 17-host subset used by the RONwide/RONnarrow datasets
+// (Table 1 prints these in bold; the exact bold set does not survive
+// text extraction, so the subset here is reconstructed from the RON
+// project's 2002 deployments and documented as an approximation).
+
+#ifndef RONPATH_CORE_TESTBED_H_
+#define RONPATH_CORE_TESTBED_H_
+
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace ronpath {
+
+// The full 30-host 2003 testbed.
+[[nodiscard]] Topology testbed_2003();
+
+// The 17-host 2002 testbed subset.
+[[nodiscard]] Topology testbed_2002();
+
+// Table 2: distribution of testbed nodes over categories.
+struct CategoryCount {
+  std::string category;
+  int count = 0;
+};
+[[nodiscard]] std::vector<CategoryCount> table2_categories(const Topology& topo);
+
+// Table 1 helper: true if the site is a US university on Internet2.
+[[nodiscard]] bool is_internet2(const Site& site);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_CORE_TESTBED_H_

@@ -1,0 +1,80 @@
+#include "event/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ronpath {
+
+void EventHandle::cancel() {
+  if (alive_) *alive_ = false;
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle Scheduler::schedule_at(TimePoint at, Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(cb), alive});
+  ++live_events_;
+  return EventHandle(std::move(alive));
+}
+
+EventHandle Scheduler::schedule_after(Duration delay, Callback cb) {
+  if (delay.is_negative()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Scheduler::dispatch(Event& ev) {
+  --live_events_;
+  if (!*ev.alive) return;  // cancelled
+  *ev.alive = false;
+  ++dispatched_;
+  ev.cb();
+}
+
+void Scheduler::run_until(TimePoint until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    dispatch(ev);
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  dispatch(ev);
+  return true;
+}
+
+PeriodicTask::PeriodicTask(Scheduler& sched, Duration period, Duration initial_delay, Tick tick)
+    : sched_(sched), period_(period), tick_(std::move(tick)) {
+  assert(period > Duration::zero());
+  arm(initial_delay);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() {
+  running_ = false;
+  handle_.cancel();
+}
+
+void PeriodicTask::arm(Duration delay) {
+  handle_ = sched_.schedule_after(delay, [this] {
+    if (!running_) return;
+    tick_();
+    if (running_) arm(period_);
+  });
+}
+
+}  // namespace ronpath

@@ -1,0 +1,116 @@
+// Discrete-event simulation core.
+//
+// A Scheduler owns the virtual clock and a min-heap of pending events.
+// Components schedule callbacks at absolute or relative times and receive
+// an EventHandle with which the event can be cancelled. Cancellation is
+// lazy (tombstoned in the heap) so it is O(1).
+//
+// Determinism: events at identical timestamps fire in scheduling order
+// (FIFO via a monotonically increasing sequence number), so a run is a pure
+// function of (seed, configuration).
+
+#ifndef RONPATH_EVENT_SCHEDULER_H_
+#define RONPATH_EVENT_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ronpath {
+
+class Scheduler;
+
+// Cancellable reference to a scheduled event. Default-constructed handles
+// are inert; cancel() on an already-fired event is a harmless no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // Schedules `cb` at absolute time `at` (must not be before now()).
+  EventHandle schedule_at(TimePoint at, Callback cb);
+  // Schedules `cb` after `delay` (clamped to zero if negative).
+  EventHandle schedule_after(Duration delay, Callback cb);
+
+  // Runs events until the queue is empty or the clock passes `until`.
+  void run_until(TimePoint until);
+  // Runs every pending event (only safe if the event graph quiesces).
+  void run_all();
+  // Fires at most one event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  [[nodiscard]] std::uint64_t dispatched_events() const { return dispatched_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// Repeating task: reschedules itself with a fixed or caller-computed period
+// until stop() is called or the owning Scheduler stops being run.
+class PeriodicTask {
+ public:
+  using Tick = std::function<void()>;
+  // Fixed period; first fire after `initial_delay`.
+  PeriodicTask(Scheduler& sched, Duration period, Duration initial_delay, Tick tick);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm(Duration delay);
+
+  Scheduler& sched_;
+  Duration period_;
+  Tick tick_;
+  EventHandle handle_;
+  bool running_ = true;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_EVENT_SCHEDULER_H_

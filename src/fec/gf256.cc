@@ -1,0 +1,64 @@
+#include "fec/gf256.h"
+
+#include <cassert>
+
+namespace ronpath::gf256 {
+namespace {
+
+Tables build_tables() {
+  Tables t{};
+  // Generator 0x02 over the primitive polynomial 0x11D.
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      t.mul[a][b] = (a == 0 || b == 0)
+                        ? 0
+                        : t.exp[t.log[a] + t.log[b]];
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const Tables& tables() {
+  static const Tables t = build_tables();
+  return t;
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  assert(a != 0);
+  const auto& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned power) {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const unsigned e = (static_cast<unsigned>(t.log[a]) * power) % 255;
+  return t.exp[e];
+}
+
+void mul_add(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src, std::uint8_t c) {
+  assert(dst.size() == src.size());
+  if (c == 0) return;
+  const auto& row = tables().mul[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+}  // namespace ronpath::gf256

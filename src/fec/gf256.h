@@ -1,0 +1,48 @@
+// GF(2^8) arithmetic for Reed-Solomon erasure coding.
+//
+// Field: polynomial basis with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), generator 0x02 - the conventional
+// choice for packet-level RS codes (Rizzo-style, as cited by the paper's
+// Section 5.2 discussion of FEC).
+
+#ifndef RONPATH_FEC_GF256_H_
+#define RONPATH_FEC_GF256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ronpath::gf256 {
+
+// Tables are built once at static-init time.
+struct Tables {
+  std::array<std::uint8_t, 256> log;        // log[0] unused
+  std::array<std::uint8_t, 512> exp;        // doubled to skip mod 255
+  std::array<std::array<std::uint8_t, 256>, 256> mul;
+};
+[[nodiscard]] const Tables& tables();
+
+[[nodiscard]] inline std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;  // characteristic 2: addition is XOR
+}
+[[nodiscard]] inline std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+[[nodiscard]] inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  return tables().mul[a][b];
+}
+
+// Division a / b; b must be nonzero.
+[[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+// Multiplicative inverse; a must be nonzero.
+[[nodiscard]] std::uint8_t inv(std::uint8_t a);
+
+// a^power for non-negative power.
+[[nodiscard]] std::uint8_t pow(std::uint8_t a, unsigned power);
+
+// dst[i] ^= c * src[i]; the inner loop of encode/decode.
+void mul_add(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src, std::uint8_t c);
+
+}  // namespace ronpath::gf256
+
+#endif  // RONPATH_FEC_GF256_H_

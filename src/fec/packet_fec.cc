@@ -1,0 +1,143 @@
+#include "fec/packet_fec.h"
+
+#include <cassert>
+
+namespace ronpath {
+namespace {
+
+// Wraps a payload as [u16 len | payload | zero pad] of width `padded_len`.
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload,
+                                std::size_t padded_len) {
+  assert(payload.size() + 2 <= padded_len);
+  std::vector<std::uint8_t> out(padded_len, 0);
+  out[0] = static_cast<std::uint8_t>(payload.size() >> 8);
+  out[1] = static_cast<std::uint8_t>(payload.size());
+  std::copy(payload.begin(), payload.end(), out.begin() + 2);
+  return out;
+}
+
+// Inverse of frame(); nullopt if the length prefix is inconsistent.
+std::optional<std::vector<std::uint8_t>> unframe(const std::vector<std::uint8_t>& framed) {
+  if (framed.size() < 2) return std::nullopt;
+  const std::size_t len = static_cast<std::size_t>(framed[0]) << 8 | framed[1];
+  if (len + 2 > framed.size()) return std::nullopt;
+  return std::vector<std::uint8_t>(framed.begin() + 2,
+                                   framed.begin() + 2 + static_cast<long>(len));
+}
+
+}  // namespace
+
+FecEncoder::FecEncoder(std::size_t k, std::size_t m) : rs_(k, m) { pending_.reserve(k); }
+
+std::vector<FecShard> FecEncoder::push(std::vector<std::uint8_t> payload) {
+  assert(payload.size() <= 0xFFFF - 2);
+  std::vector<FecShard> out;
+  out.push_back(FecShard{block_, static_cast<std::uint16_t>(pending_.size()), payload});
+  pending_.push_back(std::move(payload));
+  if (pending_.size() == k()) {
+    auto parity = emit_parity();
+    out.insert(out.end(), std::make_move_iterator(parity.begin()),
+               std::make_move_iterator(parity.end()));
+  }
+  return out;
+}
+
+std::vector<FecShard> FecEncoder::flush() {
+  if (pending_.empty()) return {};
+  while (pending_.size() < k()) pending_.emplace_back();
+  return emit_parity();
+}
+
+std::vector<FecShard> FecEncoder::emit_parity() {
+  std::size_t padded_len = 2;
+  for (const auto& p : pending_) padded_len = std::max(padded_len, p.size() + 2);
+
+  std::vector<std::vector<std::uint8_t>> framed;
+  framed.reserve(k());
+  for (const auto& p : pending_) framed.push_back(frame(p, padded_len));
+
+  auto parity = rs_.encode(framed);
+  std::vector<FecShard> out;
+  out.reserve(m());
+  for (std::size_t i = 0; i < parity.size(); ++i) {
+    out.push_back(
+        FecShard{block_, static_cast<std::uint16_t>(k() + i), std::move(parity[i])});
+  }
+  pending_.clear();
+  ++block_;
+  return out;
+}
+
+FecDecoder::FecDecoder(std::size_t k, std::size_t m, std::size_t max_tracked_blocks)
+    : rs_(k, m), max_tracked_(max_tracked_blocks) {
+  assert(max_tracked_ > 0);
+}
+
+std::vector<std::vector<std::uint8_t>> FecDecoder::push(const FecShard& shard) {
+  const std::size_t k = rs_.data_shards();
+  const std::size_t total = rs_.total_shards();
+  std::vector<std::vector<std::uint8_t>> out;
+  if (shard.index >= total) return out;
+
+  auto [it, inserted] = blocks_.try_emplace(shard.block);
+  BlockState& st = it->second;
+  if (inserted) {
+    st.shards.resize(total);
+    st.returned.assign(k, false);
+    // Bound memory: evict the oldest block when over budget.
+    if (blocks_.size() > max_tracked_) blocks_.erase(blocks_.begin());
+  }
+
+  const bool parity = shard.index >= k;
+  if (!st.shards[shard.index].empty() || (parity && st.decoded)) return out;
+  if (parity && shard.bytes.empty()) return out;  // parity shards are never empty
+
+  // Direct delivery of a data shard.
+  if (!parity && !st.returned[shard.index]) {
+    st.returned[shard.index] = true;
+    ++delivered_;
+    out.push_back(shard.bytes);
+  }
+
+  // Store; empty data payloads are stored as their framed form later.
+  st.shards[shard.index] = shard.bytes;
+  if (parity) st.padded_len = std::max(st.padded_len, shard.bytes.size());
+  ++st.present;
+
+  if (st.decoded || st.present < k || st.padded_len == 0) return out;
+
+  // Check whether anything is actually missing.
+  bool missing = false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (st.shards[i].empty()) {
+      missing = true;
+      break;
+    }
+  }
+  if (!missing) {
+    st.decoded = true;
+    return out;
+  }
+
+  // Frame present data shards to the padded width and reconstruct.
+  std::vector<std::vector<std::uint8_t>> work(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    if (st.shards[i].empty()) continue;
+    work[i] = (i < k) ? frame(st.shards[i], st.padded_len) : st.shards[i];
+    if (work[i].size() != st.padded_len) return out;  // inconsistent widths
+  }
+  auto data = rs_.reconstruct(work);
+  if (!data) return out;
+  st.decoded = true;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (st.returned[i]) continue;
+    auto payload = unframe((*data)[i]);
+    if (!payload) continue;
+    st.returned[i] = true;
+    ++reconstructed_;
+    out.push_back(std::move(*payload));
+  }
+  return out;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,92 @@
+// Packet-level FEC pipeline (Section 5.2 of the paper).
+//
+// The encoder groups consecutive data packets into blocks of k and emits m
+// Reed-Solomon parity packets per block; originals are emitted immediately
+// ("standard codes": no added latency when nothing is lost). The decoder
+// reconstructs missing data packets once any k of the k+m shards of a
+// block have arrived.
+//
+// Variable-length payloads are handled by the usual length-prefix trick:
+// parity is computed over [u16 length | payload | zero padding] buffers
+// equalized to the longest payload in the block, so data packets travel
+// unpadded and only parity packets carry the block's padded width.
+
+#ifndef RONPATH_FEC_PACKET_FEC_H_
+#define RONPATH_FEC_PACKET_FEC_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fec/reed_solomon.h"
+
+namespace ronpath {
+
+struct FecShard {
+  std::uint64_t block = 0;   // block sequence number
+  std::uint16_t index = 0;   // 0..k-1 data, k..k+m-1 parity
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] bool is_parity(std::size_t k) const { return index >= k; }
+};
+
+class FecEncoder {
+ public:
+  // k data packets per block, m parity packets. k >= 1, k + m <= 255.
+  FecEncoder(std::size_t k, std::size_t m);
+
+  // Feeds one data payload. Returns the shards to transmit now: always the
+  // data shard itself; plus the block's parity shards when it completes.
+  [[nodiscard]] std::vector<FecShard> push(std::vector<std::uint8_t> payload);
+
+  // Completes a partial block by padding with empty payloads, emitting its
+  // parity. Returns an empty vector if the current block has no data.
+  [[nodiscard]] std::vector<FecShard> flush();
+
+  [[nodiscard]] std::size_t k() const { return rs_.data_shards(); }
+  [[nodiscard]] std::size_t m() const { return rs_.parity_shards(); }
+  [[nodiscard]] std::uint64_t current_block() const { return block_; }
+
+ private:
+  [[nodiscard]] std::vector<FecShard> emit_parity();
+
+  ReedSolomon rs_;
+  std::uint64_t block_ = 0;
+  std::vector<std::vector<std::uint8_t>> pending_;  // raw payloads
+};
+
+class FecDecoder {
+ public:
+  FecDecoder(std::size_t k, std::size_t m, std::size_t max_tracked_blocks = 1024);
+
+  // Feeds one received shard. Returns data payloads that became available
+  // (in index order within the block): direct arrivals are returned
+  // immediately; reconstruction results are returned once k shards of a
+  // block are present. Duplicate shards are ignored. Each payload is
+  // returned at most once.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> push(const FecShard& shard);
+
+  // Statistics.
+  [[nodiscard]] std::int64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::int64_t reconstructed() const { return reconstructed_; }
+
+ private:
+  struct BlockState {
+    std::vector<std::vector<std::uint8_t>> shards;  // k+m slots, empty = missing
+    std::vector<bool> returned;                     // per data index
+    std::size_t present = 0;
+    std::size_t padded_len = 0;  // known once any parity shard arrives
+    bool decoded = false;
+  };
+
+  ReedSolomon rs_;
+  std::size_t max_tracked_;
+  std::map<std::uint64_t, BlockState> blocks_;
+  std::int64_t delivered_ = 0;
+  std::int64_t reconstructed_ = 0;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_FEC_PACKET_FEC_H_

@@ -1,0 +1,159 @@
+#include "fec/reed_solomon.h"
+
+#include <cassert>
+
+#include "fec/gf256.h"
+
+namespace ronpath {
+namespace {
+
+// Row-major (rows x cols) * (cols x cols2) multiply.
+std::vector<std::uint8_t> mat_mul(std::span<const std::uint8_t> a, std::size_t rows,
+                                  std::size_t cols, std::span<const std::uint8_t> b,
+                                  std::size_t cols2) {
+  std::vector<std::uint8_t> out(rows * cols2, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::uint8_t av = a[r * cols + c];
+      if (av == 0) continue;
+      for (std::size_t c2 = 0; c2 < cols2; ++c2) {
+        out[r * cols2 + c2] ^= gf256::mul(av, b[c * cols2 + c2]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool gf256_invert(std::vector<std::uint8_t>& mat, std::size_t n) {
+  assert(mat.size() == n * n);
+  // Gauss-Jordan with an adjoined identity.
+  std::vector<std::uint8_t> aug(n * 2 * n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) aug[r * 2 * n + c] = mat[r * n + c];
+    aug[r * 2 * n + n + r] = 1;
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && aug[pivot * 2 * n + col] == 0) ++pivot;
+    if (pivot == n) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < 2 * n; ++c) {
+        std::swap(aug[pivot * 2 * n + c], aug[col * 2 * n + c]);
+      }
+    }
+    const std::uint8_t pv = aug[col * 2 * n + col];
+    const std::uint8_t pv_inv = gf256::inv(pv);
+    for (std::size_t c = 0; c < 2 * n; ++c) {
+      aug[col * 2 * n + c] = gf256::mul(aug[col * 2 * n + c], pv_inv);
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = aug[r * 2 * n + col];
+      if (f == 0) continue;
+      for (std::size_t c = 0; c < 2 * n; ++c) {
+        aug[r * 2 * n + c] ^= gf256::mul(f, aug[col * 2 * n + c]);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) mat[r * n + c] = aug[r * 2 * n + n + c];
+  }
+  return true;
+}
+
+ReedSolomon::ReedSolomon(std::size_t data_shards, std::size_t parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  assert(k_ >= 1);
+  assert(k_ + m_ <= 255);
+
+  // Vandermonde (k+m) x k: V[r][c] = r^c (with 0^0 = 1).
+  const std::size_t rows = k_ + m_;
+  std::vector<std::uint8_t> vand(rows * k_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < k_; ++c) {
+      vand[r * k_ + c] = gf256::pow(static_cast<std::uint8_t>(r + 1), static_cast<unsigned>(c));
+    }
+  }
+  // Normalize so the top k x k block becomes the identity: V * top^-1.
+  std::vector<std::uint8_t> top(vand.begin(), vand.begin() + static_cast<long>(k_ * k_));
+  const bool ok = gf256_invert(top, k_);
+  assert(ok && "Vandermonde top block must be invertible");
+  (void)ok;
+  matrix_ = mat_mul(vand, rows, k_, top, k_);
+}
+
+std::span<const std::uint8_t> ReedSolomon::row(std::size_t r) const {
+  assert(r < k_ + m_);
+  return std::span<const std::uint8_t>(matrix_).subspan(r * k_, k_);
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    std::span<const std::vector<std::uint8_t>> data) const {
+  assert(data.size() == k_);
+  const std::size_t shard_len = data.empty() ? 0 : data[0].size();
+  for (const auto& d : data) {
+    assert(d.size() == shard_len);
+    (void)d;
+  }
+  std::vector<std::vector<std::uint8_t>> parity(m_, std::vector<std::uint8_t>(shard_len, 0));
+  for (std::size_t p = 0; p < m_; ++p) {
+    const auto coeffs = row(k_ + p);
+    for (std::size_t c = 0; c < k_; ++c) {
+      gf256::mul_add(parity[p], data[c], coeffs[c]);
+    }
+  }
+  return parity;
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::reconstruct(
+    std::span<const std::vector<std::uint8_t>> shards) const {
+  if (shards.size() != k_ + m_) return std::nullopt;
+
+  std::vector<std::size_t> present;
+  std::size_t shard_len = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (shards[i].empty()) continue;
+    if (shard_len == 0) {
+      shard_len = shards[i].size();
+    } else if (shards[i].size() != shard_len) {
+      return std::nullopt;
+    }
+    present.push_back(i);
+    if (present.size() == k_) break;
+  }
+  if (present.size() < k_ || shard_len == 0) return std::nullopt;
+
+  // Fast path: all data shards present.
+  bool all_data = true;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (shards[i].empty()) {
+      all_data = false;
+      break;
+    }
+  }
+  if (all_data) {
+    return std::vector<std::vector<std::uint8_t>>(shards.begin(),
+                                                  shards.begin() + static_cast<long>(k_));
+  }
+
+  // Build the k x k submatrix of the rows we have and invert it.
+  std::vector<std::uint8_t> sub(k_ * k_);
+  for (std::size_t r = 0; r < k_; ++r) {
+    const auto src = row(present[r]);
+    for (std::size_t c = 0; c < k_; ++c) sub[r * k_ + c] = src[c];
+  }
+  if (!gf256_invert(sub, k_)) return std::nullopt;
+
+  std::vector<std::vector<std::uint8_t>> data(k_, std::vector<std::uint8_t>(shard_len, 0));
+  for (std::size_t r = 0; r < k_; ++r) {
+    for (std::size_t c = 0; c < k_; ++c) {
+      gf256::mul_add(data[r], shards[present[c]], sub[r * k_ + c]);
+    }
+  }
+  return data;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,60 @@
+// Systematic Reed-Solomon erasure codec over GF(2^8).
+//
+// Encodes k data shards into k + m shards (the first k are the data
+// verbatim - "standard codes" in the paper's Section 5.2 sense: originals
+// are sent first so the no-loss case adds no latency). Any k of the k + m
+// shards reconstruct the data.
+//
+// Construction: a (k+m) x k encoding matrix whose top k x k block is the
+// identity and whose parity rows are taken from a Vandermonde matrix
+// post-multiplied by the inverse of its own top square, guaranteeing that
+// every k x k submatrix is invertible.
+
+#ifndef RONPATH_FEC_REED_SOLOMON_H_
+#define RONPATH_FEC_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ronpath {
+
+class ReedSolomon {
+ public:
+  // Requires 1 <= data_shards, 0 <= parity_shards,
+  // data_shards + parity_shards <= 255.
+  ReedSolomon(std::size_t data_shards, std::size_t parity_shards);
+
+  [[nodiscard]] std::size_t data_shards() const { return k_; }
+  [[nodiscard]] std::size_t parity_shards() const { return m_; }
+  [[nodiscard]] std::size_t total_shards() const { return k_ + m_; }
+
+  // Computes the m parity shards for k equal-length data shards.
+  // data.size() == k, all shards the same size; returns m shards.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const std::vector<std::uint8_t>> data) const;
+
+  // Reconstructs the k data shards from any k available shards.
+  // `shards` has total_shards() entries; missing shards are empty vectors.
+  // Returns nullopt if fewer than k shards are present or sizes mismatch.
+  [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> reconstruct(
+      std::span<const std::vector<std::uint8_t>> shards) const;
+
+  // Encoding matrix row for shard `r` (size k); exposed for tests.
+  [[nodiscard]] std::span<const std::uint8_t> row(std::size_t r) const;
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  // (k+m) x k row-major encoding matrix.
+  std::vector<std::uint8_t> matrix_;
+};
+
+// Inverts a square row-major matrix over GF(256) in place; returns false
+// if singular. Exposed for testing.
+bool gf256_invert(std::vector<std::uint8_t>& mat, std::size_t n);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_FEC_REED_SOLOMON_H_

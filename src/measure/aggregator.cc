@@ -1,0 +1,239 @@
+#include "measure/aggregator.h"
+
+#include <cassert>
+
+namespace ronpath {
+
+Aggregator::Aggregator(std::size_t n_nodes, std::span<const PairScheme> schemes,
+                       AggregatorConfig cfg)
+    : n_(n_nodes), schemes_(schemes.begin(), schemes.end()), cfg_(cfg), liveness_(n_nodes) {
+  assert(cfg_.buffer_horizon > liveness_.threshold());
+  for (PairScheme s : schemes_) {
+    auto agg = std::make_unique<SchemeAgg>();
+    agg->paths.resize(n_ * n_);
+    by_scheme_[static_cast<std::size_t>(s)] = std::move(agg);
+  }
+}
+
+std::size_t Aggregator::path_index(NodeId src, NodeId dst) const {
+  assert(src < n_ && dst < n_);
+  return static_cast<std::size_t>(src) * n_ + dst;
+}
+
+Aggregator::SchemeAgg& Aggregator::agg_for(PairScheme scheme) {
+  auto& p = by_scheme_[static_cast<std::size_t>(scheme)];
+  assert(p && "scheme not registered with this aggregator");
+  return *p;
+}
+
+const Aggregator::SchemeAgg& Aggregator::agg_for(PairScheme scheme) const {
+  const auto& p = by_scheme_[static_cast<std::size_t>(scheme)];
+  assert(p && "scheme not registered with this aggregator");
+  return *p;
+}
+
+void Aggregator::note_activity(NodeId node, TimePoint t) {
+  assert(!finished_);
+  liveness_.note_activity(node, t);
+  if (t > watermark_) {
+    watermark_ = t;
+    flush_up_to(watermark_ - cfg_.buffer_horizon);
+  }
+}
+
+void Aggregator::add(const ProbeRecord& rec) {
+  assert(!finished_);
+  if (rec.sent() < cfg_.measure_start) return;
+  buffer_.push_back(rec);
+}
+
+void Aggregator::flush_up_to(TimePoint horizon) {
+  while (!buffer_.empty() && buffer_.front().sent() <= horizon) {
+    commit(buffer_.front());
+    buffer_.pop_front();
+  }
+}
+
+void Aggregator::close_small_window(SchemeAgg& agg, PathAgg& path) {
+  if (path.win_small_idx >= 0 && path.win_small.sent() > 0) {
+    agg.hist_small.add(path.win_small.loss_rate());
+  }
+  path.win_small = LossCounter{};
+}
+
+void Aggregator::close_large_window(SchemeAgg& agg, PathAgg& path) {
+  if (path.win_large_idx >= 0 && path.win_large.sent() > 0) {
+    const double pct = path.win_large.loss_percent();
+    agg.hist_large.add(path.win_large.loss_rate());
+    ++agg.hour_windows;
+    for (std::size_t i = 0; i < kHighLossThresholds; ++i) {
+      if (pct > static_cast<double>(i) * 10.0) ++agg.high_loss[i];
+    }
+  }
+  path.win_large = LossCounter{};
+}
+
+void Aggregator::commit(const ProbeRecord& rec) {
+  // Host-failure filter: disregard probes whose endpoints were inferably
+  // down around the send time.
+  SchemeAgg& agg = agg_for(rec.scheme);
+  if (liveness_.was_down(rec.src, rec.sent()) || liveness_.was_down(rec.dst, rec.sent())) {
+    ++agg.stats.filtered_host_failure;
+    return;
+  }
+
+  // Apply the one-hour receive horizon.
+  std::array<bool, 2> delivered{};
+  std::array<Duration, 2> latency{};
+  for (std::uint8_t i = 0; i < rec.copy_count; ++i) {
+    delivered[i] = rec.copies[i].delivered && rec.copies[i].latency <= cfg_.receive_horizon;
+    latency[i] = rec.copies[i].latency;
+  }
+
+  PathAgg& path = agg.paths[path_index(rec.src, rec.dst)];
+  ++agg.stats.committed;
+
+  const bool two = rec.copy_count == 2;
+  const bool first_lost = !delivered[0];
+  const bool second_lost = two ? !delivered[1] : true;
+  const bool method_lost = two ? (first_lost && second_lost) : first_lost;
+
+  if (first_lost) {
+    if (rec.copies[0].host_drop) {
+      ++agg.stats.first_loss_host;
+    } else {
+      ++agg.stats.first_loss_by_cause[static_cast<std::size_t>(rec.copies[0].cause)];
+    }
+  }
+
+  if (two) {
+    agg.stats.pair.record(first_lost, second_lost);
+    path.stats.pair.record(first_lost, second_lost);
+  } else {
+    // Single-copy probes: record the copy as "both" so totlp == 1lp.
+    agg.stats.pair.record(first_lost, first_lost);
+    path.stats.pair.record(first_lost, first_lost);
+  }
+
+  if (delivered[0]) {
+    agg.stats.first_lat_ms.add(latency[0].to_millis_f());
+    path.stats.first_lat_ms.add(latency[0].to_millis_f());
+  }
+  if (two && delivered[1]) agg.stats.second_lat_ms.add(latency[1].to_millis_f());
+  if (!method_lost) {
+    // Earliest delivered copy defines method latency; the second copy is
+    // sent `gap` later, which counts against its arrival.
+    Duration best = Duration::max();
+    for (std::uint8_t i = 0; i < rec.copy_count; ++i) {
+      if (!delivered[i]) continue;
+      const Duration eff = latency[i] + (rec.copies[i].sent - rec.copies[0].sent);
+      if (eff < best) best = eff;
+    }
+    agg.stats.method_lat_ms.add(best.to_millis_f());
+    path.stats.method_lat_ms.add(best.to_millis_f());
+  }
+
+  // Window bookkeeping (per path and global).
+  const auto small_idx = rec.sent().since_epoch() / cfg_.small_window;
+  const auto large_idx = rec.sent().since_epoch() / cfg_.large_window;
+  if (small_idx != path.win_small_idx) {
+    close_small_window(agg, path);
+    path.win_small_idx = small_idx;
+  }
+  if (large_idx != path.win_large_idx) {
+    close_large_window(agg, path);
+    path.win_large_idx = large_idx;
+  }
+  path.win_small.record(method_lost);
+  path.win_large.record(method_lost);
+
+  if (small_idx != agg.gwin_small_idx) {
+    if (agg.gwin_small_idx >= 0 && agg.gwin_small.sent() > 0) {
+      agg.global_small_series.add(agg.gwin_small.loss_rate());
+    }
+    agg.gwin_small = LossCounter{};
+    agg.gwin_small_idx = small_idx;
+  }
+  if (large_idx != agg.gwin_large_idx) {
+    if (agg.gwin_large_idx >= 0 && agg.gwin_large.sent() > 0) {
+      if (agg.gwin_large.loss_rate() > agg.worst.loss_rate) {
+        agg.worst.loss_rate = agg.gwin_large.loss_rate();
+        agg.worst.start = TimePoint::epoch() + cfg_.large_window * agg.gwin_large_idx;
+      }
+      if (agg.gwin_large_first.loss_rate() > agg.worst_first.loss_rate) {
+        agg.worst_first.loss_rate = agg.gwin_large_first.loss_rate();
+        agg.worst_first.start = TimePoint::epoch() + cfg_.large_window * agg.gwin_large_idx;
+      }
+    }
+    agg.gwin_large = LossCounter{};
+    agg.gwin_large_first = LossCounter{};
+    agg.gwin_large_idx = large_idx;
+  }
+  agg.gwin_small.record(method_lost);
+  agg.gwin_large.record(method_lost);
+  agg.gwin_large_first.record(first_lost);
+}
+
+void Aggregator::finish(TimePoint end) {
+  if (finished_) return;
+  liveness_.finish(end);
+  flush_up_to(end);
+  for (PairScheme s : schemes_) {
+    SchemeAgg& agg = agg_for(s);
+    for (auto& path : agg.paths) {
+      close_small_window(agg, path);
+      close_large_window(agg, path);
+    }
+    if (agg.gwin_small_idx >= 0 && agg.gwin_small.sent() > 0) {
+      agg.global_small_series.add(agg.gwin_small.loss_rate());
+    }
+    if (agg.gwin_large_idx >= 0 && agg.gwin_large.sent() > 0) {
+      if (agg.gwin_large.loss_rate() > agg.worst.loss_rate) {
+        agg.worst.loss_rate = agg.gwin_large.loss_rate();
+        agg.worst.start = TimePoint::epoch() + cfg_.large_window * agg.gwin_large_idx;
+      }
+      if (agg.gwin_large_first.loss_rate() > agg.worst_first.loss_rate) {
+        agg.worst_first.loss_rate = agg.gwin_large_first.loss_rate();
+        agg.worst_first.start = TimePoint::epoch() + cfg_.large_window * agg.gwin_large_idx;
+      }
+    }
+  }
+  finished_ = true;
+}
+
+const Aggregator::SchemeStats& Aggregator::scheme_stats(PairScheme scheme) const {
+  return agg_for(scheme).stats;
+}
+
+const Aggregator::PathStats& Aggregator::path_stats(PairScheme scheme, NodeId src,
+                                                    NodeId dst) const {
+  return agg_for(scheme).paths[path_index(src, dst)].stats;
+}
+
+const Histogram& Aggregator::window_hist(PairScheme scheme, bool hourly) const {
+  const SchemeAgg& agg = agg_for(scheme);
+  return hourly ? agg.hist_large : agg.hist_small;
+}
+
+const std::array<std::int64_t, kHighLossThresholds>& Aggregator::high_loss_hours(
+    PairScheme scheme) const {
+  return agg_for(scheme).high_loss;
+}
+
+std::int64_t Aggregator::total_hour_windows(PairScheme scheme) const {
+  return agg_for(scheme).hour_windows;
+}
+
+const EmpiricalCdf& Aggregator::global_window_loss(PairScheme scheme) const {
+  return agg_for(scheme).global_small_series;
+}
+
+Aggregator::WorstHour Aggregator::worst_hour(PairScheme scheme) const {
+  return agg_for(scheme).worst;
+}
+
+Aggregator::WorstHour Aggregator::worst_hour_first_copy(PairScheme scheme) const {
+  return agg_for(scheme).worst_first;
+}
+
+}  // namespace ronpath

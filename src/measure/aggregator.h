@@ -1,0 +1,155 @@
+// Streaming aggregation of probe records into the paper's statistics.
+//
+// Records are buffered for a short horizon so the 90-second host-failure
+// filter (measure/liveness.h) can be applied before they are committed;
+// probes sent while the source or destination host was inferably down are
+// disregarded, and copies that arrive more than one hour after sending
+// are treated as lost (Section 4.1).
+//
+// Committed records update, per probed scheme:
+//   * joint copy-loss tallies (1lp / 2lp / totlp / clp, Table 5/7),
+//   * method latency (earliest delivered copy) and per-copy latencies,
+//   * per-path tallies for the per-path figures (2, 4, 5),
+//   * 20-minute and 1-hour loss windows per path (Figure 3, Table 6),
+//   * global (all-path) 20-minute and hourly loss series (Section 4.2's
+//     quiescence and worst-hour statistics).
+
+#ifndef RONPATH_MEASURE_AGGREGATOR_H_
+#define RONPATH_MEASURE_AGGREGATOR_H_
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "measure/liveness.h"
+#include "measure/records.h"
+#include "util/stats.h"
+
+namespace ronpath {
+
+struct AggregatorConfig {
+  Duration small_window = Duration::minutes(20);
+  Duration large_window = Duration::hours(1);
+  // Commit delay; must exceed the liveness threshold.
+  Duration buffer_horizon = Duration::minutes(3);
+  // Copies arriving later than this count as lost.
+  Duration receive_horizon = Duration::hours(1);
+  // Records sent before this are dropped (estimator warm-up).
+  TimePoint measure_start;
+  // Latency column is round-trip (RONwide) rather than one-way.
+  bool round_trip = false;
+};
+
+// Number of Table 6 thresholds: loss% > 0, 10, ..., 90.
+inline constexpr std::size_t kHighLossThresholds = 10;
+
+class Aggregator {
+ public:
+  Aggregator(std::size_t n_nodes, std::span<const PairScheme> schemes, AggregatorConfig cfg);
+
+  // Send-activity heartbeat; also advances the commit watermark.
+  void note_activity(NodeId node, TimePoint t);
+  // Buffers a probe record for delayed commitment.
+  void add(const ProbeRecord& rec);
+  // Flushes all buffered records and closes open windows.
+  void finish(TimePoint end);
+
+  // ---- Results (valid after finish()) ----------------------------------
+
+  struct SchemeStats {
+    PairCounter pair;            // joint copy outcomes
+    RunningStat method_lat_ms;   // earliest-copy latency of delivered probes
+    RunningStat first_lat_ms;    // first-copy latency (inferred single rows)
+    RunningStat second_lat_ms;
+    std::int64_t committed = 0;  // records committed
+    std::int64_t filtered_host_failure = 0;
+    // First-copy loss decomposition by underlay cause (the paper's
+    // congestion-vs-failure discussion): indexed by DropCause.
+    std::array<std::int64_t, 4> first_loss_by_cause{};
+    std::int64_t first_loss_host = 0;  // dead forwarder/receiver leaks
+  };
+
+  struct PathStats {
+    PairCounter pair;
+    RunningStat method_lat_ms;
+    RunningStat first_lat_ms;
+  };
+
+  [[nodiscard]] const SchemeStats& scheme_stats(PairScheme scheme) const;
+  [[nodiscard]] const PathStats& path_stats(PairScheme scheme, NodeId src, NodeId dst) const;
+
+  // Distribution of per-(path,window) method loss rates.
+  [[nodiscard]] const Histogram& window_hist(PairScheme scheme, bool hourly) const;
+  // Table 6: count of (path,hour) windows with method loss% > threshold,
+  // thresholds 0,10,...,90.
+  [[nodiscard]] const std::array<std::int64_t, kHighLossThresholds>& high_loss_hours(
+      PairScheme scheme) const;
+  [[nodiscard]] std::int64_t total_hour_windows(PairScheme scheme) const;
+
+  // Global (all paths pooled) window loss-rate series per scheme.
+  [[nodiscard]] const EmpiricalCdf& global_window_loss(PairScheme scheme) const;
+  // Worst global hour: (start, loss rate).
+  struct WorstHour {
+    TimePoint start;
+    double loss_rate = 0.0;
+  };
+  [[nodiscard]] WorstHour worst_hour(PairScheme scheme) const;
+  // Worst global hour by FIRST-COPY loss (the single-packet basis the
+  // paper's Section 4.2 "worst one-hour period" uses).
+  [[nodiscard]] WorstHour worst_hour_first_copy(PairScheme scheme) const;
+
+  [[nodiscard]] std::span<const PairScheme> schemes() const { return schemes_; }
+  [[nodiscard]] std::size_t nodes() const { return n_; }
+  [[nodiscard]] const HostLivenessTracker& liveness() const { return liveness_; }
+
+ private:
+  struct PathAgg {
+    PathStats stats;
+    std::int64_t win_small_idx = -1;
+    LossCounter win_small;
+    std::int64_t win_large_idx = -1;
+    LossCounter win_large;
+  };
+
+  struct SchemeAgg {
+    SchemeStats stats;
+    std::vector<PathAgg> paths;  // n*n
+    Histogram hist_small{0.0, 1.0001, 200};
+    Histogram hist_large{0.0, 1.0001, 200};
+    std::array<std::int64_t, kHighLossThresholds> high_loss{};
+    std::int64_t hour_windows = 0;
+    // Global pooled windows.
+    std::int64_t gwin_small_idx = -1;
+    LossCounter gwin_small;
+    std::int64_t gwin_large_idx = -1;
+    LossCounter gwin_large;
+    LossCounter gwin_large_first;  // first-copy basis
+    EmpiricalCdf global_small_series;
+    WorstHour worst;
+    WorstHour worst_first;
+  };
+
+  void commit(const ProbeRecord& rec);
+  void flush_up_to(TimePoint watermark);
+  void close_small_window(SchemeAgg& agg, PathAgg& path);
+  void close_large_window(SchemeAgg& agg, PathAgg& path);
+  [[nodiscard]] SchemeAgg& agg_for(PairScheme scheme);
+  [[nodiscard]] const SchemeAgg& agg_for(PairScheme scheme) const;
+  [[nodiscard]] std::size_t path_index(NodeId src, NodeId dst) const;
+
+  std::size_t n_;
+  std::vector<PairScheme> schemes_;
+  AggregatorConfig cfg_;
+  HostLivenessTracker liveness_;
+  std::array<std::unique_ptr<SchemeAgg>, 14> by_scheme_;
+  std::deque<ProbeRecord> buffer_;
+  TimePoint watermark_;
+  bool finished_ = false;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MEASURE_AGGREGATOR_H_

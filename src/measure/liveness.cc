@@ -1,0 +1,60 @@
+#include "measure/liveness.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ronpath {
+
+HostLivenessTracker::HostLivenessTracker(std::size_t n_nodes, Duration silence_threshold)
+    : threshold_(silence_threshold), nodes_(n_nodes) {}
+
+void HostLivenessTracker::note_activity(NodeId node, TimePoint t) {
+  assert(node < nodes_.size());
+  assert(!finished_);
+  NodeState& st = nodes_[node];
+  if (st.any_activity) {
+    assert(t >= st.last_activity);
+    if (t - st.last_activity > threshold_) {
+      st.down.push_back({st.last_activity + threshold_, t});
+    }
+  }
+  st.any_activity = true;
+  st.last_activity = t;
+}
+
+void HostLivenessTracker::finish(TimePoint end) {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& st : nodes_) {
+    if (!st.any_activity) {
+      // Never heard from: down for the entire observation.
+      st.down.push_back({TimePoint::epoch(), end});
+    } else if (end > st.last_activity && end - st.last_activity > threshold_) {
+      st.down.push_back({st.last_activity + threshold_, end});
+    }
+  }
+}
+
+bool HostLivenessTracker::was_down(NodeId node, TimePoint t) const {
+  assert(node < nodes_.size());
+  const NodeState& st = nodes_[node];
+  // Pending silence: the node has not been heard from since before t and
+  // the silence already exceeds the threshold, so the down interval is
+  // known to have started even though its end is not yet known.
+  if (!st.any_activity) return true;
+  if (t > st.last_activity + threshold_) return true;
+  const auto& down = st.down;
+  auto it = std::upper_bound(down.begin(), down.end(), t,
+                             [](TimePoint v, const DownInterval& iv) { return v < iv.start; });
+  if (it == down.begin()) return false;
+  --it;
+  return t < it->end;
+}
+
+const std::vector<HostLivenessTracker::DownInterval>& HostLivenessTracker::intervals(
+    NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].down;
+}
+
+}  // namespace ronpath

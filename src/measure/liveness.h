@@ -1,0 +1,62 @@
+// Host-failure inference from probe logs (Section 4.1).
+//
+// "We consider a host to have failed if it stops sending probes for more
+//  than 90 seconds, and we disregard probes lost due to host failure."
+//
+// The tracker watches each host's send activity; a silence gap longer
+// than the threshold marks the host down from (last activity + threshold)
+// until its next activity. Because an interval is only known once the
+// host resumes (or the run ends), consumers buffer records and query the
+// tracker after a watermark delay.
+
+#ifndef RONPATH_MEASURE_LIVENESS_H_
+#define RONPATH_MEASURE_LIVENESS_H_
+
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+class HostLivenessTracker {
+ public:
+  HostLivenessTracker(std::size_t n_nodes, Duration silence_threshold = Duration::seconds(90));
+
+  // Records that `node` emitted a probe (or other activity) at `t`.
+  // Activity timestamps per node must be non-decreasing.
+  void note_activity(NodeId node, TimePoint t);
+
+  // Declares the end of the observation; hosts silent since their last
+  // activity are marked down through `end`.
+  void finish(TimePoint end);
+
+  // True if `node` is known to have been down (silent beyond threshold)
+  // at `t`. Only reliable for t at least `threshold` older than the
+  // node's latest activity (or after finish()).
+  [[nodiscard]] bool was_down(NodeId node, TimePoint t) const;
+
+  // Inferred down intervals for a node (closed-open).
+  struct DownInterval {
+    TimePoint start;
+    TimePoint end;
+  };
+  [[nodiscard]] const std::vector<DownInterval>& intervals(NodeId node) const;
+
+  [[nodiscard]] Duration threshold() const { return threshold_; }
+
+ private:
+  struct NodeState {
+    bool any_activity = false;
+    TimePoint last_activity;
+    std::vector<DownInterval> down;
+  };
+
+  Duration threshold_;
+  std::vector<NodeState> nodes_;
+  bool finished_ = false;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MEASURE_LIVENESS_H_

@@ -1,0 +1,130 @@
+#include "measure/records.h"
+
+#include <cstring>
+
+namespace ronpath {
+namespace {
+
+constexpr std::uint32_t kFileMagic = 0x524F4E44;  // "ROND"
+constexpr std::uint16_t kFileVersion = 1;
+constexpr std::uint16_t kStreamVersion = 2;
+
+void encode_copy(const CopyRecord& c, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(c.tag));
+  w.u16(c.via);
+  std::uint8_t flags = 0;
+  if (c.delivered) flags |= 0x01;
+  if (c.host_drop) flags |= 0x02;
+  flags |= static_cast<std::uint8_t>(static_cast<std::uint8_t>(c.cause) << 4);
+  w.u8(flags);
+  w.i64(c.sent.nanos_since_epoch());
+  w.i64(c.latency.count_nanos());
+}
+
+std::optional<CopyRecord> decode_copy(ByteReader& r) {
+  CopyRecord c;
+  const std::uint8_t tag = r.u8();
+  c.via = r.u16();
+  const std::uint8_t flags = r.u8();
+  c.sent = TimePoint::from_nanos(r.i64());
+  c.latency = Duration::nanos(r.i64());
+  if (!r.ok()) return std::nullopt;
+  if (tag > static_cast<std::uint8_t>(RouteTag::kLoss)) return std::nullopt;
+  const std::uint8_t cause = flags >> 4;
+  if (cause > static_cast<std::uint8_t>(DropCause::kOutage)) return std::nullopt;
+  c.tag = static_cast<RouteTag>(tag);
+  c.delivered = (flags & 0x01) != 0;
+  c.host_drop = (flags & 0x02) != 0;
+  c.cause = static_cast<DropCause>(cause);
+  return c;
+}
+
+}  // namespace
+
+void encode_record(const ProbeRecord& rec, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(rec.scheme));
+  w.u16(rec.src);
+  w.u16(rec.dst);
+  w.u64(rec.probe_id);
+  w.u8(rec.copy_count);
+  for (std::uint8_t i = 0; i < rec.copy_count; ++i) encode_copy(rec.copies[i], w);
+}
+
+std::optional<ProbeRecord> decode_record(ByteReader& r) {
+  ProbeRecord rec;
+  const std::uint8_t scheme = r.u8();
+  rec.src = r.u16();
+  rec.dst = r.u16();
+  rec.probe_id = r.u64();
+  rec.copy_count = r.u8();
+  if (!r.ok()) return std::nullopt;
+  if (scheme > static_cast<std::uint8_t>(PairScheme::kRandLoss)) return std::nullopt;
+  if (rec.copy_count < 1 || rec.copy_count > 2) return std::nullopt;
+  rec.scheme = static_cast<PairScheme>(scheme);
+  for (std::uint8_t i = 0; i < rec.copy_count; ++i) {
+    auto c = decode_copy(r);
+    if (!c) return std::nullopt;
+    rec.copies[i] = *c;
+  }
+  return rec;
+}
+
+void write_records(std::ostream& os, std::span<const ProbeRecord> records) {
+  ByteWriter w;
+  w.u32(kFileMagic);
+  w.u16(kFileVersion);
+  w.u64(records.size());
+  for (const auto& rec : records) encode_record(rec, w);
+  const auto view = w.view();
+  os.write(reinterpret_cast<const char*>(view.data()), static_cast<long>(view.size()));
+}
+
+RecordStreamWriter::RecordStreamWriter(std::ostream& os) : os_(os) {
+  ByteWriter w;
+  w.u32(kFileMagic);
+  w.u16(kStreamVersion);
+  const auto v = w.view();
+  os_.write(reinterpret_cast<const char*>(v.data()), static_cast<long>(v.size()));
+}
+
+void RecordStreamWriter::add(const ProbeRecord& rec) {
+  ByteWriter w;
+  encode_record(rec, w);
+  const auto v = w.view();
+  os_.write(reinterpret_cast<const char*>(v.data()), static_cast<long>(v.size()));
+  ++written_;
+}
+
+std::optional<std::vector<ProbeRecord>> read_record_stream(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kFileMagic) return std::nullopt;
+  if (r.u16() != kStreamVersion) return std::nullopt;
+  if (!r.ok()) return std::nullopt;
+  std::vector<ProbeRecord> out;
+  while (r.remaining() > 0) {
+    auto rec = decode_record(r);
+    if (!rec) return std::nullopt;
+    out.push_back(*rec);
+  }
+  return out;
+}
+
+std::optional<std::vector<ProbeRecord>> read_records(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kFileMagic) return std::nullopt;
+  if (r.u16() != kFileVersion) return std::nullopt;
+  const std::uint64_t count = r.u64();
+  if (!r.ok()) return std::nullopt;
+  std::vector<ProbeRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto rec = decode_record(r);
+    if (!rec) return std::nullopt;
+    out.push_back(*rec);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return out;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,87 @@
+// Probe records: the unit of measurement data (Section 4.1).
+//
+// Each probe carries a random 64-bit identifier logged by both hosts with
+// send/receive times; a record summarizes one probe (one or two packet
+// copies). Records support compact binary serialization so datasets can
+// be persisted and re-analyzed, mirroring the paper's published trace
+// data.
+
+#ifndef RONPATH_MEASURE_RECORDS_H_
+#define RONPATH_MEASURE_RECORDS_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "net/network.h"
+#include "util/ids.h"
+#include "util/time.h"
+#include "wire/bytes.h"
+#include "wire/packet.h"
+
+namespace ronpath {
+
+struct CopyRecord {
+  RouteTag tag = RouteTag::kDirect;
+  NodeId via = kDirectVia;        // intermediate used, if any
+  bool delivered = false;
+  DropCause cause = DropCause::kNone;
+  bool host_drop = false;         // lost because via/dst host was dead
+  TimePoint sent;
+  // One-way delay (or RTT in round-trip datasets) as observed by the
+  // receiving host's clock; valid when delivered.
+  Duration latency;
+};
+
+struct ProbeRecord {
+  PairScheme scheme = PairScheme::kDirect;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint64_t probe_id = 0;
+  std::uint8_t copy_count = 1;
+  std::array<CopyRecord, 2> copies{};
+
+  [[nodiscard]] TimePoint sent() const { return copies[0].sent; }
+  [[nodiscard]] bool any_delivered() const {
+    for (std::uint8_t i = 0; i < copy_count; ++i) {
+      if (copies[i].delivered) return true;
+    }
+    return false;
+  }
+};
+
+// Binary serialization (fixed-size little-endian-free big-endian format).
+void encode_record(const ProbeRecord& rec, ByteWriter& w);
+[[nodiscard]] std::optional<ProbeRecord> decode_record(ByteReader& r);
+
+// Whole-file helpers with a magic/version header and record count.
+void write_records(std::ostream& os, std::span<const ProbeRecord> records);
+[[nodiscard]] std::optional<std::vector<ProbeRecord>> read_records(
+    std::span<const std::uint8_t> data);
+
+// Streaming variant: header without a count, records until EOF. Used by
+// the probe driver's record tee so arbitrarily long runs can be captured
+// without buffering (the paper's hosts pushed logs to a central machine
+// the same way).
+class RecordStreamWriter {
+ public:
+  explicit RecordStreamWriter(std::ostream& os);
+  void add(const ProbeRecord& rec);
+  [[nodiscard]] std::int64_t written() const { return written_; }
+
+ private:
+  std::ostream& os_;
+  std::int64_t written_ = 0;
+};
+
+// Reads a stream written by RecordStreamWriter; nullopt on a malformed
+// header or a torn record.
+[[nodiscard]] std::optional<std::vector<ProbeRecord>> read_record_stream(
+    std::span<const std::uint8_t> data);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MEASURE_RECORDS_H_

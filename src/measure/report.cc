@@ -1,0 +1,149 @@
+#include "measure/report.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ronpath {
+namespace {
+
+bool is_registered(const Aggregator& agg, PairScheme s) {
+  for (PairScheme r : agg.schemes()) {
+    if (r == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<LossTableRow> make_loss_table(const Aggregator& agg,
+                                          std::span<const PairScheme> rows) {
+  std::vector<LossTableRow> out;
+  out.reserve(rows.size());
+  for (PairScheme row : rows) {
+    const SchemeSpec& spec = scheme_spec(row);
+    LossTableRow r;
+    r.scheme = row;
+    r.name = std::string(spec.name);
+
+    if (is_registered(agg, row)) {
+      const auto& st = agg.scheme_stats(row);
+      r.lp1 = st.pair.first_loss_percent();
+      r.totlp = st.pair.total_loss_percent();
+      r.samples = st.pair.pairs();
+      if (spec.two_packets()) {
+        r.lp2 = st.pair.second_loss_percent();
+        r.clp = st.pair.conditional_loss_percent();
+        r.lat_ms = st.method_lat_ms.mean();
+      } else {
+        r.lat_ms = st.first_lat_ms.mean();
+      }
+    } else {
+      const auto source = inference_source(row);
+      assert(source && is_registered(agg, *source) &&
+             "row neither probed nor inferable from a probed scheme");
+      const auto& st = agg.scheme_stats(*source);
+      r.inferred = true;
+      r.lp1 = st.pair.first_loss_percent();
+      r.totlp = r.lp1;  // single packet: totlp == 1lp
+      r.lat_ms = st.first_lat_ms.mean();
+      r.samples = st.pair.pairs();
+    }
+    r.name += r.inferred ? "*" : "";
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+HighLossTable make_high_loss_table(const Aggregator& agg,
+                                   std::span<const PairScheme> schemes) {
+  HighLossTable t;
+  t.schemes.assign(schemes.begin(), schemes.end());
+  for (auto& row : t.counts) row.reserve(schemes.size());
+  for (PairScheme s : schemes) {
+    const auto& counts = agg.high_loss_hours(s);
+    for (std::size_t i = 0; i < kHighLossThresholds; ++i) t.counts[i].push_back(counts[i]);
+    t.total_windows.push_back(agg.total_hour_windows(s));
+  }
+  return t;
+}
+
+std::vector<double> per_path_loss_percent(const Aggregator& agg, PairScheme scheme,
+                                          std::size_t min_samples) {
+  std::vector<double> out;
+  const auto n = static_cast<NodeId>(agg.nodes());
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& ps = agg.path_stats(scheme, s, d);
+      if (ps.pair.pairs() < static_cast<std::int64_t>(min_samples)) continue;
+      out.push_back(ps.pair.first_loss_percent());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CdfPoint> window_loss_cdf(const Aggregator& agg, PairScheme scheme, bool hourly) {
+  const Histogram& hist = agg.window_hist(scheme, hourly);
+  std::vector<CdfPoint> out;
+  if (hist.total() == 0) return out;
+  std::int64_t cum = hist.underflow();
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    cum += hist.bin(b);
+    out.push_back({hist.bin_hi(b), static_cast<double>(cum) / static_cast<double>(hist.total())});
+  }
+  return out;
+}
+
+std::vector<double> per_path_clp_percent(const Aggregator& agg, PairScheme scheme,
+                                         std::int64_t min_first_losses) {
+  std::vector<double> out;
+  const auto n = static_cast<NodeId>(agg.nodes());
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& ps = agg.path_stats(scheme, s, d);
+      if (ps.pair.first_lost() < min_first_losses) continue;
+      const auto clp = ps.pair.conditional_loss_percent();
+      if (clp) out.push_back(*clp);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> per_pair_latency_ms(const Aggregator& agg, PairScheme scheme,
+                                        bool first_copy, std::int64_t min_samples) {
+  std::vector<double> out;
+  const auto n = static_cast<NodeId>(agg.nodes());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+      const auto& fwd = agg.path_stats(scheme, a, b);
+      const auto& rev = agg.path_stats(scheme, b, a);
+      const RunningStat& f = first_copy ? fwd.first_lat_ms : fwd.method_lat_ms;
+      const RunningStat& r = first_copy ? rev.first_lat_ms : rev.method_lat_ms;
+      if (f.count() < min_samples || r.count() < min_samples) continue;
+      out.push_back((f.mean() + r.mean()) / 2.0);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+BaseStats make_base_stats(const Aggregator& agg, PairScheme scheme) {
+  BaseStats b;
+  const auto& st = agg.scheme_stats(scheme);
+  b.loss_percent = st.pair.total_loss_percent();
+  b.mean_latency_ms =
+      scheme_spec(scheme).two_packets() ? st.method_lat_ms.mean() : st.first_lat_ms.mean();
+  // Single-packet basis, as in Section 4.2.
+  b.worst_hour_loss_percent = 100.0 * agg.worst_hour_first_copy(scheme).loss_rate;
+  const auto& series = agg.global_window_loss(scheme);
+  if (!series.empty()) {
+    b.frac_windows_below_01pct = series.fraction_at_or_below(0.001);
+    b.frac_windows_below_02pct = series.fraction_at_or_below(0.002);
+  }
+  return b;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,92 @@
+// Report extraction: turns Aggregator state into the paper's tables and
+// figure series.
+//
+// Handles the Table 5 footnote ("items marked with an asterisk were
+// inferred from the first packet of a two-packet pair"): rows for
+// schemes that were not probed directly are derived from the first-copy
+// marginals of their inference source (direct* from direct rand, lat*
+// from lat loss).
+
+#ifndef RONPATH_MEASURE_REPORT_H_
+#define RONPATH_MEASURE_REPORT_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "measure/aggregator.h"
+#include "routing/schemes.h"
+
+namespace ronpath {
+
+// One row of Table 5 / Table 7.
+struct LossTableRow {
+  PairScheme scheme = PairScheme::kDirect;
+  std::string name;
+  bool inferred = false;       // derived from another scheme's first copy
+  double lp1 = 0.0;            // first-copy loss %
+  std::optional<double> lp2;   // second-copy loss % (two-packet schemes)
+  double totlp = 0.0;          // probability all copies lost, %
+  std::optional<double> clp;   // conditional loss %, second given first
+  double lat_ms = 0.0;         // method latency (one-way or RTT)
+  std::int64_t samples = 0;
+};
+
+// Builds the loss table for the given report rows. Rows probed directly
+// use their own stats; others use inference_source().
+[[nodiscard]] std::vector<LossTableRow> make_loss_table(const Aggregator& agg,
+                                                        std::span<const PairScheme> rows);
+
+// Table 6: high-loss hour counts. Row i = threshold i*10 (loss% > t).
+struct HighLossTable {
+  std::vector<PairScheme> schemes;
+  // counts[t][s] for threshold index t and scheme index s.
+  std::array<std::vector<std::int64_t>, kHighLossThresholds> counts;
+  std::vector<std::int64_t> total_windows;  // per scheme
+};
+[[nodiscard]] HighLossTable make_high_loss_table(const Aggregator& agg,
+                                                 std::span<const PairScheme> schemes);
+
+// Figure 2: per-path long-term loss rates (%) for direct packets; one
+// entry per ordered path with at least `min_samples` first-copy samples.
+[[nodiscard]] std::vector<double> per_path_loss_percent(const Aggregator& agg,
+                                                        PairScheme scheme,
+                                                        std::size_t min_samples = 50);
+
+// Figure 3: CDF points (loss_rate, cumulative fraction) of per-(path,
+// window) method loss rates.
+struct CdfPoint {
+  double x;
+  double f;
+};
+[[nodiscard]] std::vector<CdfPoint> window_loss_cdf(const Aggregator& agg, PairScheme scheme,
+                                                    bool hourly = false);
+
+// Figure 4: per-path conditional loss probabilities (%) of the second
+// copy, over paths that observed at least one first-copy loss.
+[[nodiscard]] std::vector<double> per_path_clp_percent(const Aggregator& agg,
+                                                       PairScheme scheme,
+                                                       std::int64_t min_first_losses = 1);
+
+// Figure 5: per-unordered-pair mean latency (ms). Forward and reverse
+// means are averaged, cancelling clock offsets of non-GPS hosts exactly
+// as in Section 4.1. `first_copy` selects the first-copy latency (for
+// inferred rows) instead of the method latency.
+[[nodiscard]] std::vector<double> per_pair_latency_ms(const Aggregator& agg, PairScheme scheme,
+                                                      bool first_copy,
+                                                      std::int64_t min_samples = 20);
+
+// Section 4.2 summary statistics for one scheme.
+struct BaseStats {
+  double loss_percent = 0.0;          // overall method loss
+  double mean_latency_ms = 0.0;
+  double worst_hour_loss_percent = 0.0;
+  double frac_windows_below_01pct = 0.0;  // global 20-min loss < 0.1%
+  double frac_windows_below_02pct = 0.0;
+};
+[[nodiscard]] BaseStats make_base_stats(const Aggregator& agg, PairScheme scheme);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MEASURE_REPORT_H_

@@ -1,0 +1,33 @@
+#include "model/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ronpath {
+
+double p_reactive(std::span<const double> path_losses) {
+  assert(!path_losses.empty());
+  return *std::min_element(path_losses.begin(), path_losses.end());
+}
+
+double p_redundant_independent(std::span<const double> path_losses) {
+  assert(!path_losses.empty());
+  double p = 1.0;
+  for (double l : path_losses) p *= l;
+  return p;
+}
+
+double p_2redundant_expected(double mean_loss) { return mean_loss * mean_loss; }
+
+double p_2redundant_correlated(double first_loss, double clp) {
+  assert(first_loss >= 0.0 && first_loss <= 1.0);
+  assert(clp >= 0.0 && clp <= 1.0);
+  return first_loss * clp;
+}
+
+double loss_improvement(double internet_loss, double method_loss) {
+  if (internet_loss <= 0.0) return 0.0;
+  return (internet_loss - method_loss) / internet_loss;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,41 @@
+// Analytic loss bounds for reactive and redundant routing (Section 5).
+//
+//   p_reactive  = min_i p_i        - probing converges on the best path;
+//   p_redundant = prod_i p_i       - with independent losses, redundancy
+//                                    achieves the product of path losses;
+//   E[p_2redundant] = (E[p_i])^2   - 2-redundant routing on random paths
+//                                    squares the average loss rate.
+//
+// The correlation-adjusted form quantifies how the paper's measured
+// conditional loss probabilities erode the independent-loss ideal:
+// p_both = p_first * clp, so redundancy's achievable improvement is
+// bounded by (1 - clp) when paths share fate.
+
+#ifndef RONPATH_MODEL_BOUNDS_H_
+#define RONPATH_MODEL_BOUNDS_H_
+
+#include <span>
+
+namespace ronpath {
+
+// Loss of reactive routing that always finds the best of `path_losses`.
+[[nodiscard]] double p_reactive(std::span<const double> path_losses);
+
+// Loss of redundant routing over all of `path_losses`, independence case.
+[[nodiscard]] double p_redundant_independent(std::span<const double> path_losses);
+
+// Expected loss of 2-redundant routing over two random paths with the
+// given mean loss, independence case.
+[[nodiscard]] double p_2redundant_expected(double mean_loss);
+
+// Loss of 2-redundant routing when the second copy is lost with
+// conditional probability `clp` given the first is lost.
+[[nodiscard]] double p_2redundant_correlated(double first_loss, double clp);
+
+// The paper's "loss rate improvement": (L_internet - L_method)/L_internet.
+// Returns 0 when the baseline is 0.
+[[nodiscard]] double loss_improvement(double internet_loss, double method_loss);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MODEL_BOUNDS_H_

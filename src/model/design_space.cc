@@ -1,0 +1,84 @@
+#include "model/design_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ronpath {
+
+std::string_view to_string(SchemeRegion r) {
+  switch (r) {
+    case SchemeRegion::kNeither: return "neither";
+    case SchemeRegion::kReactiveOnly: return "reactive";
+    case SchemeRegion::kRedundantOnly: return "redundant";
+    case SchemeRegion::kEither: return "either";
+  }
+  return "?";
+}
+
+double DesignSpace::reactive_capacity_limit(double improvement) const {
+  // Probing bandwidth grows with required improvement; feasible data
+  // capacity is what remains.
+  return std::max(0.0, 1.0 - (p_.probe_capacity_base + p_.probe_capacity_slope * improvement));
+}
+
+double DesignSpace::redundant_capacity_limit(double improvement) const {
+  // Duplication needs (redundancy - 1) extra copies of the flow: capacity
+  // used = y * redundancy <= 1. Demanding more improvement does not add
+  // copies in the 2-redundant scheme, so the bound is flat; keep the
+  // generic form for R-redundant.
+  (void)improvement;
+  return 1.0 / p_.redundancy;
+}
+
+bool DesignSpace::reactive_feasible(double improvement, double data_capacity) const {
+  assert(improvement >= 0.0 && improvement <= 1.0);
+  assert(data_capacity >= 0.0 && data_capacity <= 1.0);
+  if (improvement > p_.reactive_limit) return false;
+  return data_capacity <= reactive_capacity_limit(improvement);
+}
+
+bool DesignSpace::redundant_feasible(double improvement, double data_capacity) const {
+  assert(improvement >= 0.0 && improvement <= 1.0);
+  assert(data_capacity >= 0.0 && data_capacity <= 1.0);
+  if (improvement > p_.independence_limit) return false;
+  return data_capacity <= redundant_capacity_limit(improvement);
+}
+
+DesignPoint DesignSpace::evaluate(double improvement, double data_capacity) const {
+  DesignPoint pt;
+  pt.improvement = improvement;
+  pt.data_capacity = data_capacity;
+  const bool reactive = reactive_feasible(improvement, data_capacity);
+  const bool redundant = redundant_feasible(improvement, data_capacity);
+  if (reactive && redundant) {
+    pt.region = SchemeRegion::kEither;
+  } else if (reactive) {
+    pt.region = SchemeRegion::kReactiveOnly;
+  } else if (redundant) {
+    pt.region = SchemeRegion::kRedundantOnly;
+  } else {
+    pt.region = SchemeRegion::kNeither;
+  }
+  // Capacity cost comparison: probing cost is flow-independent, meshing
+  // cost is proportional to the flow. Thin flows favor redundancy.
+  const double probe_cost = p_.probe_capacity_base + p_.probe_capacity_slope * improvement;
+  const double mesh_cost = data_capacity * (p_.redundancy - 1.0);
+  pt.reactive_cheaper = probe_cost < mesh_cost;
+  return pt;
+}
+
+std::vector<DesignPoint> DesignSpace::grid(std::size_t nx, std::size_t ny) const {
+  assert(nx >= 2 && ny >= 2);
+  std::vector<DesignPoint> out;
+  out.reserve(nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    const double y = static_cast<double>(iy) / static_cast<double>(ny - 1);
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double x = static_cast<double>(ix) / static_cast<double>(nx - 1);
+      out.push_back(evaluate(x, y));
+    }
+  }
+  return out;
+}
+
+}  // namespace ronpath

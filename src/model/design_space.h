@@ -1,0 +1,82 @@
+// The Figure 6 design space: when to use reactive vs. redundant routing.
+//
+// Axes: x = desired loss-rate improvement in [0,1]; y = fraction of link
+// capacity already used by the data flow in [0,1]. Three bounds shape the
+// feasible regions:
+//
+//   Best-expected-path limit: probing cannot improve beyond the best
+//     path, so reactive is infeasible for improvement > reactive_limit.
+//   Independence limit: redundancy cannot improve beyond the fraction of
+//     losses that occur independently across paths (1 - clp), so
+//     redundant is infeasible for improvement > independence_limit.
+//   Capacity limit: overhead must fit in the spare capacity (1 - y).
+//     Redundant needs a full extra copy (y more); reactive needs probing
+//     bandwidth that grows with the required reaction speed, modeled as
+//     probe_capacity_base + slope * improvement.
+//
+// evaluate() classifies each grid point; boundaries() extracts the curves
+// the figure draws.
+
+#ifndef RONPATH_MODEL_DESIGN_SPACE_H_
+#define RONPATH_MODEL_DESIGN_SPACE_H_
+
+#include <string_view>
+#include <vector>
+
+namespace ronpath {
+
+struct DesignSpaceParams {
+  // Improvement achievable by converging on the best expected path
+  // (measured in the paper's data: reactive reduced 0.42% to 0.33%).
+  double reactive_limit = 0.6;
+  // Fraction of losses avoidable by a second, disjoint path: bounded by
+  // 1 - clp; the paper suggests 50% as a design upper limit.
+  double independence_limit = 0.5;
+  // Probing overhead as a fraction of capacity, at minimal and maximal
+  // reaction requirements.
+  double probe_capacity_base = 0.02;
+  double probe_capacity_slope = 0.25;
+  double redundancy = 2.0;
+};
+
+enum class SchemeRegion {
+  kNeither,        // no scheme achieves the requirement
+  kReactiveOnly,
+  kRedundantOnly,
+  kEither,         // both feasible
+};
+
+struct DesignPoint {
+  double improvement = 0.0;      // x
+  double data_capacity = 0.0;    // y
+  SchemeRegion region = SchemeRegion::kNeither;
+  // Among feasible schemes, which consumes less capacity.
+  bool reactive_cheaper = false;
+};
+
+[[nodiscard]] std::string_view to_string(SchemeRegion r);
+
+class DesignSpace {
+ public:
+  explicit DesignSpace(DesignSpaceParams params) : p_(params) {}
+
+  [[nodiscard]] bool reactive_feasible(double improvement, double data_capacity) const;
+  [[nodiscard]] bool redundant_feasible(double improvement, double data_capacity) const;
+  [[nodiscard]] DesignPoint evaluate(double improvement, double data_capacity) const;
+
+  // Grid evaluation (row-major, improvement fastest).
+  [[nodiscard]] std::vector<DesignPoint> grid(std::size_t nx, std::size_t ny) const;
+
+  // Capacity-limit boundary curves y(improvement) for each scheme.
+  [[nodiscard]] double reactive_capacity_limit(double improvement) const;
+  [[nodiscard]] double redundant_capacity_limit(double improvement) const;
+
+  [[nodiscard]] const DesignSpaceParams& params() const { return p_; }
+
+ private:
+  DesignSpaceParams p_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MODEL_DESIGN_SPACE_H_

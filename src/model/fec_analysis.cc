@@ -1,0 +1,123 @@
+#include "model/fec_analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ronpath {
+
+ClpCurve::ClpCurve(std::vector<Sample> samples, double unconditional)
+    : samples_(std::move(samples)), floor_(unconditional) {
+  assert(!samples_.empty());
+  assert(floor_ >= 0.0 && floor_ <= 1.0);
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    assert(samples_[i].gap > samples_[i - 1].gap);
+  }
+  // Fit clp(g) = floor + (clp0 - floor) * exp(-r g) through the last
+  // point with clp above the floor.
+  const double clp0 = samples_.front().clp;
+  decay_per_sec_ = 1.0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->clp > floor_ + 1e-9 && it->gap > Duration::zero() && clp0 > floor_ + 1e-9) {
+      const double frac = (it->clp - floor_) / (clp0 - floor_);
+      if (frac > 0.0 && frac < 1.0) {
+        decay_per_sec_ = -std::log(frac) / it->gap.to_seconds_f();
+        break;
+      }
+    }
+  }
+  if (decay_per_sec_ <= 0.0) decay_per_sec_ = 1.0;
+}
+
+double ClpCurve::at(Duration gap) const {
+  if (gap <= Duration::zero()) return samples_.front().clp;
+  // Within the sampled range, interpolate linearly between samples; past
+  // it, follow the fitted exponential decay to the floor.
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (gap <= samples_[i].gap) {
+      const double t = (gap - samples_[i - 1].gap).to_seconds_f() /
+                       (samples_[i].gap - samples_[i - 1].gap).to_seconds_f();
+      return samples_[i - 1].clp + t * (samples_[i].clp - samples_[i - 1].clp);
+    }
+  }
+  const auto& last = samples_.back();
+  const double extra = (gap - last.gap).to_seconds_f();
+  return floor_ + (last.clp - floor_) * std::exp(-decay_per_sec_ * extra);
+}
+
+Duration ClpCurve::decorrelation_gap(double tolerance) const {
+  // Binary search the monotone tail.
+  Duration lo = Duration::zero();
+  Duration hi = Duration::seconds(10);
+  if (at(hi) > floor_ + tolerance) return hi;
+  for (int iter = 0; iter < 60; ++iter) {
+    const Duration mid = lo + (hi - lo) / 2;
+    if (at(mid) > floor_ + tolerance) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double fec_group_failure_probability(const ClpCurve& curve, double first_loss,
+                                     const FecSchemeParams& scheme) {
+  const std::size_t n = scheme.data_packets + scheme.parity_packets;
+  assert(n >= 1 && n <= 20);
+  assert(first_loss >= 0.0 && first_loss <= 1.0);
+
+  // Enumerate loss patterns; chain conditional probabilities where each
+  // packet's loss probability depends on the gap back to the most recent
+  // lost packet (burst persistence), or the unconditional rate otherwise.
+  double failure = 0.0;
+  const std::uint32_t patterns = 1u << n;
+  for (std::uint32_t mask = 0; mask < patterns; ++mask) {
+    const auto losses = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (losses <= scheme.parity_packets) continue;  // recoverable
+    double p = 1.0;
+    int last_lost = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      double p_loss;
+      if (i == 0) {
+        p_loss = first_loss;
+      } else if (last_lost >= 0) {
+        const Duration gap = scheme.packet_spacing * static_cast<std::int64_t>(
+                                 static_cast<int>(i) - last_lost);
+        p_loss = curve.at(gap);
+      } else {
+        p_loss = curve.unconditional();
+      }
+      const bool lost = (mask >> i) & 1u;
+      p *= lost ? p_loss : (1.0 - p_loss);
+      if (lost) last_lost = static_cast<int>(i);
+      if (p == 0.0) break;
+    }
+    failure += p;
+  }
+  return failure;
+}
+
+Duration required_spacing(const ClpCurve& curve, double first_loss, std::size_t k,
+                          std::size_t m, double target, Duration max_spacing) {
+  FecSchemeParams scheme;
+  scheme.data_packets = k;
+  scheme.parity_packets = m;
+  // Scan spacings on a log-ish grid, then refine by bisection.
+  Duration lo = Duration::zero();
+  Duration hi = max_spacing;
+  scheme.packet_spacing = hi;
+  if (fec_group_failure_probability(curve, first_loss, scheme) > target) return max_spacing;
+  for (int iter = 0; iter < 40; ++iter) {
+    const Duration mid = lo + (hi - lo) / 2;
+    scheme.packet_spacing = mid;
+    if (fec_group_failure_probability(curve, first_loss, scheme) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace ronpath

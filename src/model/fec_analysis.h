@@ -1,0 +1,75 @@
+// FEC spreading analysis (Section 5.2).
+//
+// With back-to-back conditional loss probability around 70%, parity
+// packets sent immediately after their data on the same path share the
+// burst that killed the data. The paper concludes that same-path FEC must
+// spread a protection group over nearly half a second to escape burst
+// correlation - erasing the latency advantage FEC was meant to provide.
+//
+// This module computes that requirement from a conditional-loss-vs-gap
+// curve (measured, e.g., from dd 0/10/20 ms probes, or supplied
+// analytically) and evaluates the residual loss of a k+m same-path FEC
+// scheme under a two-state burst model.
+
+#ifndef RONPATH_MODEL_FEC_ANALYSIS_H_
+#define RONPATH_MODEL_FEC_ANALYSIS_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ronpath {
+
+// Monotone-decay model of conditional loss vs packet gap, fit through
+// measured (gap, clp) points by exponential interpolation down to the
+// unconditional rate.
+class ClpCurve {
+ public:
+  struct Sample {
+    Duration gap;
+    double clp;  // in [0,1]
+  };
+  // `unconditional` is the floor the curve decays to (the base loss
+  // rate); samples must be gap-sorted ascending with clp descending.
+  ClpCurve(std::vector<Sample> samples, double unconditional);
+
+  [[nodiscard]] double at(Duration gap) const;
+  [[nodiscard]] double unconditional() const { return floor_; }
+
+  // Smallest gap at which clp falls to within `tolerance` (absolute) of
+  // the unconditional rate - the spread needed for loss independence.
+  [[nodiscard]] Duration decorrelation_gap(double tolerance = 0.02) const;
+
+ private:
+  std::vector<Sample> samples_;
+  double floor_;
+  double decay_per_sec_;  // fitted exponential decay rate
+};
+
+struct FecSchemeParams {
+  std::size_t data_packets = 5;   // k
+  std::size_t parity_packets = 1; // m
+  Duration packet_spacing;        // gap between consecutive packets
+};
+
+// Probability a k+m same-path FEC group fails to deliver all data (more
+// than m of the k+m packets lost), under the correlation structure of
+// `curve`: the first packet is lost with probability `first_loss`, and
+// each subsequent packet is lost with probability curve.at(gap to the
+// previous lost packet) if a loss is "active", else with the
+// unconditional rate. Evaluated by exact enumeration over loss patterns
+// for small k+m (<= 20).
+[[nodiscard]] double fec_group_failure_probability(const ClpCurve& curve, double first_loss,
+                                                   const FecSchemeParams& scheme);
+
+// Minimum packet spacing so the group failure probability is at most
+// `target`; searches spacings up to `max_spacing`. Returns max_spacing
+// when the target is unreachable.
+[[nodiscard]] Duration required_spacing(const ClpCurve& curve, double first_loss,
+                                        std::size_t k, std::size_t m, double target,
+                                        Duration max_spacing = Duration::seconds(2));
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MODEL_FEC_ANALYSIS_H_

@@ -1,0 +1,31 @@
+#include "model/overhead.h"
+
+#include <cassert>
+
+namespace ronpath {
+
+double probing_bytes_per_sec(const ProbeOverheadParams& p) {
+  assert(p.nodes >= 2);
+  const double n = static_cast<double>(p.nodes);
+  const double per_interval =
+      n * (n - 1) * static_cast<double>(p.probe_bytes) +           // probes on every link
+      n * n * static_cast<double>(p.routing_entry_bytes);          // link-state dissemination
+  return per_interval / p.probe_interval.to_seconds_f();
+}
+
+double probing_bytes_per_sec_per_node(const ProbeOverheadParams& p) {
+  return probing_bytes_per_sec(p) / static_cast<double>(p.nodes);
+}
+
+double reactive_overhead_factor(const ProbeOverheadParams& p, double flow_bytes_per_sec) {
+  assert(flow_bytes_per_sec > 0.0);
+  return 1.0 + probing_bytes_per_sec_per_node(p) / flow_bytes_per_sec;
+}
+
+double crossover_flow_bytes_per_sec(const ProbeOverheadParams& p, double redundancy) {
+  assert(redundancy > 1.0);
+  // Solve 1 + probing/B == redundancy for B.
+  return probing_bytes_per_sec_per_node(p) / (redundancy - 1.0);
+}
+
+}  // namespace ronpath

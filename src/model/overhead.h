@@ -1,0 +1,51 @@
+// Overhead model of Section 5.3.
+//
+//   probe-based reactive:  overhead factor = 1 + N^2 / Bandwidth
+//     (each host sends/receives O(N^2) probe+routing bytes regardless of
+//      flow size, so the factor shrinks as the flow grows)
+//   2-redundant mesh:      overhead factor = 2 (flow-proportional)
+//
+// Concrete byte accounting is provided so the crossover flow bandwidth -
+// below which redundancy is cheaper and above which probing is - can be
+// computed for a given overlay size and probing rate.
+
+#ifndef RONPATH_MODEL_OVERHEAD_H_
+#define RONPATH_MODEL_OVERHEAD_H_
+
+#include <cstddef>
+
+#include "util/time.h"
+
+namespace ronpath {
+
+struct ProbeOverheadParams {
+  std::size_t nodes = 30;
+  Duration probe_interval = Duration::seconds(15);
+  // Request + response bytes per probe exchange.
+  std::size_t probe_bytes = 2 * 42;
+  // Routing/link-state dissemination bytes per node per interval,
+  // proportional to N (each node's vector of N link entries).
+  std::size_t routing_entry_bytes = 16;
+};
+
+// Total probing + routing bytes/second across the whole overlay.
+[[nodiscard]] double probing_bytes_per_sec(const ProbeOverheadParams& p);
+
+// Per-node share of the probing overhead, bytes/second.
+[[nodiscard]] double probing_bytes_per_sec_per_node(const ProbeOverheadParams& p);
+
+// Overhead factors for a flow of `flow_bytes_per_sec`.
+[[nodiscard]] double reactive_overhead_factor(const ProbeOverheadParams& p,
+                                              double flow_bytes_per_sec);
+[[nodiscard]] constexpr double mesh_overhead_factor(double redundancy = 2.0) {
+  return redundancy;
+}
+
+// Flow bandwidth (bytes/sec) at which reactive probing overhead equals the
+// extra bandwidth of R-redundant meshing; probing is cheaper above this.
+[[nodiscard]] double crossover_flow_bytes_per_sec(const ProbeOverheadParams& p,
+                                                  double redundancy = 2.0);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MODEL_OVERHEAD_H_

@@ -1,0 +1,303 @@
+#include "net/config.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ronpath {
+namespace {
+
+// Access-link parameter table. Loss mass is concentrated near the edge
+// (Section 2.4 of the paper: failures manifest near the network edge,
+// where routing cannot avoid them); per-class severity follows the access
+// technologies of Table 1, from Internet2 universities (near-lossless) to
+// residential cable/DSL (the paper's worst paths).
+ComponentParams access_params(LinkClass c) {
+  ComponentParams p;
+  // Common shape: bursts of median ~150 ms (so that 10/20 ms-spaced
+  // packets mostly share fate while ~500 ms-spaced ones rarely do, per
+  // Bolot), drop probability 0.78 inside a burst.
+  
+  p.burst_drop_prob = 0.74;
+  p.burst_queue_mean = Duration::millis(10);
+  p.episode_queue_mean = Duration::millis(3);
+  p.diurnal_amplitude = 0.75;
+  p.jitter_median = Duration::micros(250);
+  p.jitter_sigma = 0.8;
+
+  switch (c) {
+    case LinkClass::kUniversityI2:
+      p.base_loss = 3e-5;
+      p.bursts_per_hour = 0.41;
+      p.episodes_per_day = 0.195;
+      p.episode_mean = Duration::minutes(8);
+      p.episode_loss_rate = 0.02;
+      p.outages_per_month = 0.85;
+      p.outage_mean = Duration::minutes(2);
+      p.fixed_delay = Duration::micros(150);
+      break;
+    case LinkClass::kUniversity:
+      p.base_loss = 6e-5;
+      p.bursts_per_hour = 1.02;
+      p.episodes_per_day = 0.39;
+      p.episode_mean = Duration::minutes(10);
+      p.episode_loss_rate = 0.03;
+      p.outages_per_month = 0.7;
+      p.outage_mean = Duration::minutes(3);
+      p.fixed_delay = Duration::micros(300);
+      break;
+    case LinkClass::kLargeIsp:
+      p.base_loss = 6e-5;
+      p.bursts_per_hour = 1.5;
+      p.episodes_per_day = 0.585;
+      p.episode_mean = Duration::minutes(12);
+      p.episode_loss_rate = 0.04;
+      p.outages_per_month = 0.42;
+      p.outage_mean = Duration::minutes(3);
+      p.fixed_delay = Duration::micros(500);
+      break;
+    case LinkClass::kSmallIsp:
+      p.base_loss = 1.2e-4;
+      p.bursts_per_hour = 2.5;
+      p.episodes_per_day = 0.975;
+      p.episode_mean = Duration::minutes(15);
+      p.episode_loss_rate = 0.06;
+      p.outages_per_month = 1.4;
+      p.outage_mean = Duration::minutes(4);
+      p.fixed_delay = Duration::micros(800);
+      break;
+    case LinkClass::kCompany:
+      p.base_loss = 1.2e-4;
+      p.bursts_per_hour = 2.3;
+      p.episodes_per_day = 0.455;
+      p.episode_mean = Duration::minutes(15);
+      p.episode_loss_rate = 0.06;
+      p.outages_per_month = 1.1;
+      p.outage_mean = Duration::minutes(4);
+      p.fixed_delay = Duration::micros(600);
+      break;
+    case LinkClass::kCableDsl:
+      p.base_loss = 3.2e-4;
+      p.bursts_per_hour = 7.4;
+      p.episodes_per_day = 2.86;
+      p.episode_mean = Duration::minutes(25);
+      p.episode_loss_rate = 0.12;
+      p.burst_queue_mean = Duration::millis(25);
+      p.episode_queue_mean = Duration::millis(8);
+      p.outages_per_month = 2.1;
+      p.outage_mean = Duration::minutes(5);
+      p.fixed_delay = Duration::millis(6);
+      p.jitter_median = Duration::millis(1);
+      break;
+    case LinkClass::kIntlUniversity:
+      p.base_loss = 1.2e-4;
+      p.bursts_per_hour = 1.9;
+      p.episodes_per_day = 0.78;
+      p.episode_mean = Duration::minutes(15);
+      p.episode_loss_rate = 0.06;
+      p.outages_per_month = 1.1;
+      p.outage_mean = Duration::minutes(4);
+      p.fixed_delay = Duration::millis(1);
+      break;
+    case LinkClass::kIntlIsp:
+      p.base_loss = 1.2e-4;
+      p.bursts_per_hour = 2.9;
+      p.episodes_per_day = 0.975;
+      p.episode_mean = Duration::minutes(15);
+      p.episode_loss_rate = 0.08;
+      p.outages_per_month = 1.4;
+      p.outage_mean = Duration::minutes(4);
+      p.fixed_delay = Duration::millis(1);
+      break;
+  }
+  return p;
+}
+
+ComponentParams provider_params() {
+  ComponentParams p;
+  // Provider edges: shared by all core segments of a site. Bursts with
+  // high drop create the cross-path conditional losses of Section 4.4;
+  // being on every path from the site, they are not avoidable by either
+  // reactive or mesh routing.
+  p.base_loss = 2e-5;
+  p.bursts_per_hour = 3.6;
+  
+  p.burst_drop_prob = 0.80;
+  p.burst_queue_mean = Duration::millis(8);
+  p.episodes_per_day = 0.35;
+  p.episode_mean = Duration::minutes(15);
+  p.episode_loss_rate = 0.05;
+  p.episode_queue_mean = Duration::millis(3);
+  p.outages_per_month = 0.35;
+  p.outage_mean = Duration::minutes(3);
+  p.diurnal_amplitude = 0.7;
+  p.fixed_delay = Duration::micros(200);
+  p.jitter_median = Duration::micros(200);
+  p.jitter_sigma = 0.7;
+  return p;
+}
+
+ComponentParams core_params() {
+  ComponentParams p;
+  // Wide-area middles carry a minority of the loss mass: short bursts with
+  // near-total drop (router transients) plus occasional segment-specific
+  // episodes and outages, which are the component probe-based routing can
+  // actually avoid.
+  p.base_loss = 3e-5;
+  p.bursts_per_hour = 0.15;
+  p.burst_drop_prob = 0.90;
+  p.burst_queue_mean = Duration::millis(8);
+  p.episodes_per_day = 0.7;
+  p.episode_mean = Duration::minutes(20);
+  p.episode_burst_boost = 150.0;
+  p.episode_queue_mean = Duration::millis(4);
+  p.outages_per_month = 0.5;
+  p.outage_mean = Duration::minutes(5);
+  p.diurnal_amplitude = 0.65;
+  p.fixed_delay = Duration::zero();  // propagation added by the network
+  p.jitter_median = Duration::micros(200);
+  p.jitter_sigma = 0.7;
+  return p;
+}
+
+bool is_intl(const Site& s) {
+  return s.link_class == LinkClass::kIntlUniversity || s.link_class == LinkClass::kIntlIsp;
+}
+
+bool is_korea(const Site& s) { return s.name == "Korea"; }
+
+void scale_rates(ComponentParams& p, double f) {
+  p.bursts_per_hour *= f;
+  p.episodes_per_day *= f;
+  p.outages_per_month *= f;
+  p.base_loss *= f;
+}
+
+std::vector<ComponentParams> default_access_table() {
+  std::vector<ComponentParams> table;
+  table.reserve(8);
+  for (int c = 0; c <= static_cast<int>(LinkClass::kIntlIsp); ++c) {
+    table.push_back(access_params(static_cast<LinkClass>(c)));
+  }
+  return table;
+}
+
+}  // namespace
+
+double mean_burst_seconds(const ComponentParams& p) {
+  // Lognormal mean = median * exp(sigma^2 / 2), mixed over the two
+  // populations.
+  const double mean_short =
+      p.short_burst_median.to_seconds_f() * std::exp(p.short_burst_sigma * p.short_burst_sigma / 2.0);
+  const double mean_long =
+      p.burst_median.to_seconds_f() * std::exp(p.burst_sigma * p.burst_sigma / 2.0);
+  return p.short_burst_fraction * mean_short + (1.0 - p.short_burst_fraction) * mean_long;
+}
+
+double derived_boost(const ComponentParams& p, double target_loss_rate) {
+  // In-state loss = rate * mean_duration * drop_prob (for small products).
+  const double quiet = p.bursts_per_hour / 3600.0 * mean_burst_seconds(p) * p.burst_drop_prob;
+  if (quiet <= 0.0) return 1.0;
+  return std::max(1.0, target_loss_rate / quiet);
+}
+
+ComponentParams NetConfig::params_for(const Topology& topo, std::size_t component) const {
+  const ComponentId id = topo.component(component);
+  if (id.kind == ComponentId::Kind::kSite) {
+    const Site& site = topo.site(id.a);
+    if (id.is_provider()) {
+      ComponentParams p = provider;
+      double f = 1.0;
+      if (site.link_class == LinkClass::kCableDsl) f *= consumer_provider_factor;
+      if (is_intl(site)) f *= intl_provider_factor;
+      if (is_korea(site)) f *= korea_provider_factor;
+      p.bursts_per_hour *= f * loss_scale;
+      p.episodes_per_day *= f;
+      p.outages_per_month *= f;
+      return p;
+    }
+    const auto class_idx = static_cast<std::size_t>(site.link_class);
+    assert(class_idx < access.size());
+    ComponentParams p = access[class_idx];
+    const bool up = id.site_comp() == SiteComp::kUp;
+    double dir_factor = up ? access_up_factor : access_down_factor;
+    if (up && site.link_class == LinkClass::kCableDsl) dir_factor *= consumer_up_extra;
+    p.bursts_per_hour *= dir_factor * loss_scale;
+    return p;
+  }
+  // Core segment: scale by endpoint internationality and the Korea path.
+  const Site& a = topo.site(id.a);
+  const Site& b = topo.site(id.b);
+  ComponentParams p = core;
+  double f = 1.0;
+  if (is_intl(a) || is_intl(b)) f *= intl_core_rate_factor;
+  if (is_korea(a) || is_korea(b)) f *= korea_core_rate_factor;
+  p.bursts_per_hour *= f * loss_scale;
+  p.episodes_per_day *= f;
+  p.outages_per_month *= f;
+  p.base_loss *= f;
+  return p;
+}
+
+NetConfig NetConfig::profile_2003(Duration run) {
+  NetConfig cfg;
+  cfg.access = default_access_table();
+  cfg.provider = provider_params();
+  cfg.core = core_params();
+  cfg.loss_scale = 1.7;
+  cfg.intl_core_rate_factor = 3.5;
+  cfg.korea_core_rate_factor = 7.0;
+  cfg.provider_events = ProviderEventParams{};
+  // The Cornell pathology of ~6 May 2003 (day 6 of 14): provider-level
+  // latency inflation on most of Cornell's transit paths for ~30 hours.
+  // Incident positions scale with the run length so short runs still
+  // contain them at the same relative offsets.
+  const double scale = run.to_seconds_f() / Duration::days(14).to_seconds_f();
+  Incident cornell;
+  cornell.site_name = "Cornell";
+  cornell.scope = Incident::Scope::kCore;
+  cornell.start = TimePoint::epoch() + Duration::from_seconds_f(
+                                           Duration::days(6).to_seconds_f() * scale);
+  cornell.duration = Duration::from_seconds_f(
+      std::min(Duration::hours(30).to_seconds_f() * scale, Duration::hours(30).to_seconds_f()));
+  cornell.cross_fraction = 0.8;
+  cornell.added_latency = Duration::millis(700);
+  cornell.loss_rate = 0.015;
+  cornell.description = "Cornell transit pathology (~6 May 2003): ~1 s latencies";
+  cfg.incidents.push_back(cornell);
+  // A global congestion storm producing the worst monitored hour (>13%
+  // average loss, Section 4.2).
+  Incident storm;
+  storm.site_name = "";
+  storm.scope = Incident::Scope::kCore;
+  // Hour-aligned so the worst-hour statistic sees the storm whole.
+  const double storm_s =
+      (Duration::days(9) + Duration::hours(14)).to_seconds_f() * scale;
+  storm.start = TimePoint::epoch() +
+                Duration::hours(static_cast<std::int64_t>(storm_s / 3600.0));
+  // Duration scales with the run so short calibration runs keep the
+  // storm's share of total loss mass; at 14 days it is the paper's one
+  // worst hour.
+  storm.duration = Duration::from_seconds_f(Duration::hours(1).to_seconds_f() * scale);
+  storm.cross_fraction = 0.75;
+  storm.loss_rate = 0.32;
+  storm.description = "global congestion storm (worst monitored hour)";
+  cfg.incidents.push_back(storm);
+  return cfg;
+}
+
+NetConfig NetConfig::profile_2002(Duration run) {
+  NetConfig cfg = profile_2003(run);
+  cfg.incidents.clear();
+  // 2002 conditions: higher loss overall (0.74% direct) with a larger
+  // share in the wide area, which lowers cross-path loss correlation
+  // (direct rand CLP was 51% in 2002 vs 62% in 2003, Section 4.4).
+  cfg.loss_scale *= 1.15;
+  scale_rates(cfg.provider, 0.45);
+  scale_rates(cfg.core, 2.2);
+  cfg.provider_events.events_per_site_day = 0.6;
+  cfg.provider_events.cross_fraction = 0.4;
+  return cfg;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,224 @@
+#include "net/loss_process.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ronpath {
+namespace {
+
+// Binary search over merged, disjoint, start-sorted intervals.
+const StateInterval* covering(const std::deque<StateInterval>& ivs, TimePoint t) {
+  auto it = std::upper_bound(ivs.begin(), ivs.end(), t,
+                             [](TimePoint v, const StateInterval& iv) { return v < iv.start; });
+  if (it == ivs.begin()) return nullptr;
+  --it;
+  return (it->end > t) ? &*it : nullptr;
+}
+
+double episode_boost_value(const ComponentParams& p) {
+  return p.episode_loss_rate > 0.0 ? derived_boost(p, p.episode_loss_rate)
+                                   : p.episode_burst_boost;
+}
+
+}  // namespace
+
+double diurnal_factor(TimePoint t, double lon_deg, double amplitude) {
+  const double utc_hours = t.seconds_since_epoch_f() / 3600.0;
+  double local = std::fmod(utc_hours + lon_deg / 15.0, 24.0);
+  if (local < 0.0) local += 24.0;
+  // Peak near 16:00 local, trough near 04:00.
+  return 1.0 + amplitude * std::sin(2.0 * M_PI * (local - 10.0) / 24.0);
+}
+
+// --------------------------------------------------------- LazyIntervalProcess
+
+LazyIntervalProcess::LazyIntervalProcess(Duration mean_interarrival, Duration mean_duration,
+                                         double value, Rng rng)
+    : mean_interarrival_(mean_interarrival),
+      mean_duration_(mean_duration),
+      value_(value),
+      rng_(rng) {
+  assert(mean_interarrival_ > Duration::zero());
+  assert(mean_duration_ > Duration::zero());
+  next_arrival_ = TimePoint::epoch() + rng_.exponential_duration(mean_interarrival_);
+}
+
+void LazyIntervalProcess::push_merged(StateInterval iv) {
+  if (!intervals_.empty() && iv.start <= intervals_.back().end) {
+    intervals_.back().end = std::max(intervals_.back().end, iv.end);
+    intervals_.back().value = std::max(intervals_.back().value, iv.value);
+    return;
+  }
+  intervals_.push_back(iv);
+}
+
+void LazyIntervalProcess::generate_until(TimePoint t) {
+  while (next_arrival_ <= t) {
+    const Duration dur = rng_.exponential_duration(mean_duration_);
+    push_merged({next_arrival_, next_arrival_ + dur, value_});
+    next_arrival_ += rng_.exponential_duration(mean_interarrival_);
+  }
+  cursor_ = std::max(cursor_, t);
+}
+
+void LazyIntervalProcess::prune_before(TimePoint t) {
+  while (!intervals_.empty() && intervals_.front().end <= t) intervals_.pop_front();
+}
+
+double LazyIntervalProcess::value_at(TimePoint t) const {
+  assert(t <= cursor_);
+  const StateInterval* iv = covering(intervals_, t);
+  return iv ? iv->value : 0.0;
+}
+
+void LazyIntervalProcess::collect_edges(TimePoint from, TimePoint to,
+                                        std::vector<TimePoint>& out) const {
+  for (const auto& iv : intervals_) {
+    if (iv.end <= from) continue;
+    if (iv.start >= to) break;
+    if (iv.start > from && iv.start < to) out.push_back(iv.start);
+    if (iv.end > from && iv.end < to) out.push_back(iv.end);
+  }
+}
+
+// ------------------------------------------------------------ ComponentProcess
+
+ComponentProcess::ComponentProcess(const ComponentParams& params, double site_lon_deg,
+                                   std::vector<StateInterval> static_boosts, Rng rng)
+    : params_(params),
+      site_lon_deg_(site_lon_deg),
+      static_boosts_(std::move(static_boosts)),
+      episodes_(params.episodes_per_day > 0.0
+                    ? Duration::from_seconds_f(86'400.0 / params.episodes_per_day)
+                    : Duration::days(400'000),  // effectively never
+                params.episode_mean, episode_boost_value(params), rng.fork("episodes")),
+      outages_(params.outages_per_month > 0.0
+                   ? Duration::from_seconds_f(30.0 * 86'400.0 / params.outages_per_month)
+                   : Duration::days(400'000),
+               params.outage_mean, 1.0, rng.fork("outages")),
+      burst_rng_(rng.fork("bursts")) {
+  assert(std::is_sorted(static_boosts_.begin(), static_boosts_.end(),
+                        [](const StateInterval& a, const StateInterval& b) {
+                          return a.start < b.start;
+                        }));
+}
+
+double ComponentProcess::static_boost_at(TimePoint t) const {
+  double boost = 1.0;
+  for (const auto& iv : static_boosts_) {
+    if (iv.start > t) break;
+    if (iv.end > t) boost *= iv.value;
+  }
+  return boost;
+}
+
+double ComponentProcess::rate_per_sec_at(TimePoint t) const {
+  const double episode_boost = [&] {
+    const double v = episodes_.value_at(t);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return params_.bursts_per_hour / 3600.0 *
+         diurnal_factor(t, site_lon_deg_, params_.diurnal_amplitude) * episode_boost *
+         static_boost_at(t);
+}
+
+void ComponentProcess::push_burst(StateInterval iv) {
+  ++generated_bursts_;
+  if (!bursts_.empty() && iv.start <= bursts_.back().end) {
+    bursts_.back().end = std::max(bursts_.back().end, iv.end);
+    bursts_.back().value = std::max(bursts_.back().value, iv.value);
+    return;
+  }
+  bursts_.push_back(iv);
+}
+
+void ComponentProcess::generate_until(TimePoint t) {
+  const TimePoint target = t + kGenLookahead;
+  if (burst_cursor_ >= target) return;
+
+  episodes_.generate_until(target + kGenLookahead);
+  outages_.generate_until(target);
+
+  // Piecewise-constant-rate boundaries: hourly diurnal steps plus episode
+  // and static-boost edges. Between boundaries the rate is constant and
+  // arrivals are exact exponential gaps (memorylessness lets us restart the
+  // draw at each boundary).
+  std::vector<TimePoint> edges;
+  episodes_.collect_edges(burst_cursor_, target, edges);
+  for (const auto& iv : static_boosts_) {
+    if (iv.start > burst_cursor_ && iv.start < target) edges.push_back(iv.start);
+    if (iv.end > burst_cursor_ && iv.end < target) edges.push_back(iv.end);
+  }
+  const Duration hour = Duration::hours(1);
+  for (TimePoint h = TimePoint::epoch() +
+                     hour * (burst_cursor_.since_epoch() / hour + 1);
+       h < target; h += hour) {
+    edges.push_back(h);
+  }
+  edges.push_back(target);
+  std::sort(edges.begin(), edges.end());
+
+  TimePoint cursor = burst_cursor_;
+  const double ln_long = std::log(params_.burst_median.to_seconds_f());
+  const double ln_short = std::log(params_.short_burst_median.to_seconds_f());
+  for (TimePoint edge : edges) {
+    if (edge <= cursor) continue;
+    // Rate sampled just inside the segment (diurnal drift within an hour is
+    // negligible at these rates).
+    const double rate = rate_per_sec_at(cursor);
+    if (rate > 0.0) {
+      TimePoint s = cursor;
+      for (;;) {
+        s += Duration::from_seconds_f(burst_rng_.exponential(1.0 / rate));
+        if (s >= edge) break;
+        const bool micro = burst_rng_.bernoulli(params_.short_burst_fraction);
+        const double dur_s =
+            micro ? burst_rng_.lognormal(ln_short, params_.short_burst_sigma)
+                  : burst_rng_.lognormal(ln_long, params_.burst_sigma);
+        push_burst({s, s + Duration::from_seconds_f(dur_s), params_.burst_drop_prob});
+      }
+    }
+    cursor = edge;
+  }
+  burst_cursor_ = target;
+}
+
+double ComponentProcess::burst_drop_at(TimePoint t) const {
+  const StateInterval* iv = covering(bursts_, t);
+  return iv ? iv->value : 0.0;
+}
+
+ComponentSample ComponentProcess::sample(TimePoint t) {
+  assert(t + kQuerySafety >= max_query_ && "query too far in the past");
+  generate_until(t);
+  if (t > max_query_) {
+    max_query_ = t;
+    const TimePoint watermark = max_query_ - kQuerySafety;
+    if (!bursts_.empty() && bursts_.front().end + Duration::minutes(5) < watermark) {
+      while (!bursts_.empty() && bursts_.front().end <= watermark) bursts_.pop_front();
+      episodes_.prune_before(watermark);
+      outages_.prune_before(watermark);
+    }
+  }
+
+  ComponentSample s;
+  if (outages_.active_at(t)) {
+    s.outage = true;
+    s.drop_prob = 1.0;
+    return s;
+  }
+  s.episode = episodes_.value_at(t) > 0.0;
+  const double burst_drop = burst_drop_at(t);
+  if (burst_drop > 0.0) {
+    s.burst = true;
+    s.drop_prob = burst_drop;
+    s.queue_delay_mean = params_.burst_queue_mean;
+  } else {
+    s.drop_prob = params_.base_loss;
+    if (s.episode) s.queue_delay_mean = params_.episode_queue_mean;
+  }
+  return s;
+}
+
+}  // namespace ronpath

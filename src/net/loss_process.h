@@ -1,0 +1,128 @@
+// Per-component stochastic loss and delay processes.
+//
+// Each underlay component owns a ComponentProcess composed of:
+//   * a lazy Poisson OUTAGE process (drop probability 1 while active),
+//   * a lazy Poisson EPISODE process (multiplies burst arrival rate),
+//   * a BURST process: non-homogeneous Poisson arrivals whose rate is
+//     base * diurnal(t) * episode_boost(t) * static_boost(t), with
+//     lognormal durations and a fixed in-burst drop probability.
+//
+// Timelines are generated lazily and deterministically: the interval
+// layout is a pure function of the component's forked RNG stream, not of
+// when or how often it is queried. Two packets querying the same instant
+// always see the same burst/episode/outage state - the property that
+// makes conditional-loss measurements meaningful.
+//
+// Queries must be "roughly monotone": each query may lag the furthest
+// query seen so far by at most kQuerySafety (packets in flight plus probe
+// pair gaps). Intervals wholly older than that are pruned, bounding
+// memory over arbitrarily long runs.
+
+#ifndef RONPATH_NET_LOSS_PROCESS_H_
+#define RONPATH_NET_LOSS_PROCESS_H_
+
+#include <deque>
+#include <vector>
+
+#include "net/config.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+// Maximum allowed backwards distance of a query from the furthest query.
+inline constexpr Duration kQuerySafety = Duration::seconds(30);
+// How far beyond the queried time the generators run ahead.
+inline constexpr Duration kGenLookahead = Duration::seconds(60);
+
+struct StateInterval {
+  TimePoint start;
+  TimePoint end;
+  double value = 1.0;  // episode/static: rate boost; burst: drop prob
+};
+
+// Homogeneous-rate lazy Poisson interval process (episodes, outages).
+// Overlapping intervals are merged (value = max).
+class LazyIntervalProcess {
+ public:
+  // `mean_interarrival` between interval starts; duration ~ Exp(mean_duration).
+  LazyIntervalProcess(Duration mean_interarrival, Duration mean_duration, double value,
+                      Rng rng);
+
+  void generate_until(TimePoint t);
+  void prune_before(TimePoint t);
+
+  // Value of the interval covering t, or 0.0 if none. generate_until(t)
+  // must have been called with a time >= t.
+  [[nodiscard]] double value_at(TimePoint t) const;
+  [[nodiscard]] bool active_at(TimePoint t) const { return value_at(t) != 0.0; }
+
+  // Edges (starts and ends) in [from, to), used by the burst generator to
+  // keep its piecewise-constant rate segments exact.
+  void collect_edges(TimePoint from, TimePoint to, std::vector<TimePoint>& out) const;
+
+  [[nodiscard]] const std::deque<StateInterval>& intervals() const { return intervals_; }
+  [[nodiscard]] TimePoint generated_until() const { return cursor_; }
+
+ private:
+  void push_merged(StateInterval iv);
+
+  Duration mean_interarrival_;
+  Duration mean_duration_;
+  double value_;
+  Rng rng_;
+  TimePoint cursor_;        // timeline generated up to here
+  TimePoint next_arrival_;  // first arrival at or beyond cursor_
+  std::deque<StateInterval> intervals_;
+};
+
+// What a packet experiences when traversing a component at an instant.
+struct ComponentSample {
+  double drop_prob = 0.0;      // probability this packet is dropped here
+  bool outage = false;         // inside a total outage
+  bool burst = false;          // inside a loss burst
+  bool episode = false;        // inside a congestion episode
+  Duration queue_delay_mean;   // mean extra queueing delay to draw from
+};
+
+class ComponentProcess {
+ public:
+  // `static_boosts`: pre-resolved rate-boost intervals (provider events,
+  // configured incidents), sorted by start, possibly overlapping.
+  // `site_lon_deg` drives the diurnal phase.
+  ComponentProcess(const ComponentParams& params, double site_lon_deg,
+                   std::vector<StateInterval> static_boosts, Rng rng);
+
+  // State of the component for a packet arriving at time t.
+  [[nodiscard]] ComponentSample sample(TimePoint t);
+
+  [[nodiscard]] const ComponentParams& params() const { return params_; }
+
+  // Introspection for tests: burst/episode/outage interval counts so far.
+  [[nodiscard]] std::size_t generated_bursts() const { return generated_bursts_; }
+
+ private:
+  void generate_until(TimePoint t);
+  [[nodiscard]] double static_boost_at(TimePoint t) const;
+  [[nodiscard]] double rate_per_sec_at(TimePoint t) const;
+  void push_burst(StateInterval iv);
+  [[nodiscard]] double burst_drop_at(TimePoint t) const;
+
+  ComponentParams params_;
+  double site_lon_deg_;
+  std::vector<StateInterval> static_boosts_;
+
+  LazyIntervalProcess episodes_;
+  LazyIntervalProcess outages_;
+
+  Rng burst_rng_;
+  TimePoint burst_cursor_;
+  std::deque<StateInterval> bursts_;
+  std::size_t generated_bursts_ = 0;
+
+  TimePoint max_query_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_NET_LOSS_PROCESS_H_

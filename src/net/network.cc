@@ -1,0 +1,207 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ronpath {
+namespace {
+
+// Sorts and returns boost intervals by start time.
+std::vector<StateInterval> sorted(std::vector<StateInterval> v) {
+  std::sort(v.begin(), v.end(),
+            [](const StateInterval& a, const StateInterval& b) { return a.start < b.start; });
+  return v;
+}
+
+}  // namespace
+
+std::string_view to_string(DropCause cause) {
+  switch (cause) {
+    case DropCause::kNone: return "none";
+    case DropCause::kRandom: return "random";
+    case DropCause::kBurst: return "burst";
+    case DropCause::kOutage: return "outage";
+  }
+  return "?";
+}
+
+Network::Network(Topology topology, NetConfig config, Duration horizon, Rng rng)
+    : topo_(std::move(topology)), config_(std::move(config)), pkt_rng_(rng.fork("packets")) {
+  const std::size_t n_components = topo_.component_count();
+  const std::size_t n = topo_.size();
+
+  // Pregenerate provider-level events per site over the run horizon.
+  struct SiteEvent {
+    TimePoint start;
+    TimePoint end;
+    std::uint64_t seq;
+  };
+  std::vector<std::vector<SiteEvent>> site_events(n);
+  const auto& pe = config_.provider_events;
+  if (pe.events_per_site_day > 0.0) {
+    const Duration mean_gap = Duration::from_seconds_f(86'400.0 / pe.events_per_site_day);
+    for (NodeId s = 0; s < n; ++s) {
+      Rng er = rng.fork("provider-events").fork(s);
+      TimePoint t = TimePoint::epoch() + er.exponential_duration(mean_gap);
+      std::uint64_t seq = 0;
+      while (t < TimePoint::epoch() + horizon) {
+        site_events[s].push_back({t, t + er.exponential_duration(pe.mean_duration), seq++});
+        t += er.exponential_duration(mean_gap);
+      }
+    }
+  }
+
+  // Resolve per-component static boosts, latency additions and stretch.
+  latency_additions_.resize(n_components);
+  core_stretch_.assign(n * (n - 1), 1.0);
+  Rng stretch_rng = rng.fork("core-stretch");
+  Rng hit_rng_root = rng.fork("event-hits");
+  components_.reserve(n_components);
+
+  Rng quality_rng = rng.fork("core-quality");
+  for (std::size_t ci = 0; ci < n_components; ++ci) {
+    const ComponentId id = topo_.component(ci);
+    ComponentParams params = config_.params_for(topo_, ci);
+    if (id.kind == ComponentId::Kind::kCore) {
+      // Persistent chronic quality of this segment (see config.h).
+      const double q = std::min(
+          config_.core_quality_max,
+          std::exp(config_.core_quality_sigma * quality_rng.fork(ci).normal(0.0, 1.0)));
+      params.bursts_per_hour *= q;
+      params.base_loss *= std::min(q, 5.0);
+    }
+    std::vector<StateInterval> boosts;
+
+    if (id.kind == ComponentId::Kind::kCore) {
+      // Routing stretch for this ordered pair.
+      const std::size_t core_slot = ci - kSiteCompCount * n;
+      double stretch = config_.core_stretch_median *
+                       std::exp(config_.core_stretch_sigma *
+                                stretch_rng.fork(core_slot).normal(0.0, 1.0));
+      core_stretch_[core_slot] = std::max(stretch, config_.core_stretch_min);
+
+      // Provider events from either endpoint hit this segment w.p.
+      // cross_fraction, decided deterministically per (site, event, segment).
+      const double event_boost = derived_boost(params, pe.event_loss_rate);
+      for (NodeId endpoint : {id.a, id.b}) {
+        for (const auto& ev : site_events[endpoint]) {
+          Rng hit = hit_rng_root.fork(endpoint).fork(ev.seq).fork(ci);
+          if (hit.next_double() < pe.cross_fraction) {
+            boosts.push_back({ev.start, ev.end, event_boost});
+          }
+        }
+      }
+    }
+
+    // Configured incidents.
+    for (std::size_t ii = 0; ii < config_.incidents.size(); ++ii) {
+      const Incident& inc = config_.incidents[ii];
+      bool affected = false;
+      if (id.kind == ComponentId::Kind::kSite) {
+        affected = inc.scope == Incident::Scope::kAccess &&
+                   (inc.site_name.empty() || topo_.site(id.a).name == inc.site_name);
+      } else {
+        if (inc.scope == Incident::Scope::kCore) {
+          const bool incident_site = inc.site_name.empty() ||
+                                     topo_.site(id.a).name == inc.site_name ||
+                                     topo_.site(id.b).name == inc.site_name;
+          if (incident_site) {
+            Rng hit = hit_rng_root.fork("incident").fork(ii).fork(ci);
+            affected = hit.next_double() < inc.cross_fraction;
+          }
+        }
+      }
+      if (!affected) continue;
+      const double inc_boost =
+          inc.loss_rate > 0.0 ? derived_boost(params, inc.loss_rate) : inc.burst_boost;
+      if (inc_boost != 1.0) {
+        boosts.push_back({inc.start, inc.end(), inc_boost});
+      }
+      if (inc.added_latency > Duration::zero()) {
+        latency_additions_[ci].push_back({inc.start, inc.end(), inc.added_latency});
+      }
+    }
+
+    const NodeId param_site = id.a;
+    components_.push_back(std::make_unique<ComponentProcess>(
+        params, topo_.site(param_site).lon_deg, sorted(std::move(boosts)),
+        rng.fork("component").fork(ci)));
+  }
+}
+
+double Network::core_stretch(NodeId src, NodeId dst) const {
+  return core_stretch_[topo_.core_index(src, dst) - kSiteCompCount * topo_.size()];
+}
+
+Duration Network::hop_delay(std::size_t component, const ComponentSample& s, TimePoint t,
+                            bool is_core, NodeId core_src, NodeId core_dst) {
+  const ComponentParams& p = components_[component]->params();
+  Duration d = p.fixed_delay;
+  if (is_core) {
+    d += Duration::from_seconds_f(topo_.propagation(core_src, core_dst).to_seconds_f() *
+                                  core_stretch(core_src, core_dst));
+  }
+  // Per-packet jitter.
+  d += Duration::from_seconds_f(
+      pkt_rng_.lognormal(std::log(p.jitter_median.to_seconds_f()), p.jitter_sigma));
+  // Congestion queueing.
+  if (s.queue_delay_mean > Duration::zero()) {
+    d += pkt_rng_.exponential_duration(s.queue_delay_mean);
+  }
+  // Incident latency additions.
+  for (const auto& add : latency_additions_[component]) {
+    if (t >= add.start && t < add.end) d += add.added;
+  }
+  return d;
+}
+
+TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time) {
+  ++stats_.transmitted;
+  const auto hops = topo_.hops(path);
+  TimePoint t = send_time;
+  for (std::size_t hi = 0; hi < hops.size(); ++hi) {
+    const std::size_t ci = hops[hi].component;
+    const ComponentSample s = components_[ci]->sample(t);
+    if (pkt_rng_.bernoulli(s.drop_prob)) {
+      TransmitResult r;
+      r.delivered = false;
+      r.cause = s.outage ? DropCause::kOutage : (s.burst ? DropCause::kBurst : DropCause::kRandom);
+      r.drop_component = ci;
+      switch (r.cause) {
+        case DropCause::kRandom: ++stats_.dropped_random; break;
+        case DropCause::kBurst: ++stats_.dropped_burst; break;
+        case DropCause::kOutage: ++stats_.dropped_outage; break;
+        case DropCause::kNone: break;
+      }
+      return r;
+    }
+    const ComponentId id = topo_.component(ci);
+    const bool is_core = id.kind == ComponentId::Kind::kCore;
+    t += hop_delay(ci, s, t, is_core, id.a, id.b);
+    // Application-level forwarding turn-around at each intermediate.
+    if (hops[hi].forward_after) t += config_.forward_delay;
+  }
+  ++stats_.delivered;
+  TransmitResult r;
+  r.delivered = true;
+  r.latency = t - send_time;
+  return r;
+}
+
+Duration Network::base_latency(const PathSpec& path) const {
+  const auto hops = topo_.hops(path);
+  Duration d = Duration::zero();
+  for (const auto& hop : hops) {
+    const ComponentId id = topo_.component(hop.component);
+    d += config_.params_for(topo_, hop.component).fixed_delay;
+    if (id.kind == ComponentId::Kind::kCore) {
+      d += Duration::from_seconds_f(topo_.propagation(id.a, id.b).to_seconds_f() *
+                                    core_stretch(id.a, id.b));
+    }
+  }
+  d += config_.forward_delay * path.intermediates();
+  return d;
+}
+
+}  // namespace ronpath

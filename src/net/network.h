@@ -1,0 +1,105 @@
+// The simulated underlay: delivers packets over one-hop overlay paths with
+// loss and latency drawn from the composed per-component processes.
+//
+// This is the substitute for the paper's physical 30-node RON testbed.
+// transmit() walks the components of a path in traversal order and samples
+// each component's state at the instant the packet reaches it. Because
+// component state is a deterministic timeline, two packets traversing a
+// shared component at (nearly) the same moment share burst fate - the
+// mechanism behind the paper's correlated-loss findings - while spacing
+// packets in time (dd 10 ms / dd 20 ms) or routing the second copy around
+// a component de-correlates them exactly as in Section 4.4.
+
+#ifndef RONPATH_NET_NETWORK_H_
+#define RONPATH_NET_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "net/config.h"
+#include "net/loss_process.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+enum class DropCause : std::uint8_t {
+  kNone = 0,    // delivered
+  kRandom = 1,  // independent per-packet loss
+  kBurst = 2,   // loss burst (queue overflow)
+  kOutage = 3,  // total component outage
+};
+
+[[nodiscard]] std::string_view to_string(DropCause cause);
+
+struct TransmitResult {
+  bool delivered = false;
+  // One-way latency; valid only when delivered.
+  Duration latency;
+  DropCause cause = DropCause::kNone;
+  // Component index where the packet was dropped (when not delivered).
+  std::size_t drop_component = 0;
+
+  [[nodiscard]] bool lost() const { return !delivered; }
+};
+
+class Network {
+ public:
+  // `horizon` bounds the run; provider events are pregenerated up to it.
+  Network(Topology topology, NetConfig config, Duration horizon, Rng rng);
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+
+  // Sends one packet along `path` at `send_time`. Queries must be roughly
+  // monotone in time (see loss_process.h).
+  TransmitResult transmit(const PathSpec& path, TimePoint send_time);
+
+  // Deterministic latency floor of a path (propagation + fixed delays +
+  // forwarding, no jitter/queueing/incidents). Used by tests and by
+  // latency-model sanity checks.
+  [[nodiscard]] Duration base_latency(const PathSpec& path) const;
+
+  // Routing stretch factor applied to the core segment src->dst.
+  [[nodiscard]] double core_stretch(NodeId src, NodeId dst) const;
+
+  // Aggregate drop statistics since construction.
+  struct Stats {
+    std::int64_t transmitted = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped_random = 0;
+    std::int64_t dropped_burst = 0;
+    std::int64_t dropped_outage = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // Test hook: the process driving a component's loss state.
+  [[nodiscard]] ComponentProcess& component(std::size_t index) { return *components_[index]; }
+
+ private:
+  struct LatencyAddition {
+    TimePoint start;
+    TimePoint end;
+    Duration added;
+  };
+
+  [[nodiscard]] Duration hop_delay(std::size_t component, const ComponentSample& s,
+                                   TimePoint t, bool is_core, NodeId core_src,
+                                   NodeId core_dst);
+
+  Topology topo_;
+  NetConfig config_;
+  std::vector<std::unique_ptr<ComponentProcess>> components_;
+  std::vector<std::vector<LatencyAddition>> latency_additions_;
+  std::vector<double> core_stretch_;  // per core component index offset
+  Rng pkt_rng_;
+  Stats stats_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_NET_NETWORK_H_

@@ -1,0 +1,73 @@
+#include "overlay/estimator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ronpath {
+
+void WindowLossEstimator::record(bool lost) {
+  outcomes_.push_back(lost);
+  if (lost) ++lost_in_window_;
+  if (outcomes_.size() > window_) {
+    if (outcomes_.front()) --lost_in_window_;
+    outcomes_.pop_front();
+  }
+}
+
+double WindowLossEstimator::loss() const {
+  if (outcomes_.empty()) return 0.0;
+  return static_cast<double>(lost_in_window_) / static_cast<double>(outcomes_.size());
+}
+
+void EwmaLossEstimator::record(bool lost) {
+  const double x = lost ? 1.0 : 0.0;
+  if (!have_) {
+    value_ = x;
+    have_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void LatencyEstimator::record(Duration sample) {
+  const double ms = sample.to_millis_f();
+  if (!have_) {
+    value_ms_ = ms;
+    have_ = true;
+  } else {
+    value_ms_ = alpha_ * ms + (1.0 - alpha_) * value_ms_;
+  }
+}
+
+Duration LatencyEstimator::latency() const {
+  return have_ ? Duration::from_millis_f(value_ms_) : Duration::max();
+}
+
+void LinkEstimator::record_probe(bool lost, Duration rtt_half, TimePoint now) {
+  loss_.record(lost);
+  ewma_.record(lost);
+  if (lost) {
+    ++current_loss_run_;
+  } else if (current_loss_run_ > 0) {
+    ++loss_runs_[static_cast<std::size_t>(std::min(current_loss_run_, 6) - 1)];
+    current_loss_run_ = 0;
+  }
+  if (!lost) {
+    latency_.record(rtt_half);
+    down_ = false;
+    consecutive_followup_losses_ = 0;
+  }
+  last_update_ = now;
+}
+
+void LinkEstimator::record_followup(bool lost, TimePoint now) {
+  if (lost) {
+    if (++consecutive_followup_losses_ >= 4) down_ = true;
+  } else {
+    consecutive_followup_losses_ = 0;
+    down_ = false;
+  }
+  last_update_ = now;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,35 @@
+#include "overlay/link_state.h"
+
+#include <cassert>
+
+namespace ronpath {
+
+LinkStateTable::LinkStateTable(std::size_t n_nodes) : n_(n_nodes), entries_(n_ * n_) {}
+
+std::size_t LinkStateTable::index(NodeId from, NodeId to) const {
+  assert(from < n_ && to < n_);
+  return static_cast<std::size_t>(from) * n_ + to;
+}
+
+void LinkStateTable::publish(NodeId from, NodeId to, const LinkMetrics& metrics) {
+  entries_[index(from, to)] = metrics;
+}
+
+const LinkMetrics& LinkStateTable::get(NodeId from, NodeId to) const {
+  return entries_[index(from, to)];
+}
+
+bool LinkStateTable::node_seems_up(NodeId node) const {
+  bool any_estimate = false;
+  for (NodeId other = 0; other < n_; ++other) {
+    if (other == node) continue;
+    const LinkMetrics& out = entries_[index(node, other)];
+    const LinkMetrics& in = entries_[index(other, node)];
+    if (out.samples > 0 || in.samples > 0) any_estimate = true;
+    if ((out.samples > 0 && !out.down) || (in.samples > 0 && !in.down)) return true;
+  }
+  // Before any probes have completed, assume up.
+  return !any_estimate;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,52 @@
+// Shared link-state view of the overlay mesh.
+//
+// Every node publishes its outgoing link estimates (loss, latency, down)
+// here; the router composes one-hop paths from two published entries. In
+// the deployed RON system this state is flooded between nodes at the
+// probing frequency; we model dissemination as publication into a shared
+// table. Entries carry their publication time so consumers can apply a
+// staleness bound, and the router's O(N^2) probing overhead is accounted
+// analytically in the model library (see model/overhead.h).
+
+#ifndef RONPATH_OVERLAY_LINK_STATE_H_
+#define RONPATH_OVERLAY_LINK_STATE_H_
+
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+struct LinkMetrics {
+  double loss = 0.0;
+  Duration latency = Duration::max();
+  bool down = false;
+  bool has_latency = false;
+  std::size_t samples = 0;
+  TimePoint published;
+};
+
+class LinkStateTable {
+ public:
+  explicit LinkStateTable(std::size_t n_nodes);
+
+  void publish(NodeId from, NodeId to, const LinkMetrics& metrics);
+  [[nodiscard]] const LinkMetrics& get(NodeId from, NodeId to) const;
+
+  // A node is considered reachable-in-principle if at least one of its
+  // incident links is not down.
+  [[nodiscard]] bool node_seems_up(NodeId node) const;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId from, NodeId to) const;
+
+  std::size_t n_;
+  std::vector<LinkMetrics> entries_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_OVERLAY_LINK_STATE_H_

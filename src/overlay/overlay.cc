@@ -1,0 +1,184 @@
+#include "overlay/overlay.h"
+
+#include <cassert>
+
+namespace ronpath {
+
+OverlayNetwork::OverlayNetwork(Network& net, Scheduler& sched, OverlayConfig cfg, Rng rng)
+    : net_(net),
+      sched_(sched),
+      cfg_(cfg),
+      n_(net.topology().size()),
+      rng_(rng.fork("overlay")),
+      table_(n_) {
+  routers_.reserve(n_);
+  for (NodeId i = 0; i < n_; ++i) {
+    routers_.push_back(std::make_unique<Router>(i, table_, cfg_.router));
+  }
+  links_.resize(n_ * n_);
+  for (NodeId s = 0; s < n_; ++s) {
+    for (NodeId d = 0; d < n_; ++d) {
+      if (s == d) continue;
+      links_[link_index(s, d)] = std::make_unique<LinkEstimator>(EstimatorConfig{
+          cfg_.loss_window, cfg_.use_ewma_loss, cfg_.loss_ewma_alpha, cfg_.lat_alpha});
+    }
+  }
+  host_failures_.reserve(n_);
+  const double per_month = cfg_.host_failures_per_month;
+  for (NodeId i = 0; i < n_; ++i) {
+    const Duration gap = per_month > 0.0
+                             ? Duration::from_seconds_f(30.0 * 86'400.0 / per_month)
+                             : Duration::days(400'000);
+    host_failures_.emplace_back(gap, cfg_.host_failure_mean, 1.0,
+                                rng_.fork("host-failure").fork(i));
+  }
+}
+
+std::size_t OverlayNetwork::link_index(NodeId src, NodeId dst) const {
+  assert(src < n_ && dst < n_ && src != dst);
+  return static_cast<std::size_t>(src) * n_ + dst;
+}
+
+const LinkEstimator& OverlayNetwork::estimator(NodeId src, NodeId dst) const {
+  return *links_[link_index(src, dst)];
+}
+
+std::array<std::int64_t, 6> OverlayNetwork::loss_run_counts() const {
+  std::array<std::int64_t, 6> total{};
+  for (const auto& link : links_) {
+    if (!link) continue;
+    const auto& runs = link->loss_runs();
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += runs[i];
+  }
+  return total;
+}
+
+bool OverlayNetwork::node_up(NodeId node, TimePoint t) {
+  auto& proc = host_failures_[node];
+  proc.generate_until(t + Duration::minutes(1));
+  return !proc.active_at(t);
+}
+
+void OverlayNetwork::start() {
+  if (started_) return;
+  started_ = true;
+  for (NodeId s = 0; s < n_; ++s) {
+    for (NodeId d = 0; d < n_; ++d) {
+      if (s == d) continue;
+      // Stagger initial probes uniformly across the interval so the mesh
+      // does not probe in lockstep.
+      const Duration offset =
+          rng_.fork("stagger").fork(link_index(s, d)).uniform_duration(Duration::zero(),
+                                                                       cfg_.probe_interval);
+      probe_tasks_.push_back(std::make_unique<PeriodicTask>(
+          sched_, cfg_.probe_interval, offset, [this, s, d] { probe_once(s, d); }));
+    }
+  }
+}
+
+void OverlayNetwork::probe_once(NodeId src, NodeId dst) {
+  const TimePoint now = sched_.now();
+  if (!node_up(src, now)) return;  // failed hosts stop probing
+
+  ++probes_sent_;
+  LinkEstimator& est = *links_[link_index(src, dst)];
+
+  // Request leg.
+  const PathSpec fwd{src, dst, kDirectVia};
+  const TransmitResult req = net_.transmit(fwd, now);
+  bool lost = true;
+  Duration rtt = Duration::zero();
+  if (req.delivered && node_up(dst, now + req.latency)) {
+    // Response leg, sent when the request arrives.
+    const PathSpec rev{dst, src, kDirectVia};
+    const TransmitResult resp = net_.transmit(rev, now + req.latency);
+    if (resp.delivered) {
+      rtt = req.latency + resp.latency;
+      lost = rtt > cfg_.probe_timeout;
+    }
+  }
+  est.record_probe(lost, rtt / 2, now);
+  publish(src, dst);
+
+  if (lost && cfg_.followups > 0) {
+    sched_.schedule_after(cfg_.followup_spacing,
+                          [this, src, dst] { send_followup(src, dst, cfg_.followups); });
+  }
+}
+
+void OverlayNetwork::send_followup(NodeId src, NodeId dst, int remaining) {
+  const TimePoint now = sched_.now();
+  LinkEstimator& est = *links_[link_index(src, dst)];
+  bool lost = true;
+  if (node_up(src, now)) {
+    const TransmitResult req = net_.transmit(PathSpec{src, dst, kDirectVia}, now);
+    if (req.delivered && node_up(dst, now + req.latency)) {
+      const TransmitResult resp = net_.transmit(PathSpec{dst, src, kDirectVia},
+                                                now + req.latency);
+      lost = !resp.delivered || (req.latency + resp.latency) > cfg_.probe_timeout;
+    }
+  }
+  est.record_followup(lost, now);
+  publish(src, dst);
+  if (lost && remaining > 1) {
+    sched_.schedule_after(cfg_.followup_spacing,
+                          [this, src, dst, remaining] { send_followup(src, dst, remaining - 1); });
+  }
+}
+
+void OverlayNetwork::publish(NodeId src, NodeId dst) {
+  const LinkEstimator& est = *links_[link_index(src, dst)];
+  LinkMetrics m;
+  m.loss = est.loss();
+  m.latency = est.latency();
+  m.has_latency = est.latency() != Duration::max();
+  m.down = est.down();
+  m.samples = est.samples();
+  m.published = sched_.now();
+  table_.publish(src, dst, m);
+}
+
+PathSpec OverlayNetwork::route(NodeId src, NodeId dst, RouteTag tag) {
+  assert(src != dst && src < n_ && dst < n_);
+  switch (tag) {
+    case RouteTag::kDirect:
+      return PathSpec{src, dst, kDirectVia};
+    case RouteTag::kRand: {
+      const auto candidates = routers_[src]->live_intermediates(dst);
+      if (candidates.empty()) return PathSpec{src, dst, kDirectVia};
+      const auto pick = rng_.next_below(candidates.size());
+      return PathSpec{src, dst, candidates[pick]};
+    }
+    case RouteTag::kLat:
+      return routers_[src]->best_lat_path(dst).path;
+    case RouteTag::kLoss:
+      return routers_[src]->best_loss_path(dst).path;
+  }
+  return PathSpec{src, dst, kDirectVia};
+}
+
+OverlaySendResult OverlayNetwork::send(const PathSpec& path, TimePoint t) {
+  OverlaySendResult r;
+  r.src_up = node_up(path.src, t);
+  if (!path.is_direct()) {
+    // Liveness of the intermediates is checked at (approximately) the
+    // time the packet reaches them; hour-scale failures make the
+    // sub-second approximation immaterial.
+    r.via_up = node_up(path.via, t);
+    if (r.via_up && path.is_two_hop()) r.via_up = node_up(path.via2, t);
+  }
+  if (!r.via_up) {
+    // The packet dies at a dead forwarder; the underlay is not exercised
+    // beyond the first leg. Model as a transmit of the first leg only.
+    r.net = net_.transmit(PathSpec{path.src, path.via, kDirectVia}, t);
+    r.net.delivered = false;
+    return r;
+  }
+  r.net = net_.transmit(path, t);
+  if (r.net.delivered) {
+    r.dst_up = node_up(path.dst, t + r.net.latency);
+  }
+  return r;
+}
+
+}  // namespace ronpath

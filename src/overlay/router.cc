@@ -1,0 +1,156 @@
+#include "overlay/router.h"
+
+#include <cassert>
+
+namespace ronpath {
+namespace {
+
+double link_loss(const LinkMetrics& m) {
+  // Down links lose everything for selection purposes.
+  if (m.down) return 1.0;
+  return m.loss;
+}
+
+Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg) {
+  if (m.down) return cfg.down_penalty;
+  return m.latency;  // Duration::max() when never measured
+}
+
+Duration saturating_add(Duration a, Duration b) {
+  if (a == Duration::max() || b == Duration::max()) return Duration::max();
+  return a + b;
+}
+
+}  // namespace
+
+double path_loss_estimate(const LinkStateTable& table, const PathSpec& path) {
+  if (path.is_direct()) return link_loss(table.get(path.src, path.dst));
+  if (path.is_two_hop()) {
+    const double l1 = link_loss(table.get(path.src, path.via));
+    const double l2 = link_loss(table.get(path.via, path.via2));
+    const double l3 = link_loss(table.get(path.via2, path.dst));
+    return 1.0 - (1.0 - l1) * (1.0 - l2) * (1.0 - l3);
+  }
+  const double l1 = link_loss(table.get(path.src, path.via));
+  const double l2 = link_loss(table.get(path.via, path.dst));
+  return 1.0 - (1.0 - l1) * (1.0 - l2);
+}
+
+Duration path_latency_estimate(const LinkStateTable& table, const PathSpec& path,
+                               const RouterConfig& cfg) {
+  if (path.is_direct()) return link_latency(table.get(path.src, path.dst), cfg);
+  if (path.is_two_hop()) {
+    const Duration d1 = link_latency(table.get(path.src, path.via), cfg);
+    const Duration d2 = link_latency(table.get(path.via, path.via2), cfg);
+    const Duration d3 = link_latency(table.get(path.via2, path.dst), cfg);
+    return saturating_add(saturating_add(saturating_add(d1, d2), d3),
+                          cfg.forward_delay + cfg.forward_delay);
+  }
+  const Duration d1 = link_latency(table.get(path.src, path.via), cfg);
+  const Duration d2 = link_latency(table.get(path.via, path.dst), cfg);
+  return saturating_add(saturating_add(d1, d2), cfg.forward_delay);
+}
+
+bool path_down(const LinkStateTable& table, const PathSpec& path) {
+  if (path.is_direct()) return table.get(path.src, path.dst).down;
+  if (path.is_two_hop()) {
+    return table.get(path.src, path.via).down || table.get(path.via, path.via2).down ||
+           table.get(path.via2, path.dst).down;
+  }
+  return table.get(path.src, path.via).down || table.get(path.via, path.dst).down;
+}
+
+Router::Router(NodeId self, const LinkStateTable& table, RouterConfig cfg)
+    : self_(self), table_(table), cfg_(cfg),
+      loss_incumbent_(table.size()), lat_incumbent_(table.size()) {}
+
+std::vector<NodeId> Router::live_intermediates(NodeId dst) const {
+  std::vector<NodeId> out;
+  out.reserve(table_.size());
+  for (NodeId v = 0; v < table_.size(); ++v) {
+    if (v == self_ || v == dst) continue;
+    if (!table_.node_seems_up(v)) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+PathChoice Router::evaluate_loss(NodeId dst, Incumbent& inc) const {
+  const PathSpec direct{self_, dst, kDirectVia};
+  PathChoice best{direct, path_loss_estimate(table_, direct), Duration::zero()};
+  for (NodeId v : live_intermediates(dst)) {
+    const PathSpec p{self_, dst, v};
+    const double l = path_loss_estimate(table_, p) + cfg_.indirect_loss_penalty;
+    if (l < best.loss) best = PathChoice{p, l, Duration::zero()};
+  }
+
+  // Hysteresis: keep the incumbent while it is close to the best.
+  if (inc.path) {
+    const double inc_loss = path_loss_estimate(table_, *inc.path);
+    if (!path_down(table_, *inc.path) && inc_loss <= best.loss + cfg_.loss_abs_margin) {
+      best = PathChoice{*inc.path, inc_loss, Duration::zero()};
+    }
+  }
+  inc.path = best.path;
+  best.latency = path_latency_estimate(table_, best.path, cfg_);
+  return best;
+}
+
+PathChoice Router::evaluate_lat(NodeId dst, Incumbent& inc) const {
+  const PathSpec direct{self_, dst, kDirectVia};
+  PathChoice best{direct, 0.0, path_latency_estimate(table_, direct, cfg_)};
+  for (NodeId v : live_intermediates(dst)) {
+    const PathSpec p{self_, dst, v};
+    Duration d = path_latency_estimate(table_, p, cfg_);
+    if (d != Duration::max()) d += cfg_.indirect_lat_penalty;
+    if (d < best.latency) best = PathChoice{p, 0.0, d};
+  }
+
+  if (inc.path && best.latency != Duration::max()) {
+    const Duration inc_lat = path_latency_estimate(table_, *inc.path, cfg_);
+    if (!path_down(table_, *inc.path) && inc_lat != Duration::max()) {
+      const auto margin_ns = static_cast<std::int64_t>(
+          static_cast<double>(inc_lat.count_nanos()) * cfg_.lat_rel_margin);
+      const Duration needed = inc_lat - std::max(cfg_.lat_abs_margin, Duration::nanos(margin_ns));
+      if (best.latency >= needed) {
+        best = PathChoice{*inc.path, 0.0, inc_lat};
+      }
+    }
+  }
+  inc.path = best.path;
+  best.loss = path_loss_estimate(table_, best.path);
+  return best;
+}
+
+PathChoice Router::best_loss_path_two_hop(NodeId dst) const {
+  assert(dst < table_.size() && dst != self_);
+  const PathSpec direct{self_, dst, kDirectVia};
+  PathChoice best{direct, path_loss_estimate(table_, direct), Duration::zero()};
+  const auto vias = live_intermediates(dst);
+  for (NodeId v1 : vias) {
+    const PathSpec one{self_, dst, v1};
+    const double l1 = path_loss_estimate(table_, one) + cfg_.indirect_loss_penalty;
+    if (l1 < best.loss) best = PathChoice{one, l1, Duration::zero()};
+    for (NodeId v2 : vias) {
+      if (v2 == v1) continue;
+      const PathSpec two{self_, dst, v1, v2};
+      // A second forwarding hop costs a second penalty.
+      const double l2 = path_loss_estimate(table_, two) + 2.0 * cfg_.indirect_loss_penalty;
+      if (l2 < best.loss) best = PathChoice{two, l2, Duration::zero()};
+    }
+  }
+  best.latency = path_latency_estimate(table_, best.path, cfg_);
+  return best;
+}
+
+PathChoice Router::best_loss_path(NodeId dst) {
+  assert(dst < table_.size() && dst != self_);
+  return evaluate_loss(dst, loss_incumbent_[dst]);
+}
+
+PathChoice Router::best_lat_path(NodeId dst) {
+  assert(dst < table_.size() && dst != self_);
+  return evaluate_lat(dst, lat_incumbent_[dst]);
+}
+
+}  // namespace ronpath

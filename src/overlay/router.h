@@ -1,0 +1,101 @@
+// One-hop overlay path selection (the paper's reactive routing).
+//
+// For a source-destination pair the candidate set is the direct Internet
+// path plus every one-intermediate path through a node that currently
+// seems up. Two objectives are provided, matching Table 4:
+//
+//   loss - minimize composed loss probability over the last-100-probe
+//          window estimates;
+//   lat  - minimize composed latency while avoiding links flagged down
+//          ("minimizes latency and avoids completely failed links").
+//
+// Selection applies hysteresis so estimate noise does not flap routes:
+// the incumbent path is kept unless the challenger improves on it by an
+// absolute and a relative margin.
+
+#ifndef RONPATH_OVERLAY_ROUTER_H_
+#define RONPATH_OVERLAY_ROUTER_H_
+
+#include <optional>
+#include <vector>
+
+#include "overlay/link_state.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+struct RouterConfig {
+  // Loss hysteresis: switch only if challenger_loss <
+  // incumbent_loss - abs_margin  (or incumbent went down).
+  double loss_abs_margin = 0.01;
+  // Direct-path preference: an indirect path must beat the direct path's
+  // loss estimate by this margin to be selected at all. Suppresses
+  // noise-driven detours onto structurally lossier two-hop paths.
+  double indirect_loss_penalty = 0.03;
+  // Same idea for the latency objective.
+  Duration indirect_lat_penalty = Duration::millis(1);
+  // Latency hysteresis: switch only if challenger latency is better by
+  // both margins.
+  Duration lat_abs_margin = Duration::millis(2);
+  double lat_rel_margin = 0.05;
+  // Penalty latency assigned to down links in latency composition.
+  Duration down_penalty = Duration::seconds(10);
+  // Extra per-hop forwarding latency assumed for indirect paths.
+  Duration forward_delay = Duration::micros(300);
+};
+
+struct PathChoice {
+  PathSpec path;
+  double loss = 0.0;
+  Duration latency = Duration::zero();
+};
+
+// Stateless evaluation helpers -------------------------------------------
+
+// Composed one-way loss estimate of a path under the table's current view.
+// Handles direct, one-hop and two-hop paths.
+[[nodiscard]] double path_loss_estimate(const LinkStateTable& table, const PathSpec& path);
+// Composed one-way latency estimate; Duration::max() when unknown.
+[[nodiscard]] Duration path_latency_estimate(const LinkStateTable& table, const PathSpec& path,
+                                             const RouterConfig& cfg);
+// True if any link of the path is flagged down.
+[[nodiscard]] bool path_down(const LinkStateTable& table, const PathSpec& path);
+
+// Stateful per-source router with hysteresis ------------------------------
+
+class Router {
+ public:
+  Router(NodeId self, const LinkStateTable& table, RouterConfig cfg);
+
+  // Best path choices under each objective; re-evaluated on demand.
+  [[nodiscard]] PathChoice best_loss_path(NodeId dst);
+  [[nodiscard]] PathChoice best_lat_path(NodeId dst);
+
+  // Scaling extension: best loss path allowing up to two intermediates
+  // (the paper's one-intermediate router generalized). O(N^2) per call
+  // and stateless (no hysteresis); intended for analysis and ablations,
+  // not the per-packet fast path.
+  [[nodiscard]] PathChoice best_loss_path_two_hop(NodeId dst) const;
+
+  // Candidate intermediates that currently seem up (excludes self, dst).
+  [[nodiscard]] std::vector<NodeId> live_intermediates(NodeId dst) const;
+
+ private:
+  struct Incumbent {
+    std::optional<PathSpec> path;
+  };
+
+  [[nodiscard]] PathChoice evaluate_loss(NodeId dst, Incumbent& inc) const;
+  [[nodiscard]] PathChoice evaluate_lat(NodeId dst, Incumbent& inc) const;
+
+  NodeId self_;
+  const LinkStateTable& table_;
+  RouterConfig cfg_;
+  std::vector<Incumbent> loss_incumbent_;  // per destination
+  std::vector<Incumbent> lat_incumbent_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_OVERLAY_ROUTER_H_

@@ -1,0 +1,101 @@
+#include "routing/hybrid.h"
+
+#include <cassert>
+
+#include "overlay/router.h"
+
+namespace ronpath {
+
+std::string_view to_string(HybridMode mode) {
+  switch (mode) {
+    case HybridMode::kBestPath: return "best-path";
+    case HybridMode::kAlwaysDuplicate: return "always-duplicate";
+    case HybridMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+HybridSender::HybridSender(OverlayNetwork& overlay, HybridConfig cfg, Rng rng)
+    : overlay_(overlay), cfg_(cfg), rng_(rng.fork("hybrid")) {}
+
+PathSpec HybridSender::alternate_path(NodeId src, NodeId dst, const PathSpec& primary) {
+  // Best loss-estimate path whose intermediate differs from the primary's
+  // (and from the direct path when the primary is direct: true one-hop
+  // disjointness beyond the unavoidable shared edges).
+  const LinkStateTable& table = overlay_.table();
+  PathSpec best{src, dst, kDirectVia};
+  double best_loss = 2.0;
+  if (!primary.is_direct()) {
+    // Direct is available as the alternate.
+    best_loss = path_loss_estimate(table, best);
+  }
+  for (NodeId v : overlay_.router(src).live_intermediates(dst)) {
+    if (!primary.is_direct() && v == primary.via) continue;
+    const PathSpec p{src, dst, v};
+    const double l = path_loss_estimate(table, p);
+    if (l < best_loss) {
+      best_loss = l;
+      best = p;
+    }
+  }
+  if (best_loss > 1.5) {
+    // No candidate at all (tiny overlays): fall back to a random pick.
+    return overlay_.route(src, dst, RouteTag::kRand);
+  }
+  return best;
+}
+
+HybridOutcome HybridSender::send(NodeId src, NodeId dst, TimePoint now) {
+  assert(src != dst);
+  ++packets_;
+
+  const PathChoice primary = overlay_.router(src).best_loss_path(dst);
+  HybridOutcome out;
+  out.probe.scheme = PairScheme::kLatLoss;  // closest registry label
+  out.probe.probe_id = rng_.next_u64();
+  out.probe.src = src;
+  out.probe.dst = dst;
+
+  CopyOutcome first;
+  first.tag = RouteTag::kLoss;
+  first.path = primary.path;
+  first.sent = now;
+  first.result = overlay_.send(primary.path, now);
+  out.probe.copies.push_back(first);
+  ++copies_;
+
+  bool duplicate = false;
+  switch (cfg_.mode) {
+    case HybridMode::kBestPath:
+      break;
+    case HybridMode::kAlwaysDuplicate:
+      duplicate = true;
+      break;
+    case HybridMode::kAdaptive: {
+      duplicate = primary.loss >= cfg_.duplicate_threshold;
+      if (!duplicate && cfg_.duplicate_on_down) {
+        duplicate = path_down(overlay_.table(), primary.path);
+      }
+      break;
+    }
+  }
+
+  if (duplicate) {
+    CopyOutcome second;
+    second.tag = RouteTag::kRand;
+    second.path = alternate_path(src, dst, primary.path);
+    second.sent = now;
+    second.result = overlay_.send(second.path, now);
+    out.probe.copies.push_back(second);
+    ++copies_;
+    ++duplicated_;
+    out.duplicated = true;
+  }
+  return out;
+}
+
+double HybridSender::overhead_factor() const {
+  return packets_ > 0 ? static_cast<double>(copies_) / static_cast<double>(packets_) : 1.0;
+}
+
+}  // namespace ronpath

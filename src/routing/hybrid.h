@@ -1,0 +1,88 @@
+// Hybrid reactive + redundant routing (the paper's Sections 5.3 and 6).
+//
+// The paper frames application design as allocating a bandwidth budget
+// between probing and duplication, and closes by asking "what
+// combinations of these methods prove to be sweet spots". This module
+// implements that exploration as a library policy:
+//
+//   kBestPath       - always send one copy on the loss-optimized path
+//                     (pure reactive; overhead 1x + probing).
+//   kAlwaysDuplicate- always send two copies: loss-optimized + disjoint
+//                     alternate (pure mesh on selected paths; 2x).
+//   kAdaptive       - duplicate only when the routing state says it is
+//                     worth it: the best path's loss estimate exceeds
+//                     `duplicate_threshold`, or the destination's links
+//                     look unstable (recent down flags). Overhead floats
+//                     between 1x and 2x with network conditions, which is
+//                     exactly the knob Figure 6's capacity limits are
+//                     about.
+//
+// The second copy avoids the first copy's intermediate (and the direct
+// path if the first copy is indirect), maximizing component disjointness
+// under the one-hop constraint.
+
+#ifndef RONPATH_ROUTING_HYBRID_H_
+#define RONPATH_ROUTING_HYBRID_H_
+
+#include <cstdint>
+
+#include "overlay/overlay.h"
+#include "routing/multipath.h"
+#include "util/rng.h"
+
+namespace ronpath {
+
+enum class HybridMode : std::uint8_t {
+  kBestPath,
+  kAlwaysDuplicate,
+  kAdaptive,
+};
+
+[[nodiscard]] std::string_view to_string(HybridMode mode);
+
+struct HybridConfig {
+  HybridMode mode = HybridMode::kAdaptive;
+  // Adaptive: duplicate when the chosen path's composed loss estimate is
+  // at or above this.
+  double duplicate_threshold = 0.01;
+  // Adaptive: also duplicate when any link of the chosen path is flagged
+  // down (an outage is in progress; the estimate lags).
+  bool duplicate_on_down = true;
+};
+
+struct HybridOutcome {
+  ProbeOutcome probe;       // copies actually sent (1 or 2)
+  bool duplicated = false;  // second copy was sent
+
+  [[nodiscard]] bool delivered() const { return probe.any_delivered(); }
+};
+
+class HybridSender {
+ public:
+  HybridSender(OverlayNetwork& overlay, HybridConfig cfg, Rng rng);
+
+  // Sends one application packet from src to dst at `now` under the
+  // configured policy.
+  HybridOutcome send(NodeId src, NodeId dst, TimePoint now);
+
+  // Overhead accounting: copies sent per application packet so far.
+  [[nodiscard]] double overhead_factor() const;
+  [[nodiscard]] std::int64_t packets() const { return packets_; }
+  [[nodiscard]] std::int64_t copies() const { return copies_; }
+  [[nodiscard]] std::int64_t duplicated() const { return duplicated_; }
+
+ private:
+  // Chooses the alternate path for the second copy: best disjoint via.
+  [[nodiscard]] PathSpec alternate_path(NodeId src, NodeId dst, const PathSpec& primary);
+
+  OverlayNetwork& overlay_;
+  HybridConfig cfg_;
+  Rng rng_;
+  std::int64_t packets_ = 0;
+  std::int64_t copies_ = 0;
+  std::int64_t duplicated_ = 0;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_ROUTING_HYBRID_H_

@@ -1,0 +1,51 @@
+#include "routing/multipath.h"
+
+#include <cassert>
+
+namespace ronpath {
+
+bool ProbeOutcome::any_delivered() const {
+  for (const auto& c : copies) {
+    if (c.delivered()) return true;
+  }
+  return false;
+}
+
+TimePoint ProbeOutcome::first_arrival() const {
+  TimePoint best = TimePoint::max();
+  for (const auto& c : copies) {
+    if (c.delivered() && c.arrival() < best) best = c.arrival();
+  }
+  return best;
+}
+
+MultipathSender::MultipathSender(OverlayNetwork& overlay, Rng rng)
+    : overlay_(overlay), rng_(rng.fork("multipath")) {}
+
+ProbeOutcome MultipathSender::send(PairScheme scheme, NodeId src, NodeId dst, TimePoint now) {
+  const SchemeSpec& spec = scheme_spec(scheme);
+  ProbeOutcome out;
+  out.scheme = scheme;
+  out.probe_id = rng_.next_u64();
+  out.src = src;
+  out.dst = dst;
+
+  CopyOutcome first;
+  first.tag = spec.first;
+  first.path = overlay_.route(src, dst, spec.first);
+  first.sent = now;
+  first.result = overlay_.send(first.path, now);
+  out.copies.push_back(first);
+
+  if (spec.two_packets()) {
+    CopyOutcome second;
+    second.tag = *spec.second;
+    second.path = spec.second_same_path ? first.path : overlay_.route(src, dst, *spec.second);
+    second.sent = now + spec.gap;
+    second.result = overlay_.send(second.path, second.sent);
+    out.copies.push_back(second);
+  }
+  return out;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,61 @@
+// Multipath packet emission: resolves a scheme's copies to overlay paths
+// and transmits them, reporting per-copy outcomes.
+//
+// This is both the data plane used by the examples (2-redundant mesh
+// routing of Section 3.2) and the probe emitter used by the measurement
+// driver - the paper's probes *are* packets routed by these schemes.
+
+#ifndef RONPATH_ROUTING_MULTIPATH_H_
+#define RONPATH_ROUTING_MULTIPATH_H_
+
+#include <vector>
+
+#include "overlay/overlay.h"
+#include "routing/schemes.h"
+#include "util/rng.h"
+#include "wire/packet.h"
+
+namespace ronpath {
+
+struct CopyOutcome {
+  RouteTag tag = RouteTag::kDirect;
+  PathSpec path;
+  TimePoint sent;
+  OverlaySendResult result;
+
+  [[nodiscard]] bool delivered() const { return result.delivered(); }
+  // Arrival time; only meaningful when delivered.
+  [[nodiscard]] TimePoint arrival() const { return sent + result.net.latency; }
+  [[nodiscard]] Duration one_way() const { return result.net.latency; }
+};
+
+struct ProbeOutcome {
+  PairScheme scheme = PairScheme::kDirect;
+  std::uint64_t probe_id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  // One entry per transmitted copy (1 or 2).
+  std::vector<CopyOutcome> copies;
+
+  // Probe delivered iff any copy reached a live destination.
+  [[nodiscard]] bool any_delivered() const;
+  // Earliest arrival among delivered copies.
+  [[nodiscard]] TimePoint first_arrival() const;
+};
+
+class MultipathSender {
+ public:
+  MultipathSender(OverlayNetwork& overlay, Rng rng);
+
+  // Sends one probe/packet group under `scheme` from src to dst at `now`.
+  // Copy paths are resolved through the overlay's current routing state.
+  ProbeOutcome send(PairScheme scheme, NodeId src, NodeId dst, TimePoint now);
+
+ private:
+  OverlayNetwork& overlay_;
+  Rng rng_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_ROUTING_MULTIPATH_H_

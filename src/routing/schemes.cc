@@ -1,0 +1,98 @@
+#include "routing/schemes.h"
+
+#include <array>
+#include <cassert>
+
+namespace ronpath {
+namespace {
+
+constexpr std::size_t kSchemeCount = 14;
+
+constexpr std::array<SchemeSpec, kSchemeCount> kSpecs = [] {
+  std::array<SchemeSpec, kSchemeCount> s{};
+
+  auto set = [&s](PairScheme scheme, std::string_view name, RouteTag first,
+                  std::optional<RouteTag> second = std::nullopt,
+                  Duration gap = Duration::zero(), bool same_path = false) {
+    auto& e = s[static_cast<std::size_t>(scheme)];
+    e = SchemeSpec{scheme, name, first, second, gap, same_path};
+  };
+
+  set(PairScheme::kDirect, "direct", RouteTag::kDirect);
+  set(PairScheme::kLat, "lat", RouteTag::kLat);
+  set(PairScheme::kLoss, "loss", RouteTag::kLoss);
+  set(PairScheme::kDirectRand, "direct rand", RouteTag::kDirect, RouteTag::kRand);
+  // Table 5 footnote: lat* is inferred from the first packet of lat loss,
+  // so the first copy is routed by the latency tactic.
+  set(PairScheme::kLatLoss, "lat loss", RouteTag::kLat, RouteTag::kLoss);
+  set(PairScheme::kDirectDirect, "direct direct", RouteTag::kDirect, RouteTag::kDirect,
+      Duration::zero(), true);
+  set(PairScheme::kDd10ms, "dd 10 ms", RouteTag::kDirect, RouteTag::kDirect,
+      Duration::millis(10), true);
+  set(PairScheme::kDd20ms, "dd 20 ms", RouteTag::kDirect, RouteTag::kDirect,
+      Duration::millis(20), true);
+  set(PairScheme::kRand, "rand", RouteTag::kRand);
+  set(PairScheme::kRandRand, "rand rand", RouteTag::kRand, RouteTag::kRand);
+  set(PairScheme::kDirectLat, "direct lat", RouteTag::kDirect, RouteTag::kLat);
+  set(PairScheme::kDirectLoss, "direct loss", RouteTag::kDirect, RouteTag::kLoss);
+  set(PairScheme::kRandLat, "rand lat", RouteTag::kRand, RouteTag::kLat);
+  set(PairScheme::kRandLoss, "rand loss", RouteTag::kRand, RouteTag::kLoss);
+  return s;
+}();
+
+constexpr std::array<PairScheme, 6> kRon2003Probes = {
+    PairScheme::kLoss,         PairScheme::kDirectRand, PairScheme::kLatLoss,
+    PairScheme::kDirectDirect, PairScheme::kDd10ms,     PairScheme::kDd20ms,
+};
+
+constexpr std::array<PairScheme, 12> kRonwideProbes = {
+    PairScheme::kDirect,     PairScheme::kRand,       PairScheme::kLat,
+    PairScheme::kLoss,       PairScheme::kDirectDirect, PairScheme::kRandRand,
+    PairScheme::kDirectRand, PairScheme::kDirectLat,  PairScheme::kDirectLoss,
+    PairScheme::kRandLat,    PairScheme::kRandLoss,   PairScheme::kLatLoss,
+};
+
+constexpr std::array<PairScheme, 3> kRonnarrowProbes = {
+    PairScheme::kLoss,
+    PairScheme::kDirectRand,
+    PairScheme::kLatLoss,
+};
+
+// Table 5 (2003) row order.
+constexpr std::array<PairScheme, 8> kRon2003Rows = {
+    PairScheme::kDirect,     PairScheme::kLat,          PairScheme::kLoss,
+    PairScheme::kDirectRand, PairScheme::kLatLoss,      PairScheme::kDirectDirect,
+    PairScheme::kDd10ms,     PairScheme::kDd20ms,
+};
+
+// Table 7 row order.
+constexpr std::array<PairScheme, 12> kRonwideRows = kRonwideProbes;
+
+}  // namespace
+
+const SchemeSpec& scheme_spec(PairScheme scheme) {
+  const auto idx = static_cast<std::size_t>(scheme);
+  assert(idx < kSchemeCount);
+  return kSpecs[idx];
+}
+
+std::span<const SchemeSpec> all_schemes() { return kSpecs; }
+
+std::span<const PairScheme> ron2003_probe_set() { return kRon2003Probes; }
+std::span<const PairScheme> ronwide_probe_set() { return kRonwideProbes; }
+std::span<const PairScheme> ronnarrow_probe_set() { return kRonnarrowProbes; }
+std::span<const PairScheme> ron2003_report_rows() { return kRon2003Rows; }
+std::span<const PairScheme> ronwide_report_rows() { return kRonwideRows; }
+
+std::optional<PairScheme> inference_source(PairScheme row) {
+  // direct* from the first copy of direct rand (also carried by the dd
+  // family; direct rand is the paper's stated source), lat* from the
+  // first copy of lat loss.
+  switch (row) {
+    case PairScheme::kDirect: return PairScheme::kDirectRand;
+    case PairScheme::kLat: return PairScheme::kLatLoss;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace ronpath

@@ -1,0 +1,65 @@
+// Registry of the probe/routing schemes measured in the paper.
+//
+// A scheme (Table 4 caption) is one or two packets, each routed by a
+// per-copy tactic: direct / rand / lat / loss, with an optional temporal
+// gap between the copies (dd 10 ms / dd 20 ms) and, for the direct direct
+// family, the constraint that the second copy reuses the first copy's
+// path. Which schemes were probed differs per dataset:
+//   RON2003   - six probe sets (direct rand, lat loss, direct direct,
+//               dd 10 ms, dd 20 ms, loss); direct* and lat* rows are
+//               inferred from first copies (Table 5 footnote).
+//   RONwide   - the expanded 12-method set of Table 7, round-trip probes.
+//   RONnarrow - the three most promising methods (loss, direct rand,
+//               lat loss), frequent one-way probes.
+
+#ifndef RONPATH_ROUTING_SCHEMES_H_
+#define RONPATH_ROUTING_SCHEMES_H_
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "util/time.h"
+#include "wire/packet.h"
+
+namespace ronpath {
+
+struct SchemeSpec {
+  PairScheme scheme = PairScheme::kDirect;
+  std::string_view name;
+  RouteTag first = RouteTag::kDirect;
+  // Present only for two-packet schemes.
+  std::optional<RouteTag> second;
+  // Delay between the two copies (zero = back-to-back).
+  Duration gap = Duration::zero();
+  // Second copy reuses the exact path of the first (direct direct / dd *).
+  bool second_same_path = false;
+
+  [[nodiscard]] bool two_packets() const { return second.has_value(); }
+  // Bandwidth overhead factor relative to a single packet.
+  [[nodiscard]] double redundancy() const { return two_packets() ? 2.0 : 1.0; }
+};
+
+// Spec lookup; valid for every PairScheme enumerator.
+[[nodiscard]] const SchemeSpec& scheme_spec(PairScheme scheme);
+
+// All schemes, in enumerator order.
+[[nodiscard]] std::span<const SchemeSpec> all_schemes();
+
+// The probe sets of the three datasets (see Table 3).
+[[nodiscard]] std::span<const PairScheme> ron2003_probe_set();
+[[nodiscard]] std::span<const PairScheme> ronwide_probe_set();
+[[nodiscard]] std::span<const PairScheme> ronnarrow_probe_set();
+
+// The rows reported for each dataset's table (probed schemes plus the
+// single-packet rows inferred from first copies).
+[[nodiscard]] std::span<const PairScheme> ron2003_report_rows();
+[[nodiscard]] std::span<const PairScheme> ronwide_report_rows();
+
+// Scheme whose first copy infers the given single-packet row, if the row
+// itself is not probed directly (Table 5's asterisked rows).
+[[nodiscard]] std::optional<PairScheme> inference_source(PairScheme row);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_ROUTING_SCHEMES_H_

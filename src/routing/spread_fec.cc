@@ -1,0 +1,92 @@
+#include "routing/spread_fec.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ronpath {
+
+std::string_view to_string(FecStriping striping) {
+  switch (striping) {
+    case FecStriping::kSinglePath: return "single-path";
+    case FecStriping::kAlternating: return "alternating";
+    case FecStriping::kParityDetour: return "parity-detour";
+  }
+  return "?";
+}
+
+SpreadFecChannel::SpreadFecChannel(OverlayNetwork& overlay, Scheduler& sched, NodeId src,
+                                   NodeId dst, SpreadFecConfig cfg, Rng rng)
+    : overlay_(overlay),
+      sched_(sched),
+      src_(src),
+      dst_(dst),
+      cfg_(cfg),
+      rng_(rng.fork("spread-fec")),
+      encoder_(cfg.data_shards, cfg.parity_shards),
+      decoder_(cfg.data_shards, cfg.parity_shards) {
+  assert(src != dst);
+  last_tx_ = sched_.now();
+}
+
+PathSpec SpreadFecChannel::path_for(const FecShard& shard) {
+  const bool parity = shard.is_parity(cfg_.data_shards);
+  switch (cfg_.striping) {
+    case FecStriping::kSinglePath:
+      return PathSpec{src_, dst_, kDirectVia};
+    case FecStriping::kAlternating:
+      if (shard.index % 2 == 0) return PathSpec{src_, dst_, kDirectVia};
+      return overlay_.route(src_, dst_, RouteTag::kLoss);
+    case FecStriping::kParityDetour:
+      if (!parity) return PathSpec{src_, dst_, kDirectVia};
+      return overlay_.route(src_, dst_, RouteTag::kRand);
+  }
+  return PathSpec{src_, dst_, kDirectVia};
+}
+
+void SpreadFecChannel::transmit_shard(const FecShard& shard) {
+  ++stats_.shards_sent;
+  const PathSpec path = path_for(shard);
+  const OverlaySendResult sent = overlay_.send(path, sched_.now());
+  if (!sent.delivered()) {
+    ++stats_.shards_lost;
+    return;
+  }
+  const auto recovered = decoder_.push(shard);
+  for (const auto& payload : recovered) {
+    (void)payload;
+    ++stats_.delivered;
+  }
+  stats_.reconstructed = decoder_.reconstructed();
+}
+
+void SpreadFecChannel::dispatch(FecShard shard) {
+  if (!shard.is_parity(cfg_.data_shards)) {
+    // Data goes out with the stream ("standard codes": originals first,
+    // no added latency in the no-loss case).
+    last_tx_ = std::max(last_tx_, sched_.now());
+    transmit_shard(shard);
+    return;
+  }
+  // Parity shard j of the just-completed block is delayed by
+  // parity_spread * (j + 1) past the block's last data transmission.
+  const std::size_t j = shard.index - cfg_.data_shards;
+  const TimePoint at =
+      sched_.now() + cfg_.parity_spread * static_cast<std::int64_t>(j + 1);
+  last_tx_ = std::max(last_tx_, at);
+  sched_.schedule_at(at, [this, s = std::move(shard)] { transmit_shard(s); });
+}
+
+void SpreadFecChannel::send(std::vector<std::uint8_t> payload) {
+  ++stats_.payloads;
+  for (auto& shard : encoder_.push(std::move(payload))) {
+    dispatch(std::move(shard));
+  }
+}
+
+void SpreadFecChannel::flush() {
+  for (auto& shard : encoder_.flush()) {
+    dispatch(std::move(shard));
+  }
+}
+
+}  // namespace ronpath

@@ -1,0 +1,103 @@
+// Spread FEC over the overlay (Section 5.2, operationalized).
+//
+// The paper argues that same-path FEC must spread its protection
+// information over hundreds of milliseconds to escape burst correlation
+// ("the FEC information must be spread out by nearly half a second"),
+// and that path diversity is the alternative. SpreadFecChannel
+// implements both axes as a sending strategy over the overlay:
+//
+//   parity_spread - how long after its block's last data packet each
+//                   parity shard is transmitted (temporal
+//                   de-correlation; costs exactly that much recovery
+//                   latency, the trade-off of Section 5.2),
+//   striping      - which overlay path each shard takes:
+//       kSinglePath   : everything on the direct path (the strawman),
+//       kAlternating  : even shards direct, odd shards on the current
+//                       loss-optimized alternate (path diversity),
+//       kParityDetour : data direct (no added latency in the no-loss
+//                       case), parity through a random intermediate.
+//
+// Data shards are transmitted immediately at the stream's own pace
+// ("standard codes": originals first). The channel couples a FecEncoder
+// on the source with a FecDecoder on the destination and runs parity
+// transmissions through the scheduler so the spread interacts faithfully
+// with the underlay's burst timelines.
+
+#ifndef RONPATH_ROUTING_SPREAD_FEC_H_
+#define RONPATH_ROUTING_SPREAD_FEC_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "event/scheduler.h"
+#include "fec/packet_fec.h"
+#include "overlay/overlay.h"
+#include "util/rng.h"
+
+namespace ronpath {
+
+enum class FecStriping : std::uint8_t {
+  kSinglePath,
+  kAlternating,
+  kParityDetour,
+};
+
+[[nodiscard]] std::string_view to_string(FecStriping striping);
+
+struct SpreadFecConfig {
+  std::size_t data_shards = 5;    // k
+  std::size_t parity_shards = 1;  // m
+  // Delay of parity shard j past its block's last data transmission:
+  // parity_spread * (j + 1).
+  Duration parity_spread = Duration::zero();
+  FecStriping striping = FecStriping::kSinglePath;
+};
+
+class SpreadFecChannel {
+ public:
+  SpreadFecChannel(OverlayNetwork& overlay, Scheduler& sched, NodeId src, NodeId dst,
+                   SpreadFecConfig cfg, Rng rng);
+
+  // Transmits one application payload now (plus, on block completion,
+  // its block's parity shards after the configured spread).
+  void send(std::vector<std::uint8_t> payload);
+
+  // Pads and emits the final partial block.
+  void flush();
+
+  // Statistics (valid once the scheduler has run past the last shard).
+  struct Stats {
+    std::int64_t payloads = 0;       // application payloads submitted
+    std::int64_t shards_sent = 0;
+    std::int64_t shards_lost = 0;    // lost on the wire
+    std::int64_t delivered = 0;      // payloads that reached the app
+    std::int64_t reconstructed = 0;  // of those, recovered via parity
+    [[nodiscard]] double delivery_rate() const {
+      return payloads > 0 ? static_cast<double>(delivered) / static_cast<double>(payloads)
+                          : 0.0;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  // Time the last scheduled shard will have been sent.
+  [[nodiscard]] TimePoint last_tx_time() const { return last_tx_; }
+
+ private:
+  void transmit_shard(const FecShard& shard);
+  void dispatch(FecShard shard);
+  [[nodiscard]] PathSpec path_for(const FecShard& shard);
+
+  OverlayNetwork& overlay_;
+  Scheduler& sched_;
+  NodeId src_;
+  NodeId dst_;
+  SpreadFecConfig cfg_;
+  Rng rng_;
+  FecEncoder encoder_;
+  FecDecoder decoder_;
+  TimePoint last_tx_;
+  Stats stats_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_ROUTING_SPREAD_FEC_H_

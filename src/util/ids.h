@@ -1,0 +1,40 @@
+// Identifiers shared across the ronpath libraries.
+
+#ifndef RONPATH_UTIL_IDS_H_
+#define RONPATH_UTIL_IDS_H_
+
+#include <cstdint>
+
+namespace ronpath {
+
+// Overlay node identifier; dense index into the testbed host table.
+using NodeId = std::uint16_t;
+inline constexpr NodeId kInvalidNode = 0xFFFF;
+// "via" value meaning a packet takes the direct Internet path.
+inline constexpr NodeId kDirectVia = 0xFFFE;
+
+// An overlay path with up to two intermediates: direct when via ==
+// kDirectVia; src -> via -> dst; or src -> via -> via2 -> dst. The
+// paper's reactive router considers at most one intermediate ("a
+// generalized scheme would also need to choose the sets of nodes");
+// two-hop paths are provided for the scaling extension and ablations.
+struct PathSpec {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  NodeId via = kDirectVia;
+  NodeId via2 = kDirectVia;  // only meaningful when via is set
+
+  [[nodiscard]] constexpr bool is_direct() const { return via == kDirectVia; }
+  [[nodiscard]] constexpr bool is_two_hop() const {
+    return via != kDirectVia && via2 != kDirectVia;
+  }
+  // Number of overlay forwarding hops (0, 1 or 2).
+  [[nodiscard]] constexpr int intermediates() const {
+    return (via != kDirectVia ? 1 : 0) + (via2 != kDirectVia ? 1 : 0);
+  }
+  friend constexpr bool operator==(const PathSpec&, const PathSpec&) = default;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_UTIL_IDS_H_

@@ -1,0 +1,144 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ronpath {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  align_.assign(headers_.size(), Align::kRight);
+  if (!align_.empty()) align_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  assert(column < align_.size());
+  align_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string TextTable::opt_num(bool present, double v, int precision) {
+  return present ? num(v, precision) : std::string("-");
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      const auto pad = widths[c] - cells[c].size();
+      if (align_[c] == Align::kRight) os << std::string(pad, ' ') << cells[c];
+      else os << cells[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    const std::string& f = cells[i];
+    const bool needs_quote = f.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+      os_ << f;
+    } else {
+      os_ << '"';
+      for (char ch : f) {
+        if (ch == '"') os_ << "\"\"";
+        else os_ << ch;
+      }
+      os_ << '"';
+    }
+  }
+  os_ << '\n';
+}
+
+void plot_ascii(std::ostream& os, const std::vector<AsciiSeries>& series, double y_lo,
+                double y_hi, std::size_t width, std::size_t height, std::string_view x_label,
+                std::string_view y_label) {
+  if (series.empty() || width < 8 || height < 4) return;
+  static constexpr char kGlyphs[] = "*+ox#@%&";
+  double x_lo = 0.0;
+  double x_hi = 1.0;
+  bool have_x = false;
+  for (const auto& s : series) {
+    for (double x : s.xs) {
+      if (!have_x) {
+        x_lo = x_hi = x;
+        have_x = true;
+      } else {
+        x_lo = std::min(x_lo, x);
+        x_hi = std::max(x_hi, x);
+      }
+    }
+  }
+  if (!have_x || x_hi <= x_lo) x_hi = x_lo + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof kGlyphs - 1)];
+    const auto& s = series[si];
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xf = (s.xs[i] - x_lo) / (x_hi - x_lo);
+      const double yf = (s.ys[i] - y_lo) / (y_hi - y_lo);
+      if (yf < 0.0 || yf > 1.0) continue;
+      auto col = static_cast<std::size_t>(xf * static_cast<double>(width - 1));
+      auto row = static_cast<std::size_t>((1.0 - yf) * static_cast<double>(height - 1));
+      grid[row][col] = glyph;
+    }
+  }
+
+  if (!y_label.empty()) os << y_label << '\n';
+  char buf[32];
+  for (std::size_t r = 0; r < height; ++r) {
+    const double yv = y_hi - (y_hi - y_lo) * static_cast<double>(r) / static_cast<double>(height - 1);
+    std::snprintf(buf, sizeof buf, "%8.3g |", yv);
+    os << buf << grid[r] << '\n';
+  }
+  os << std::string(10, ' ') << std::string(width, '-') << '\n';
+  std::snprintf(buf, sizeof buf, "%-10.4g", x_lo);
+  os << std::string(10, ' ') << buf;
+  std::snprintf(buf, sizeof buf, "%10.4g", x_hi);
+  os << std::string(width > 30 ? width - 20 : 0, ' ') << buf;
+  if (!x_label.empty()) os << "  " << x_label;
+  os << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  '" << kGlyphs[si % (sizeof kGlyphs - 1)] << "' = " << series[si].name << '\n';
+  }
+}
+
+}  // namespace ronpath

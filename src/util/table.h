@@ -1,0 +1,72 @@
+// Plain-text and CSV table rendering for bench/report output.
+//
+// The bench binaries print the paper's tables; TextTable handles column
+// sizing and alignment so the printed output is directly comparable to the
+// rows in the paper. CsvWriter emits the same data machine-readably for
+// plotting (Figures 2-6 are emitted as CSV series plus an ASCII preview).
+
+#ifndef RONPATH_UTIL_TABLE_H_
+#define RONPATH_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ronpath {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  // Column headers; every row must have the same arity.
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Alignment defaults to left for column 0, right otherwise; override here.
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience for mixed content; formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string num(std::int64_t v);
+  // Renders "-" for missing values, matching the paper's tables.
+  [[nodiscard]] static std::string opt_num(bool present, double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  // Writes one row; fields containing commas/quotes/newlines are quoted.
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+// ASCII rendering of a CDF curve so figure benches are readable in a
+// terminal without a plotting toolchain.
+struct AsciiSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+// Plots y in [y_lo, y_hi] against x in [min xs, max xs] on a width x height
+// character grid; one glyph per series.
+void plot_ascii(std::ostream& os, const std::vector<AsciiSeries>& series, double y_lo,
+                double y_hi, std::size_t width = 72, std::size_t height = 20,
+                std::string_view x_label = "", std::string_view y_label = "");
+
+}  // namespace ronpath
+
+#endif  // RONPATH_UTIL_TABLE_H_

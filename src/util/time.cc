@@ -1,0 +1,44 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ronpath {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  if (abs_ns >= 86'400e9) {
+    std::snprintf(buf, sizeof buf, "%.3gd", static_cast<double>(ns_) / 86'400e9);
+  } else if (abs_ns >= 3'600e9) {
+    std::snprintf(buf, sizeof buf, "%.3gh", static_cast<double>(ns_) / 3'600e9);
+  } else if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.4gs", static_cast<double>(ns_) / 1e9);
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.4gms", static_cast<double>(ns_) / 1e6);
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.4gus", static_cast<double>(ns_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  // Render as d+hh:mm:ss.mmm since run start; readable in traces.
+  const std::int64_t total_ms = ns_ / 1'000'000;
+  const std::int64_t ms = total_ms % 1'000;
+  const std::int64_t total_s = total_ms / 1'000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = (total_s / 3'600) % 24;
+  const std::int64_t d = total_s / 86'400;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%lld+%02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(d), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s),
+                static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace ronpath

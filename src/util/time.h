@@ -1,0 +1,125 @@
+// Strong time types for the ronpath simulator.
+//
+// All simulation time is carried as signed 64-bit nanosecond counts wrapped
+// in two distinct vocabulary types: Duration (a span) and TimePoint (an
+// instant on the virtual clock). Keeping them distinct prevents the classic
+// "added two timestamps" bug; arithmetic is defined only where it is
+// meaningful (TimePoint + Duration, TimePoint - TimePoint, ...).
+//
+// The range of int64 nanoseconds (~292 years) comfortably covers the
+// 14-day RON2003 run the paper analyses.
+
+#ifndef RONPATH_UTIL_TIME_H_
+#define RONPATH_UTIL_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ronpath {
+
+// A signed span of virtual time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  // Named constructors; prefer these to raw nanosecond counts.
+  [[nodiscard]] static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) { return Duration(us * 1'000); }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) { return Duration(ms * 1'000'000); }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000); }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t m) { return seconds(m * 60); }
+  [[nodiscard]] static constexpr Duration hours(std::int64_t h) { return seconds(h * 3'600); }
+  [[nodiscard]] static constexpr Duration days(std::int64_t d) { return seconds(d * 86'400); }
+
+  // Fractional-second construction, used by stochastic interarrival draws.
+  [[nodiscard]] static constexpr Duration from_seconds_f(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  [[nodiscard]] static constexpr Duration from_millis_f(double ms) {
+    return Duration(static_cast<std::int64_t>(ms * 1e6));
+  }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return ns_ / 1'000; }
+  [[nodiscard]] constexpr std::int64_t count_millis() const { return ns_ / 1'000'000; }
+  [[nodiscard]] constexpr std::int64_t count_seconds() const { return ns_ / 1'000'000'000; }
+  [[nodiscard]] constexpr double to_seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double to_millis_f() const { return static_cast<double>(ns_) / 1e6; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration& operator+=(Duration d) { ns_ += d.ns_; return *this; }
+  constexpr Duration& operator-=(Duration d) { ns_ -= d.ns_; return *this; }
+  constexpr Duration& operator*=(std::int64_t k) { ns_ *= k; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.ns_ + b.ns_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.ns_ - b.ns_); }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator-(Duration a) { return Duration(-a.ns_); }
+  // Integer division: how many times does b fit into a.
+  friend constexpr std::int64_t operator/(Duration a, Duration b) { return a.ns_ / b.ns_; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration(a.ns_ / k); }
+  friend constexpr Duration operator%(Duration a, Duration b) { return Duration(a.ns_ % b.ns_); }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  // Human-readable rendering ("1.500ms", "14d", ...), for logs and tables.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// An instant on the simulation clock. Time zero is the start of a run.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint epoch() { return TimePoint(); }
+  [[nodiscard]] static constexpr TimePoint from_nanos(std::int64_t ns) { return TimePoint(ns); }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanos_since_epoch() const { return ns_; }
+  [[nodiscard]] constexpr Duration since_epoch() const { return Duration::nanos(ns_); }
+  [[nodiscard]] constexpr double seconds_since_epoch_f() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.count_nanos(); return *this; }
+  constexpr TimePoint& operator-=(Duration d) { ns_ -= d.count_nanos(); return *this; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.ns_ + d.count_nanos());
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.ns_ - d.count_nanos());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_UTIL_TIME_H_

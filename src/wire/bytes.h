@@ -1,0 +1,102 @@
+// Bounds-checked binary readers and writers.
+//
+// All multi-byte fields are big-endian on the wire (network order). The
+// reader never throws: a short or corrupt buffer flips a sticky error flag
+// and subsequent reads return zero, so decode functions can validate once
+// at the end.
+
+#ifndef RONPATH_WIRE_BYTES_H_
+#define RONPATH_WIRE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace ronpath {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    if (!require(2)) return 0;
+    const std::uint16_t v =
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_]) << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    const std::uint32_t lo = u16();
+    return hi << 16 | lo;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return hi << 32 | lo;
+  }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  void skip(std::size_t n) {
+    if (require(n)) pos_ += n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  // True iff every read so far was in bounds.
+  [[nodiscard]] bool ok() const { return ok_; }
+  // True iff ok() and the buffer was fully consumed.
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool require(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_WIRE_BYTES_H_

@@ -1,0 +1,143 @@
+#include "wire/packet.h"
+
+#include <array>
+
+namespace ronpath {
+namespace {
+
+constexpr std::uint16_t kMagic = 0x524F;  // "RO"
+constexpr std::uint8_t kVersion = 1;
+
+constexpr std::uint8_t kFlagResponse = 0x01;
+constexpr std::uint8_t kFlagForwarded = 0x02;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+bool valid_route_tag(std::uint8_t v) { return v <= static_cast<std::uint8_t>(RouteTag::kLoss); }
+
+bool valid_scheme(std::uint8_t v) {
+  return v <= static_cast<std::uint8_t>(PairScheme::kRandLoss);
+}
+
+bool valid_type(std::uint8_t v) {
+  return v >= static_cast<std::uint8_t>(PacketType::kProbeRequest) &&
+         v <= static_cast<std::uint8_t>(PacketType::kData);
+}
+
+}  // namespace
+
+std::string_view to_string(RouteTag tag) {
+  switch (tag) {
+    case RouteTag::kDirect: return "direct";
+    case RouteTag::kRand: return "rand";
+    case RouteTag::kLat: return "lat";
+    case RouteTag::kLoss: return "loss";
+  }
+  return "?";
+}
+
+std::string_view to_string(PairScheme scheme) {
+  switch (scheme) {
+    case PairScheme::kDirect: return "direct";
+    case PairScheme::kLat: return "lat";
+    case PairScheme::kLoss: return "loss";
+    case PairScheme::kDirectRand: return "direct rand";
+    case PairScheme::kLatLoss: return "lat loss";
+    case PairScheme::kDirectDirect: return "direct direct";
+    case PairScheme::kDd10ms: return "dd 10 ms";
+    case PairScheme::kDd20ms: return "dd 20 ms";
+    case PairScheme::kRand: return "rand";
+    case PairScheme::kRandRand: return "rand rand";
+    case PairScheme::kDirectLat: return "direct lat";
+    case PairScheme::kDirectLoss: return "direct loss";
+    case PairScheme::kRandLat: return "rand lat";
+    case PairScheme::kRandLoss: return "rand loss";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_into(const ProbePacket& pkt, ByteWriter& w) {
+  const std::size_t start = w.size();
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(pkt.type));
+  w.u8(static_cast<std::uint8_t>(pkt.route_tag));
+  w.u8(static_cast<std::uint8_t>(pkt.scheme));
+  w.u8(pkt.pair_index);
+  std::uint8_t flags = 0;
+  if (pkt.flags.response) flags |= kFlagResponse;
+  if (pkt.flags.forwarded) flags |= kFlagForwarded;
+  w.u8(flags);
+  w.u64(pkt.probe_id);
+  w.u16(pkt.src);
+  w.u16(pkt.dst);
+  w.u16(pkt.via);
+  w.i64(pkt.send_ts.nanos_since_epoch());
+  w.i64(pkt.echo_ts.nanos_since_epoch());
+  const auto body = w.view().subspan(start);
+  w.u32(crc32(body));
+}
+
+std::vector<std::uint8_t> encode(const ProbePacket& pkt) {
+  ByteWriter w(kProbePacketWireSize);
+  encode_into(pkt, w);
+  return std::move(w).take();
+}
+
+std::optional<ProbePacket> decode(std::span<const std::uint8_t> data) {
+  if (data.size() != kProbePacketWireSize) return std::nullopt;
+  const auto body = data.first(data.size() - 4);
+
+  ByteReader r(data);
+  if (r.u16() != kMagic) return std::nullopt;
+  if (r.u8() != kVersion) return std::nullopt;
+
+  ProbePacket pkt;
+  const std::uint8_t type = r.u8();
+  const std::uint8_t tag = r.u8();
+  const std::uint8_t scheme = r.u8();
+  pkt.pair_index = r.u8();
+  const std::uint8_t flags = r.u8();
+  pkt.probe_id = r.u64();
+  pkt.src = r.u16();
+  pkt.dst = r.u16();
+  pkt.via = r.u16();
+  pkt.send_ts = TimePoint::from_nanos(r.i64());
+  pkt.echo_ts = TimePoint::from_nanos(r.i64());
+  const std::uint32_t wire_crc = r.u32();
+
+  if (!r.exhausted()) return std::nullopt;
+  if (!valid_type(type) || !valid_route_tag(tag) || !valid_scheme(scheme)) return std::nullopt;
+  if (pkt.pair_index > 1) return std::nullopt;
+  if ((flags & ~(kFlagResponse | kFlagForwarded)) != 0) return std::nullopt;
+  if (wire_crc != crc32(body)) return std::nullopt;
+
+  pkt.type = static_cast<PacketType>(type);
+  pkt.route_tag = static_cast<RouteTag>(tag);
+  pkt.scheme = static_cast<PairScheme>(scheme);
+  pkt.flags.response = (flags & kFlagResponse) != 0;
+  pkt.flags.forwarded = (flags & kFlagForwarded) != 0;
+  return pkt;
+}
+
+}  // namespace ronpath

@@ -1,0 +1,118 @@
+// Wire format for ronpath probe and data packets.
+//
+// The format mirrors the paper's measurement method (Section 4.1): each
+// probe carries a random 64-bit identifier that both end hosts log together
+// with send and receive timestamps, allowing one-way reachability and
+// latency to be computed offline. A probe consists of one or two request
+// packets; two-packet probes share the identifier and are distinguished by
+// pair_index.
+//
+// Layout (big-endian), 42 bytes including trailing checksum:
+//   magic      u16   0x524F ("RO")
+//   version    u8    1
+//   type       u8    PacketType
+//   route_tag  u8    RouteTag of this copy (Table 4 of the paper)
+//   scheme     u8    PairScheme the probe belongs to
+//   pair_index u8    0 = first copy, 1 = second copy
+//   flags      u8    bit0: response, bit1: forwarded by intermediate
+//   probe_id   u64   shared by both packets of a pair
+//   src        u16   overlay node id of the initiator
+//   dst        u16   overlay node id of the target
+//   via        u16   intermediate node id, kDirectVia if none
+//   send_ts    i64   initiator send time (ns since run start)
+//   echo_ts    i64   request send time echoed in responses (0 in requests)
+//   crc32      u32   CRC-32 over all preceding bytes
+
+#ifndef RONPATH_WIRE_PACKET_H_
+#define RONPATH_WIRE_PACKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+#include "wire/bytes.h"
+
+namespace ronpath {
+
+enum class PacketType : std::uint8_t {
+  kProbeRequest = 1,
+  kProbeResponse = 2,
+  kData = 3,
+};
+
+// The per-packet routing tactics of Table 4.
+enum class RouteTag : std::uint8_t {
+  kDirect = 0,  // direct Internet path
+  kRand = 1,    // via a random intermediate node
+  kLat = 2,     // latency-optimized path from probing
+  kLoss = 3,    // loss-optimized path from probing
+};
+
+[[nodiscard]] std::string_view to_string(RouteTag tag);
+
+// The probe methods measured in the paper's datasets. Single-packet
+// schemes use only `first`; two-packet schemes send both copies.
+enum class PairScheme : std::uint8_t {
+  // RON2003 set (Section 4).
+  kDirect = 0,
+  kLat = 1,
+  kLoss = 2,
+  kDirectRand = 3,
+  kLatLoss = 4,
+  kDirectDirect = 5,
+  kDd10ms = 6,
+  kDd20ms = 7,
+  // Additional RONwide-only combinations (Table 7).
+  kRand = 8,
+  kRandRand = 9,
+  kDirectLat = 10,
+  kDirectLoss = 11,
+  kRandLat = 12,
+  kRandLoss = 13,
+};
+
+[[nodiscard]] std::string_view to_string(PairScheme scheme);
+
+struct PacketFlags {
+  bool response = false;
+  bool forwarded = false;
+
+  friend bool operator==(const PacketFlags&, const PacketFlags&) = default;
+};
+
+struct ProbePacket {
+  PacketType type = PacketType::kProbeRequest;
+  RouteTag route_tag = RouteTag::kDirect;
+  PairScheme scheme = PairScheme::kDirect;
+  std::uint8_t pair_index = 0;
+  PacketFlags flags;
+  std::uint64_t probe_id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  NodeId via = kDirectVia;
+  TimePoint send_ts;
+  TimePoint echo_ts;
+
+  friend bool operator==(const ProbePacket&, const ProbePacket&) = default;
+};
+
+inline constexpr std::size_t kProbePacketWireSize = 42;
+
+// Serializes `pkt` including trailing CRC-32.
+[[nodiscard]] std::vector<std::uint8_t> encode(const ProbePacket& pkt);
+void encode_into(const ProbePacket& pkt, ByteWriter& w);
+
+// Returns nullopt on truncation, bad magic/version, unknown enum values,
+// or checksum mismatch.
+[[nodiscard]] std::optional<ProbePacket> decode(std::span<const std::uint8_t> data);
+
+// CRC-32 (IEEE 802.3, reflected) over `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_WIRE_PACKET_H_

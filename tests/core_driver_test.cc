@@ -1,0 +1,151 @@
+#include "core/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "routing/schemes.h"
+
+namespace ronpath {
+namespace {
+
+struct Fixture {
+  Topology topo;
+  Network net;
+  Scheduler sched;
+  OverlayNetwork overlay;
+  Aggregator agg;
+
+  explicit Fixture(const DriverConfig& dcfg, std::uint64_t seed = 42)
+      : topo(testbed_2002()),
+        net(topo, NetConfig::profile_2003(), Duration::hours(3), Rng(seed)),
+        overlay(net, sched, OverlayConfig{}, Rng(seed + 1)),
+        agg(topo.size(), dcfg.probe_set, AggregatorConfig{}) {
+    overlay.start();
+  }
+};
+
+DriverConfig one_way_config() {
+  DriverConfig cfg;
+  const auto set = ronnarrow_probe_set();
+  cfg.probe_set.assign(set.begin(), set.end());
+  return cfg;
+}
+
+TEST(ProbeDriver, EmitsProbesAtConfiguredPace) {
+  const DriverConfig cfg = one_way_config();
+  Fixture f(cfg);
+  ProbeDriver driver(f.overlay, f.sched, f.agg, cfg, Rng(7));
+  driver.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(10));
+  // 17 nodes, one probe per U(0.6, 1.2) s each: ~11333 probes in 10 min.
+  const double expected = 17.0 * 600.0 / 0.9;
+  EXPECT_NEAR(static_cast<double>(driver.probes_emitted()), expected, 0.1 * expected);
+}
+
+TEST(ProbeDriver, CyclesSchemesEvenly) {
+  const DriverConfig cfg = one_way_config();
+  Fixture f(cfg);
+  ProbeDriver driver(f.overlay, f.sched, f.agg, cfg, Rng(7));
+  driver.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(30));
+  f.agg.finish(TimePoint::epoch() + Duration::hours(1));
+  std::int64_t lo = INT64_MAX;
+  std::int64_t hi = 0;
+  for (PairScheme s : cfg.probe_set) {
+    const auto n = f.agg.scheme_stats(s).pair.pairs();
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  EXPECT_GT(lo, 0);
+  // Cycling keeps the per-scheme counts within a few percent.
+  EXPECT_LT(hi - lo, hi / 10 + 20);
+}
+
+TEST(ProbeDriver, RecordTeeSeesEveryProbe) {
+  DriverConfig cfg = one_way_config();
+  std::int64_t teed = 0;
+  cfg.record_tee = [&](const ProbeRecord&) { ++teed; };
+  Fixture f(cfg);
+  ProbeDriver driver(f.overlay, f.sched, f.agg, cfg, Rng(7));
+  driver.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(5));
+  EXPECT_EQ(teed, driver.probes_emitted());
+  EXPECT_GT(teed, 0);
+}
+
+TEST(ProbeDriver, ClockOffsetsAssignedToFraction) {
+  DriverConfig cfg = one_way_config();
+  cfg.non_gps_fraction = 0.5;
+  cfg.clock_offset_sigma_ms = 20.0;
+  Fixture f(cfg);
+  ProbeDriver driver(f.overlay, f.sched, f.agg, cfg, Rng(9));
+  int with_offset = 0;
+  for (NodeId n = 0; n < f.topo.size(); ++n) {
+    if (driver.clock_offset(n) != Duration::zero()) ++with_offset;
+  }
+  EXPECT_GT(with_offset, 2);
+  EXPECT_LT(with_offset, 15);
+}
+
+TEST(ProbeDriver, ZeroGpsFractionMeansNoOffsets) {
+  DriverConfig cfg = one_way_config();
+  cfg.non_gps_fraction = 0.0;
+  Fixture f(cfg);
+  ProbeDriver driver(f.overlay, f.sched, f.agg, cfg, Rng(9));
+  for (NodeId n = 0; n < f.topo.size(); ++n) {
+    EXPECT_EQ(driver.clock_offset(n), Duration::zero());
+  }
+}
+
+// One-way latencies recorded against a skewed receiver clock can come out
+// negative; the report layer cancels this by pairwise averaging. Verify
+// the skew actually shows up in the raw records (faithfulness) rather
+// than being silently removed.
+TEST(ProbeDriver, SkewAppearsInRecordedLatency) {
+  DriverConfig cfg = one_way_config();
+  cfg.non_gps_fraction = 1.0;  // every host skewed
+  cfg.clock_offset_sigma_ms = 50.0;
+  std::vector<ProbeRecord> records;
+  cfg.record_tee = [&](const ProbeRecord& r) { records.push_back(r); };
+  Fixture f(cfg);
+  ProbeDriver driver(f.overlay, f.sched, f.agg, cfg, Rng(11));
+  driver.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(5));
+  bool any_negative = false;
+  for (const auto& r : records) {
+    if (r.copies[0].delivered && r.copies[0].latency.is_negative()) any_negative = true;
+  }
+  // With +-50 ms offsets and ~10-60 ms true latencies, some one-way
+  // samples must go negative - exactly the artifact GPS-less hosts had.
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(ProbeDriver, RoundTripModeUsesRttLatency) {
+  DriverConfig one_way = one_way_config();
+  DriverConfig rtt = one_way;
+  rtt.round_trip = true;
+  rtt.non_gps_fraction = 0.0;
+  one_way.non_gps_fraction = 0.0;
+
+  Fixture f1(one_way, 21);
+  ProbeDriver d1(f1.overlay, f1.sched, f1.agg, one_way, Rng(7));
+  d1.start();
+  f1.sched.run_until(TimePoint::epoch() + Duration::minutes(40));
+  f1.agg.finish(TimePoint::epoch() + Duration::hours(1));
+
+  Fixture f2(rtt, 21);
+  ProbeDriver d2(f2.overlay, f2.sched, f2.agg, rtt, Rng(7));
+  d2.start();
+  f2.sched.run_until(TimePoint::epoch() + Duration::minutes(40));
+  f2.agg.finish(TimePoint::epoch() + Duration::hours(1));
+
+  const double one_way_lat =
+      f1.agg.scheme_stats(PairScheme::kLoss).first_lat_ms.mean();
+  const double rtt_lat = f2.agg.scheme_stats(PairScheme::kLoss).first_lat_ms.mean();
+  // RTT ~ 2x one-way on a symmetric-ish topology.
+  EXPECT_GT(rtt_lat, 1.6 * one_way_lat);
+  EXPECT_LT(rtt_lat, 2.6 * one_way_lat);
+}
+
+}  // namespace
+}  // namespace ronpath

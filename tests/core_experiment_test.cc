@@ -1,0 +1,171 @@
+// End-to-end experiment runner tests. These execute short simulated runs
+// (minutes of virtual time) and check structural invariants rather than
+// calibrated values; the bench binaries verify the paper's numbers on
+// longer runs.
+
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "measure/report.h"
+#include "routing/schemes.h"
+
+namespace ronpath {
+namespace {
+
+ExperimentConfig quick(Dataset d, std::uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.dataset = d;
+  cfg.duration = Duration::minutes(50);
+  cfg.warmup = Duration::minutes(10);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Experiment, Ron2003SmokeRun) {
+  const auto res = run_experiment(quick(Dataset::kRon2003));
+  EXPECT_EQ(res.topology.size(), 30u);
+  EXPECT_GT(res.probes, 50'000);
+  EXPECT_GT(res.overlay_probes, 100'000);
+  EXPECT_GT(res.events, res.probes);
+  // All six probed schemes received samples.
+  for (PairScheme s : ron2003_probe_set()) {
+    EXPECT_GT(res.agg->scheme_stats(s).pair.pairs(), 1'000) << to_string(s);
+  }
+}
+
+TEST(Experiment, DirectLossInPlausibleBand) {
+  const auto res = run_experiment(quick(Dataset::kRon2003));
+  const auto& st = res.agg->scheme_stats(PairScheme::kDirectRand);
+  const double lp1 = st.pair.first_loss_percent();
+  // Short-run noise band around the calibrated 0.42%.
+  EXPECT_GT(lp1, 0.02);
+  EXPECT_LT(lp1, 3.0);
+}
+
+TEST(Experiment, MeshTotlpBelowFirstCopyLoss) {
+  const auto res = run_experiment(quick(Dataset::kRon2003));
+  const auto& st = res.agg->scheme_stats(PairScheme::kDirectRand);
+  EXPECT_LT(st.pair.total_loss_percent(), st.pair.first_loss_percent());
+}
+
+TEST(Experiment, BackToBackCorrelationPresent) {
+  const auto res = run_experiment(quick(Dataset::kRon2003));
+  const auto& dd = res.agg->scheme_stats(PairScheme::kDirectDirect);
+  if (dd.pair.first_lost() >= 20) {
+    EXPECT_GT(*dd.pair.conditional_loss_percent(), 20.0);
+  }
+}
+
+TEST(Experiment, DeterministicForSeed) {
+  const auto a = run_experiment(quick(Dataset::kRon2003, 7));
+  const auto b = run_experiment(quick(Dataset::kRon2003, 7));
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.events, b.events);
+  for (PairScheme s : ron2003_probe_set()) {
+    const auto& sa = a.agg->scheme_stats(s);
+    const auto& sb = b.agg->scheme_stats(s);
+    EXPECT_EQ(sa.pair.pairs(), sb.pair.pairs()) << to_string(s);
+    EXPECT_EQ(sa.pair.first_lost(), sb.pair.first_lost()) << to_string(s);
+    EXPECT_EQ(sa.pair.both_lost(), sb.pair.both_lost()) << to_string(s);
+  }
+}
+
+TEST(Experiment, SeedChangesOutcomes) {
+  const auto a = run_experiment(quick(Dataset::kRon2003, 1));
+  const auto b = run_experiment(quick(Dataset::kRon2003, 2));
+  bool any_diff = a.probes != b.probes;
+  for (PairScheme s : ron2003_probe_set()) {
+    any_diff |= a.agg->scheme_stats(s).pair.first_lost() !=
+                b.agg->scheme_stats(s).pair.first_lost();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Experiment, RonWideUsesSeventeenNodesRoundTrip) {
+  const auto res = run_experiment(quick(Dataset::kRonWide));
+  EXPECT_EQ(res.topology.size(), 17u);
+  for (PairScheme s : ronwide_probe_set()) {
+    EXPECT_GT(res.agg->scheme_stats(s).pair.pairs(), 100) << to_string(s);
+  }
+  // Round-trip latency roughly doubles the one-way latency of the same
+  // testbed: check direct RTT mean is substantially above 60 ms.
+  const auto& direct = res.agg->scheme_stats(PairScheme::kDirect);
+  EXPECT_GT(direct.first_lat_ms.mean(), 40.0);
+}
+
+TEST(Experiment, RonNarrowProbesThreeSchemes) {
+  const auto res = run_experiment(quick(Dataset::kRonNarrow));
+  EXPECT_EQ(res.agg->schemes().size(), 3u);
+  for (PairScheme s : ronnarrow_probe_set()) {
+    EXPECT_GT(res.agg->scheme_stats(s).pair.pairs(), 1'000) << to_string(s);
+  }
+}
+
+TEST(Experiment, RandCopiesLossierThanDirect) {
+  const auto res = run_experiment(quick(Dataset::kRon2003));
+  const auto& dr = res.agg->scheme_stats(PairScheme::kDirectRand);
+  // The randomly-routed second copy crosses twice as many components.
+  EXPECT_GT(dr.pair.second_loss_percent(), dr.pair.first_loss_percent());
+}
+
+TEST(Experiment, ReportRowsComplete) {
+  const auto res = run_experiment(quick(Dataset::kRon2003));
+  const auto rows = make_loss_table(*res.agg, ron2003_report_rows());
+  ASSERT_EQ(rows.size(), 8u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.samples, 0) << row.name;
+    EXPECT_GT(row.lat_ms, 5.0) << row.name;
+    EXPECT_LT(row.lat_ms, 500.0) << row.name;
+  }
+  EXPECT_TRUE(rows[0].inferred);   // direct*
+  EXPECT_TRUE(rows[1].inferred);   // lat*
+  EXPECT_FALSE(rows[2].inferred);  // loss
+}
+
+// Seed-sweep properties: the headline invariants must hold across seeds,
+// not just the calibration seed.
+class ExperimentSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExperimentSeeds, CoreInvariantsHold) {
+  ExperimentConfig cfg = quick(Dataset::kRon2003, GetParam());
+  cfg.duration = Duration::hours(2);
+  const auto res = run_experiment(cfg);
+  const auto& dr = res.agg->scheme_stats(PairScheme::kDirectRand);
+  const auto& dd = res.agg->scheme_stats(PairScheme::kDirectDirect);
+
+  // Loss in a plausible band.
+  EXPECT_GT(dr.pair.first_loss_percent(), 0.02);
+  EXPECT_LT(dr.pair.first_loss_percent(), 3.0);
+  // Mesh always improves on a single copy.
+  EXPECT_LT(dr.pair.total_loss_percent(), dr.pair.first_loss_percent());
+  // The rand copy is lossier than the direct copy.
+  EXPECT_GT(dr.pair.second_loss_percent(), dr.pair.first_loss_percent());
+  // Same-path correlation dominates cross-path correlation when both are
+  // measurable.
+  if (dd.pair.first_lost() >= 30 && dr.pair.first_lost() >= 30) {
+    EXPECT_GT(*dd.pair.conditional_loss_percent(), *dr.pair.conditional_loss_percent() - 12.0);
+    EXPECT_GT(*dd.pair.conditional_loss_percent(), 25.0);
+  }
+  // Latency means in the calibrated band.
+  EXPECT_GT(dr.first_lat_ms.mean(), 35.0);
+  EXPECT_LT(dr.first_lat_ms.mean(), 85.0);
+  // Mesh method latency never exceeds the single-copy latency.
+  EXPECT_LE(dr.method_lat_ms.mean(), dr.first_lat_ms.mean() + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExperimentSeeds, ::testing::Values(1u, 7u, 99u, 1234u));
+
+TEST(Experiment, LossScaleOverrideScalesLoss) {
+  ExperimentConfig low = quick(Dataset::kRon2003, 3);
+  low.loss_scale = 0.2;
+  ExperimentConfig high = quick(Dataset::kRon2003, 3);
+  high.loss_scale = 5.0;
+  const auto a = run_experiment(low);
+  const auto b = run_experiment(high);
+  EXPECT_LT(a.agg->scheme_stats(PairScheme::kDirectRand).pair.first_loss_percent(),
+            b.agg->scheme_stats(PairScheme::kDirectRand).pair.first_loss_percent());
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,99 @@
+#include "core/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ronpath {
+namespace {
+
+TEST(Testbed, ThirtyHostsIn2003) {
+  const Topology t = testbed_2003();
+  EXPECT_EQ(t.size(), 30u);
+}
+
+TEST(Testbed, SeventeenHostsIn2002) {
+  const Topology t = testbed_2002();
+  EXPECT_EQ(t.size(), 17u);
+  for (const Site& s : t.sites()) EXPECT_TRUE(s.in_2002_testbed) << s.name;
+}
+
+TEST(Testbed, NamesUnique) {
+  const Topology t = testbed_2003();
+  std::set<std::string> names;
+  for (const Site& s : t.sites()) EXPECT_TRUE(names.insert(s.name).second) << s.name;
+}
+
+TEST(Testbed, KnownHostsPresent) {
+  const Topology t = testbed_2003();
+  for (const char* name : {"MIT", "Korea", "Cornell", "CA-DSL", "GBLX-LON", "Nortel",
+                           "Utah", "VU-NL"}) {
+    EXPECT_TRUE(t.find(name).has_value()) << name;
+  }
+}
+
+// Table 2 of the paper: category distribution of the 30 nodes.
+TEST(Testbed, CategoryCountsMatchTable2) {
+  const auto cats = table2_categories(testbed_2003());
+  ASSERT_EQ(cats.size(), 8u);
+  auto count = [&](const std::string& name) {
+    for (const auto& c : cats) {
+      if (c.category == name) return c.count;
+    }
+    ADD_FAILURE() << "missing category " << name;
+    return -1;
+  };
+  EXPECT_EQ(count("US Universities"), 7);
+  EXPECT_EQ(count("US Large ISP"), 4);
+  EXPECT_EQ(count("US small/med ISP"), 5);
+  EXPECT_EQ(count("US Private Company"), 5);
+  EXPECT_EQ(count("US Cable/DSL"), 3);
+  EXPECT_EQ(count("Canada Private Company"), 1);
+  EXPECT_EQ(count("Int'l Universities"), 3);
+  EXPECT_EQ(count("Int'l ISP"), 2);
+}
+
+// Table 1 asterisks: six US universities on the Internet2 backbone.
+TEST(Testbed, SixInternet2Universities) {
+  const Topology t = testbed_2003();
+  int i2 = 0;
+  for (const Site& s : t.sites()) i2 += is_internet2(s) ? 1 : 0;
+  EXPECT_EQ(i2, 6);
+  for (const char* name : {"CMU", "Cornell", "MIT", "NYU", "UCSD", "Utah"}) {
+    EXPECT_TRUE(is_internet2(t.site(*t.find(name)))) << name;
+  }
+}
+
+TEST(Testbed, CoordinatesPlausible) {
+  const Topology t = testbed_2003();
+  for (const Site& s : t.sites()) {
+    EXPECT_GT(s.lat_deg, -60.0) << s.name;
+    EXPECT_LT(s.lat_deg, 75.0) << s.name;
+    EXPECT_GT(s.lon_deg, -180.0) << s.name;
+    EXPECT_LT(s.lon_deg, 180.0) << s.name;
+  }
+  // Korea is far east, London near zero, US negative longitudes.
+  EXPECT_GT(t.site(*t.find("Korea")).lon_deg, 100.0);
+  EXPECT_LT(t.site(*t.find("MIT")).lon_deg, -60.0);
+}
+
+TEST(Testbed, TransatlanticFurtherThanTranscontinental) {
+  const Topology t = testbed_2003();
+  const NodeId mit = *t.find("MIT");
+  const NodeId ucsd = *t.find("UCSD");
+  const NodeId korea = *t.find("Korea");
+  const NodeId lon = *t.find("GBLX-LON");
+  EXPECT_GT(t.propagation(mit, korea), t.propagation(mit, ucsd));
+  EXPECT_GT(t.propagation(ucsd, lon), t.propagation(mit, lon));
+}
+
+TEST(Testbed, The2002SubsetIsFromThe30) {
+  const Topology full = testbed_2003();
+  const Topology old = testbed_2002();
+  for (const Site& s : old.sites()) {
+    EXPECT_TRUE(full.find(s.name).has_value()) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace ronpath

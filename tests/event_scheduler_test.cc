@@ -1,0 +1,160 @@
+#include "event/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ronpath {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint::epoch() + Duration::seconds(3), [&] { order.push_back(3); });
+  s.schedule_at(TimePoint::epoch() + Duration::seconds(1), [&] { order.push_back(1); });
+  s.schedule_at(TimePoint::epoch() + Duration::seconds(2), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesFireInScheduleOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::epoch() + Duration::seconds(1);
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler s;
+  TimePoint seen;
+  s.schedule_after(Duration::millis(250), [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, TimePoint::epoch() + Duration::millis(250));
+}
+
+TEST(Scheduler, RunUntilStopsAndSetsClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  s.schedule_after(Duration::seconds(5), [&] { ++fired; });
+  s.run_until(TimePoint::epoch() + Duration::seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), TimePoint::epoch() + Duration::seconds(2));
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(TimePoint::epoch() + Duration::seconds(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelPreventsDispatch) {
+  Scheduler s;
+  int fired = 0;
+  EventHandle h = s.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler s;
+  int fired = 0;
+  EventHandle h = s.schedule_after(Duration::zero(), [&] { ++fired; });
+  s.run_all();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or affect anything
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, DefaultHandleInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  std::vector<Duration> at;
+  std::function<void()> chain = [&] {
+    at.push_back(s.now().since_epoch());
+    if (at.size() < 4) s.schedule_after(Duration::seconds(1), chain);
+  };
+  s.schedule_after(Duration::seconds(1), chain);
+  s.run_all();
+  ASSERT_EQ(at.size(), 4u);
+  EXPECT_EQ(at[3], Duration::seconds(4));
+}
+
+TEST(Scheduler, NegativeDelayClampedToNow) {
+  Scheduler s;
+  s.schedule_after(Duration::seconds(1), [] {});
+  s.run_all();
+  bool fired = false;
+  s.schedule_after(-Duration::seconds(5), [&] { fired = true; });
+  s.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), TimePoint::epoch() + Duration::seconds(1));
+}
+
+TEST(Scheduler, DispatchedCountExcludesCancelled) {
+  Scheduler s;
+  s.schedule_after(Duration::seconds(1), [] {});
+  EventHandle h = s.schedule_after(Duration::seconds(2), [] {});
+  h.cancel();
+  s.run_all();
+  EXPECT_EQ(s.dispatched_events(), 1u);
+}
+
+TEST(Scheduler, StepFiresOne) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  s.schedule_after(Duration::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Scheduler s;
+  std::vector<Duration> at;
+  PeriodicTask task(s, Duration::seconds(10), Duration::seconds(3),
+                    [&] { at.push_back(s.now().since_epoch()); });
+  s.run_until(TimePoint::epoch() + Duration::seconds(34));
+  ASSERT_EQ(at.size(), 4u);
+  EXPECT_EQ(at[0], Duration::seconds(3));
+  EXPECT_EQ(at[1], Duration::seconds(13));
+  EXPECT_EQ(at[3], Duration::seconds(33));
+}
+
+TEST(PeriodicTask, StopHalts) {
+  Scheduler s;
+  int ticks = 0;
+  PeriodicTask task(s, Duration::seconds(1), Duration::zero(), [&] {
+    if (++ticks == 3) task.stop();
+  });
+  s.run_until(TimePoint::epoch() + Duration::seconds(100));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, DestructionCancels) {
+  Scheduler s;
+  int ticks = 0;
+  {
+    PeriodicTask task(s, Duration::seconds(1), Duration::zero(), [&] { ++ticks; });
+    s.run_until(TimePoint::epoch() + Duration::millis(1500));
+    EXPECT_EQ(ticks, 2);  // t=0 and t=1
+  }
+  s.run_until(TimePoint::epoch() + Duration::seconds(10));
+  EXPECT_EQ(ticks, 2);
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,117 @@
+#include "fec/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ronpath::gf256 {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(sub(0x57, 0x83), 0x57 ^ 0x83);
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(add(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256, MultiplicationIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(x, 1), x);
+    EXPECT_EQ(mul(1, x), x);
+    EXPECT_EQ(mul(x, 0), 0);
+    EXPECT_EQ(mul(0, x), 0);
+  }
+}
+
+TEST(Gf256, KnownProduct) {
+  // 0x53 * 0xCA = 0x01 in GF(2^8) with polynomial 0x11D... verify via
+  // inverse property instead of a hand value: check x * inv(x) == 1.
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(x, inv(x)), 1) << a;
+  }
+}
+
+TEST(Gf256, MultiplicationCommutative) {
+  Rng rng(1);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(mul(a, b), mul(b, a));
+  }
+}
+
+TEST(Gf256, MultiplicationAssociative) {
+  Rng rng(2);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  Rng rng(3);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  Rng rng(4);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    EXPECT_EQ(div(mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  for (int base : {0x02, 0x1D, 0xFF}) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 20; ++e) {
+      EXPECT_EQ(pow(static_cast<std::uint8_t>(base), e), acc) << base << "^" << e;
+      acc = mul(acc, static_cast<std::uint8_t>(base));
+    }
+  }
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(0, 5), 0);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 0x02 generates the multiplicative group: order 255.
+  std::uint8_t x = 1;
+  int order = 0;
+  do {
+    x = mul(x, 2);
+    ++order;
+  } while (x != 1 && order <= 255);
+  EXPECT_EQ(order, 255);
+}
+
+TEST(Gf256, MulAddAccumulates) {
+  std::vector<std::uint8_t> dst = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> src = {5, 6, 7, 8};
+  std::vector<std::uint8_t> expected = dst;
+  for (std::size_t i = 0; i < 4; ++i) expected[i] ^= mul(0x37, src[i]);
+  mul_add(dst, src, 0x37);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(Gf256, MulAddZeroCoefficientIsNoop) {
+  std::vector<std::uint8_t> dst = {9, 9, 9};
+  const std::vector<std::uint8_t> src = {1, 2, 3};
+  mul_add(dst, src, 0);
+  EXPECT_EQ(dst, (std::vector<std::uint8_t>{9, 9, 9}));
+}
+
+}  // namespace
+}  // namespace ronpath::gf256

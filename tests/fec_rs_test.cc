@@ -1,0 +1,176 @@
+#include "fec/reed_solomon.h"
+
+#include "fec/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace ronpath {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> random_shards(std::size_t k, std::size_t len, Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(len));
+  for (auto& shard : data) {
+    for (auto& byte : shard) byte = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  return data;
+}
+
+TEST(ReedSolomon, IdentityTopRows) {
+  const ReedSolomon rs(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto row = rs.row(r);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(row[c], r == c ? 1 : 0) << r << "," << c;
+    }
+  }
+}
+
+TEST(ReedSolomon, AllDataPresentFastPath) {
+  Rng rng(1);
+  const ReedSolomon rs(3, 2);
+  const auto data = random_shards(3, 64, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> shards = data;
+  shards.insert(shards.end(), parity.begin(), parity.end());
+  const auto out = rs.reconstruct(shards);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(ReedSolomon, ZeroParityEncodesNothing) {
+  Rng rng(2);
+  const ReedSolomon rs(5, 0);
+  const auto data = random_shards(5, 16, rng);
+  EXPECT_TRUE(rs.encode(data).empty());
+}
+
+using KmCase = std::tuple<int, int>;
+
+class RsErasures : public ::testing::TestWithParam<KmCase> {};
+
+// Exhaustively erase every subset of size <= m and reconstruct.
+TEST_P(RsErasures, EveryRecoverablePatternReconstructs) {
+  const auto [ki, mi] = GetParam();
+  const auto k = static_cast<std::size_t>(ki);
+  const auto m = static_cast<std::size_t>(mi);
+  const std::size_t n = k + m;
+  ASSERT_LE(n, 12u);
+  Rng rng(100 + static_cast<std::uint64_t>(ki * 16 + mi));
+  const ReedSolomon rs(k, m);
+  const auto data = random_shards(k, 32, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> full = data;
+  full.insert(full.end(), parity.begin(), parity.end());
+
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const auto erased = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (erased > m) continue;
+    auto shards = full;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) shards[i].clear();
+    }
+    const auto out = rs.reconstruct(shards);
+    ASSERT_TRUE(out.has_value()) << "k=" << k << " m=" << m << " mask=" << mask;
+    EXPECT_EQ(*out, data) << "k=" << k << " m=" << m << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCodes, RsErasures,
+                         ::testing::Values(KmCase{1, 1}, KmCase{2, 1}, KmCase{2, 2},
+                                           KmCase{3, 2}, KmCase{4, 2}, KmCase{5, 1},
+                                           KmCase{4, 4}, KmCase{5, 3}, KmCase{8, 4},
+                                           KmCase{6, 6}));
+
+TEST(ReedSolomon, TooManyErasuresFails) {
+  Rng rng(3);
+  const ReedSolomon rs(4, 2);
+  const auto data = random_shards(4, 8, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> shards = data;
+  shards.insert(shards.end(), parity.begin(), parity.end());
+  shards[0].clear();
+  shards[1].clear();
+  shards[2].clear();  // 3 erasures, only 2 parity
+  EXPECT_FALSE(rs.reconstruct(shards).has_value());
+}
+
+TEST(ReedSolomon, MismatchedShardSizesRejected) {
+  Rng rng(4);
+  const ReedSolomon rs(2, 1);
+  const auto data = random_shards(2, 8, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> shards = {data[0], {}, parity[0]};
+  shards[2].resize(4);  // wrong length
+  EXPECT_FALSE(rs.reconstruct(shards).has_value());
+}
+
+TEST(ReedSolomon, WrongShardCountRejected) {
+  const ReedSolomon rs(2, 1);
+  std::vector<std::vector<std::uint8_t>> shards(2, std::vector<std::uint8_t>(4, 0));
+  EXPECT_FALSE(rs.reconstruct(shards).has_value());
+}
+
+TEST(ReedSolomon, LargeCodeRandomErasures) {
+  Rng rng(5);
+  const std::size_t k = 20;
+  const std::size_t m = 10;
+  const ReedSolomon rs(k, m);
+  const auto data = random_shards(k, 256, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::vector<std::uint8_t>> full = data;
+  full.insert(full.end(), parity.begin(), parity.end());
+  for (int trial = 0; trial < 50; ++trial) {
+    auto shards = full;
+    // Erase exactly m random shards.
+    std::size_t erased = 0;
+    while (erased < m) {
+      const auto idx = rng.next_below(k + m);
+      if (!shards[idx].empty()) {
+        shards[idx].clear();
+        ++erased;
+      }
+    }
+    const auto out = rs.reconstruct(shards);
+    ASSERT_TRUE(out.has_value()) << trial;
+    EXPECT_EQ(*out, data);
+  }
+}
+
+TEST(Gf256Invert, IdentityInverse) {
+  std::vector<std::uint8_t> m = {1, 0, 0, 1};
+  ASSERT_TRUE(gf256_invert(m, 2));
+  EXPECT_EQ(m, (std::vector<std::uint8_t>{1, 0, 0, 1}));
+}
+
+TEST(Gf256Invert, SingularDetected) {
+  std::vector<std::uint8_t> m = {1, 2, 1, 2};  // rank 1
+  EXPECT_FALSE(gf256_invert(m, 2));
+}
+
+TEST(Gf256Invert, RandomMatrixRoundTrip) {
+  Rng rng(6);
+  const std::size_t n = 6;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> m(n * n);
+    for (auto& v : m) v = static_cast<std::uint8_t>(rng.next_below(256));
+    auto inv = m;
+    if (!gf256_invert(inv, n)) continue;  // singular random matrix: skip
+    // m * inv must be identity.
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::uint8_t acc = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          acc = ::ronpath::gf256::add(acc, ::ronpath::gf256::mul(m[r * n + i], inv[i * n + c]));
+        }
+        EXPECT_EQ(acc, r == c ? 1 : 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ronpath

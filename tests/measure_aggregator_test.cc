@@ -1,0 +1,318 @@
+#include "measure/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ronpath {
+namespace {
+
+TimePoint at(double seconds) { return TimePoint::epoch() + Duration::from_seconds_f(seconds); }
+
+AggregatorConfig test_config() {
+  AggregatorConfig cfg;
+  cfg.buffer_horizon = Duration::minutes(3);
+  return cfg;
+}
+
+ProbeRecord two_copy_record(PairScheme scheme, NodeId src, NodeId dst, TimePoint sent,
+                            bool first_lost, bool second_lost,
+                            Duration lat1 = Duration::millis(50),
+                            Duration lat2 = Duration::millis(60)) {
+  ProbeRecord r;
+  r.scheme = scheme;
+  r.src = src;
+  r.dst = dst;
+  r.copy_count = 2;
+  r.copies[0].sent = sent;
+  r.copies[0].delivered = !first_lost;
+  r.copies[0].latency = lat1;
+  r.copies[1].sent = sent;
+  r.copies[1].delivered = !second_lost;
+  r.copies[1].latency = lat2;
+  return r;
+}
+
+ProbeRecord one_copy_record(PairScheme scheme, NodeId src, NodeId dst, TimePoint sent,
+                            bool lost, Duration lat = Duration::millis(40)) {
+  ProbeRecord r;
+  r.scheme = scheme;
+  r.src = src;
+  r.dst = dst;
+  r.copy_count = 1;
+  r.copies[0].sent = sent;
+  r.copies[0].delivered = !lost;
+  r.copies[0].latency = lat;
+  return r;
+}
+
+// Drives activity for all nodes so liveness never triggers.
+void heartbeat_all(Aggregator& agg, std::size_t n, TimePoint t) {
+  for (NodeId i = 0; i < n; ++i) agg.note_activity(i, t);
+}
+
+TEST(Aggregator, ExactPairColumns) {
+  const std::vector<PairScheme> schemes = {PairScheme::kDirectRand};
+  Aggregator agg(4, schemes, test_config());
+  double t = 1.0;
+  auto feed = [&](bool fl, bool sl, int count) {
+    for (int i = 0; i < count; ++i) {
+      heartbeat_all(agg, 4, at(t));
+      agg.add(two_copy_record(PairScheme::kDirectRand, 0, 1, at(t), fl, sl));
+      t += 1.0;
+    }
+  };
+  feed(false, false, 960);
+  feed(true, false, 20);
+  feed(false, true, 12);
+  feed(true, true, 8);
+  agg.finish(at(t + 600));
+
+  const auto& st = agg.scheme_stats(PairScheme::kDirectRand);
+  EXPECT_EQ(st.pair.pairs(), 1000);
+  EXPECT_DOUBLE_EQ(st.pair.first_loss_percent(), 2.8);
+  EXPECT_DOUBLE_EQ(st.pair.second_loss_percent(), 2.0);
+  EXPECT_DOUBLE_EQ(st.pair.total_loss_percent(), 0.8);
+  EXPECT_NEAR(*st.pair.conditional_loss_percent(), 100.0 * 8 / 28, 1e-9);
+}
+
+TEST(Aggregator, MethodLatencyIsEarliestCopy) {
+  const std::vector<PairScheme> schemes = {PairScheme::kDirectRand};
+  Aggregator agg(2, schemes, test_config());
+  heartbeat_all(agg, 2, at(1));
+  // First copy 50 ms, second 60 ms: method = 50.
+  agg.add(two_copy_record(PairScheme::kDirectRand, 0, 1, at(1), false, false));
+  heartbeat_all(agg, 2, at(2));
+  // First lost, second 60: method = 60.
+  agg.add(two_copy_record(PairScheme::kDirectRand, 0, 1, at(2), true, false));
+  agg.finish(at(1000));
+  const auto& st = agg.scheme_stats(PairScheme::kDirectRand);
+  EXPECT_EQ(st.method_lat_ms.count(), 2);
+  EXPECT_DOUBLE_EQ(st.method_lat_ms.mean(), 55.0);
+  EXPECT_DOUBLE_EQ(st.first_lat_ms.mean(), 50.0);
+  EXPECT_DOUBLE_EQ(st.second_lat_ms.mean(), 60.0);
+}
+
+TEST(Aggregator, SecondCopyGapCountsAgainstMethodLatency) {
+  const std::vector<PairScheme> schemes = {PairScheme::kDd10ms};
+  Aggregator agg(2, schemes, test_config());
+  heartbeat_all(agg, 2, at(1));
+  ProbeRecord r = two_copy_record(PairScheme::kDd10ms, 0, 1, at(1), true, false,
+                                  Duration::millis(50), Duration::millis(50));
+  r.copies[1].sent = at(1) + Duration::millis(10);
+  agg.add(r);
+  agg.finish(at(1000));
+  // Second copy arrives at send+10ms+50ms: effective 60 ms.
+  EXPECT_DOUBLE_EQ(agg.scheme_stats(PairScheme::kDd10ms).method_lat_ms.mean(), 60.0);
+}
+
+TEST(Aggregator, SingleCopyTotlpEqualsFirstLp) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(2, schemes, test_config());
+  double t = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    heartbeat_all(agg, 2, at(t));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(t), i < 5));
+    t += 1.0;
+  }
+  agg.finish(at(1000));
+  const auto& st = agg.scheme_stats(PairScheme::kLoss);
+  EXPECT_DOUBLE_EQ(st.pair.first_loss_percent(), 5.0);
+  EXPECT_DOUBLE_EQ(st.pair.total_loss_percent(), 5.0);
+}
+
+TEST(Aggregator, HostFailureFilterDropsRecords) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(3, schemes, test_config());
+  // Node 2 is silent the whole run -> down; probes TO it are disregarded.
+  double t = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    agg.note_activity(0, at(t));
+    agg.note_activity(1, at(t));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 2, at(t), /*lost=*/true));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(t), /*lost=*/false));
+    t += 1.0;
+  }
+  agg.finish(at(2000));
+  const auto& st = agg.scheme_stats(PairScheme::kLoss);
+  EXPECT_EQ(st.pair.pairs(), 200);  // only the 0->1 probes
+  EXPECT_EQ(st.filtered_host_failure, 200);
+  EXPECT_DOUBLE_EQ(st.pair.first_loss_percent(), 0.0);
+}
+
+TEST(Aggregator, MidRunHostFailureFiltered) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(2, schemes, test_config());
+  double t = 0.0;
+  int losses_committed_window = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t = i;
+    agg.note_activity(0, at(t));
+    // Node 1 alive except seconds [1000, 1800).
+    const bool node1_up = t < 1000 || t >= 1800;
+    if (node1_up) agg.note_activity(1, at(t));
+    const bool lost = !node1_up;  // probes to a dead host are lost
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(t), lost));
+    if (lost && t >= 1090 && t < 1800) ++losses_committed_window;
+  }
+  agg.finish(at(4000));
+  const auto& st = agg.scheme_stats(PairScheme::kLoss);
+  // The filter removes probes in [1090, 1800); the first 90 s of the
+  // failure leak through as losses (the paper's acknowledged undercount).
+  EXPECT_EQ(st.filtered_host_failure, 710);
+  EXPECT_EQ(st.pair.first_lost(), 90);
+}
+
+TEST(Aggregator, ReceiveHorizonConvertsLateArrivalsToLosses) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  AggregatorConfig cfg = test_config();
+  cfg.receive_horizon = Duration::seconds(10);
+  Aggregator agg(2, schemes, cfg);
+  heartbeat_all(agg, 2, at(1));
+  agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(1), false, Duration::seconds(11)));
+  heartbeat_all(agg, 2, at(2));
+  agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(2), false, Duration::seconds(9)));
+  agg.finish(at(1000));
+  EXPECT_DOUBLE_EQ(agg.scheme_stats(PairScheme::kLoss).pair.first_loss_percent(), 50.0);
+}
+
+TEST(Aggregator, MeasureStartSkipsWarmup) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  AggregatorConfig cfg = test_config();
+  cfg.measure_start = at(100);
+  Aggregator agg(2, schemes, cfg);
+  heartbeat_all(agg, 2, at(50));
+  agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(50), true));
+  heartbeat_all(agg, 2, at(150));
+  agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(150), false));
+  agg.finish(at(1000));
+  EXPECT_EQ(agg.scheme_stats(PairScheme::kLoss).pair.pairs(), 1);
+}
+
+TEST(Aggregator, PerPathStatsSeparated) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(3, schemes, test_config());
+  double t = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    heartbeat_all(agg, 3, at(t));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(t), true));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 2, at(t), false));
+    t += 1.0;
+  }
+  agg.finish(at(1000));
+  EXPECT_DOUBLE_EQ(agg.path_stats(PairScheme::kLoss, 0, 1).pair.first_loss_percent(), 100.0);
+  EXPECT_DOUBLE_EQ(agg.path_stats(PairScheme::kLoss, 0, 2).pair.first_loss_percent(), 0.0);
+}
+
+TEST(Aggregator, WindowHistogramCountsWindows) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(2, schemes, test_config());
+  // 3 full 20-minute windows of 10 probes each on one path: losses 0, 5, 10.
+  double t = 0.0;
+  const double kWin = 20.0 * 60.0;
+  auto window = [&](int losses, double start) {
+    for (int i = 0; i < 10; ++i) {
+      const double ts = start + i * 10.0;
+      heartbeat_all(agg, 2, at(ts));
+      agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(ts), i < losses));
+    }
+  };
+  window(0, t);
+  window(5, t + kWin);
+  window(10, t + 2 * kWin);
+  agg.finish(at(4 * kWin));
+  const Histogram& h = agg.window_hist(PairScheme::kLoss, /*hourly=*/false);
+  EXPECT_EQ(h.total(), 3);
+  // One window at 0, one at 0.5, one at 1.0 loss rate.
+  EXPECT_NEAR(h.fraction_below(0.25), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(h.fraction_below(0.75), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Aggregator, HighLossHourThresholds) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(2, schemes, test_config());
+  const double kHour = 3600.0;
+  auto hour = [&](int losses, int total, double start) {
+    for (int i = 0; i < total; ++i) {
+      const double ts = start + i * 30.0;
+      heartbeat_all(agg, 2, at(ts));
+      agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(ts), i < losses));
+    }
+  };
+  hour(0, 100, 0.0);        // 0%
+  hour(15, 100, kHour);     // 15%
+  hour(45, 100, 2 * kHour); // 45%
+  hour(95, 100, 3 * kHour); // 95%
+  agg.finish(at(5 * kHour));
+  const auto& counts = agg.high_loss_hours(PairScheme::kLoss);
+  EXPECT_EQ(agg.total_hour_windows(PairScheme::kLoss), 4);
+  EXPECT_EQ(counts[0], 3);  // > 0%
+  EXPECT_EQ(counts[1], 3);  // > 10%
+  EXPECT_EQ(counts[2], 2);  // > 20%
+  EXPECT_EQ(counts[4], 2);  // > 40%
+  EXPECT_EQ(counts[5], 1);  // > 50%
+  EXPECT_EQ(counts[9], 1);  // > 90%
+}
+
+TEST(Aggregator, WorstHourTracksGlobalPeak) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(3, schemes, test_config());
+  const double kHour = 3600.0;
+  // Hour 0: light loss on both paths; hour 1: heavy.
+  for (int i = 0; i < 100; ++i) {
+    const double ts = i * 30.0;
+    heartbeat_all(agg, 3, at(ts));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(ts), i < 2));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 2, at(ts), false));
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double ts = kHour + i * 30.0;
+    heartbeat_all(agg, 3, at(ts));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(ts), i < 30));
+    agg.add(one_copy_record(PairScheme::kLoss, 0, 2, at(ts), i < 10));
+  }
+  agg.finish(at(3 * kHour));
+  const auto worst = agg.worst_hour(PairScheme::kLoss);
+  EXPECT_NEAR(worst.loss_rate, 0.2, 1e-9);  // (30+10)/200
+  EXPECT_EQ(worst.start, at(kHour));
+}
+
+TEST(Aggregator, LossCauseDecomposition) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(2, schemes, test_config());
+  double t = 1.0;
+  auto lose_with = [&](DropCause cause, bool host, int n) {
+    for (int i = 0; i < n; ++i) {
+      heartbeat_all(agg, 2, at(t));
+      ProbeRecord r = one_copy_record(PairScheme::kLoss, 0, 1, at(t), true);
+      r.copies[0].cause = cause;
+      r.copies[0].host_drop = host;
+      agg.add(r);
+      t += 1.0;
+    }
+  };
+  lose_with(DropCause::kBurst, false, 7);
+  lose_with(DropCause::kOutage, false, 2);
+  lose_with(DropCause::kRandom, false, 1);
+  lose_with(DropCause::kNone, true, 3);
+  agg.finish(at(5000));
+  const auto& st = agg.scheme_stats(PairScheme::kLoss);
+  EXPECT_EQ(st.first_loss_by_cause[static_cast<std::size_t>(DropCause::kBurst)], 7);
+  EXPECT_EQ(st.first_loss_by_cause[static_cast<std::size_t>(DropCause::kOutage)], 2);
+  EXPECT_EQ(st.first_loss_by_cause[static_cast<std::size_t>(DropCause::kRandom)], 1);
+  EXPECT_EQ(st.first_loss_host, 3);
+}
+
+TEST(Aggregator, BufferingDelaysCommit) {
+  const std::vector<PairScheme> schemes = {PairScheme::kLoss};
+  Aggregator agg(2, schemes, test_config());
+  heartbeat_all(agg, 2, at(1));
+  agg.add(one_copy_record(PairScheme::kLoss, 0, 1, at(1), false));
+  // Not yet committed: the buffer horizon (3 min) has not passed.
+  EXPECT_EQ(agg.scheme_stats(PairScheme::kLoss).pair.pairs(), 0);
+  heartbeat_all(agg, 2, at(200));
+  EXPECT_EQ(agg.scheme_stats(PairScheme::kLoss).pair.pairs(), 1);
+}
+
+}  // namespace
+}  // namespace ronpath

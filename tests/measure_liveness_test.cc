@@ -1,0 +1,103 @@
+#include "measure/liveness.h"
+
+#include <gtest/gtest.h>
+
+namespace ronpath {
+namespace {
+
+TimePoint at(int seconds) { return TimePoint::epoch() + Duration::seconds(seconds); }
+
+TEST(Liveness, SteadyActivityNeverDown) {
+  HostLivenessTracker t(2);
+  for (int s = 0; s < 300; ++s) t.note_activity(0, at(s));
+  t.finish(at(300));
+  for (int s = 0; s < 300; s += 10) EXPECT_FALSE(t.was_down(0, at(s))) << s;
+}
+
+TEST(Liveness, GapBeyondThresholdInfersDown) {
+  HostLivenessTracker t(1);
+  t.note_activity(0, at(0));
+  t.note_activity(0, at(500));  // 500 s gap
+  t.finish(at(600));
+  // Down from last_activity + 90 to resume.
+  EXPECT_FALSE(t.was_down(0, at(50)));
+  EXPECT_FALSE(t.was_down(0, at(89)));
+  EXPECT_TRUE(t.was_down(0, at(90)));
+  EXPECT_TRUE(t.was_down(0, at(499)));
+  EXPECT_FALSE(t.was_down(0, at(500)));
+  EXPECT_FALSE(t.was_down(0, at(550)));
+}
+
+TEST(Liveness, ShortGapNotDown) {
+  HostLivenessTracker t(1);
+  t.note_activity(0, at(0));
+  t.note_activity(0, at(89));
+  t.finish(at(100));
+  for (int s = 0; s <= 89; s += 5) EXPECT_FALSE(t.was_down(0, at(s)));
+}
+
+// The streaming case: a host that died and has not yet resumed must be
+// reported down for times beyond last activity + threshold, even before
+// finish() - this is what lets the aggregator filter while the run is
+// still in progress.
+TEST(Liveness, PendingSilenceReportedDown) {
+  HostLivenessTracker t(1);
+  t.note_activity(0, at(100));
+  EXPECT_FALSE(t.was_down(0, at(150)));
+  EXPECT_TRUE(t.was_down(0, at(191)));
+  EXPECT_TRUE(t.was_down(0, at(10'000)));
+}
+
+TEST(Liveness, NeverHeardFromIsDown) {
+  HostLivenessTracker t(2);
+  t.note_activity(0, at(5));
+  EXPECT_TRUE(t.was_down(1, at(5)));
+  t.finish(at(100));
+  EXPECT_TRUE(t.was_down(1, at(50)));
+  ASSERT_EQ(t.intervals(1).size(), 1u);
+  EXPECT_EQ(t.intervals(1)[0].start, TimePoint::epoch());
+}
+
+TEST(Liveness, FinishClosesTrailingSilence) {
+  HostLivenessTracker t(1);
+  t.note_activity(0, at(10));
+  t.finish(at(500));
+  ASSERT_EQ(t.intervals(0).size(), 1u);
+  EXPECT_EQ(t.intervals(0)[0].start, at(100));
+  EXPECT_EQ(t.intervals(0)[0].end, at(500));
+}
+
+TEST(Liveness, MultipleDownIntervals) {
+  HostLivenessTracker t(1);
+  t.note_activity(0, at(0));
+  t.note_activity(0, at(300));   // gap 1: [90, 300)
+  t.note_activity(0, at(310));
+  t.note_activity(0, at(1000));  // gap 2: [400, 1000)
+  t.finish(at(1010));
+  ASSERT_EQ(t.intervals(0).size(), 2u);
+  EXPECT_TRUE(t.was_down(0, at(100)));
+  EXPECT_FALSE(t.was_down(0, at(305)));
+  EXPECT_TRUE(t.was_down(0, at(500)));
+  EXPECT_FALSE(t.was_down(0, at(1005)));
+}
+
+TEST(Liveness, CustomThreshold) {
+  HostLivenessTracker t(1, Duration::seconds(10));
+  t.note_activity(0, at(0));
+  t.note_activity(0, at(50));
+  t.finish(at(60));
+  EXPECT_TRUE(t.was_down(0, at(10)));
+  EXPECT_FALSE(t.was_down(0, at(9)));
+  EXPECT_EQ(t.threshold(), Duration::seconds(10));
+}
+
+TEST(Liveness, BoundaryExactlyAtThreshold) {
+  HostLivenessTracker t(1);
+  t.note_activity(0, at(0));
+  t.note_activity(0, at(90));  // exactly the threshold: not a failure
+  t.finish(at(100));
+  EXPECT_TRUE(t.intervals(0).empty());
+}
+
+}  // namespace
+}  // namespace ronpath

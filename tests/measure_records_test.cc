@@ -1,0 +1,215 @@
+#include "measure/records.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ronpath {
+namespace {
+
+ProbeRecord sample_record() {
+  ProbeRecord r;
+  r.scheme = PairScheme::kDirectRand;
+  r.src = 4;
+  r.dst = 21;
+  r.probe_id = 0xDEADBEEFCAFEF00Dull;
+  r.copy_count = 2;
+  r.copies[0].tag = RouteTag::kDirect;
+  r.copies[0].via = kDirectVia;
+  r.copies[0].delivered = true;
+  r.copies[0].cause = DropCause::kNone;
+  r.copies[0].sent = TimePoint::epoch() + Duration::seconds(100);
+  r.copies[0].latency = Duration::millis(54);
+  r.copies[1].tag = RouteTag::kRand;
+  r.copies[1].via = 9;
+  r.copies[1].delivered = false;
+  r.copies[1].cause = DropCause::kBurst;
+  r.copies[1].host_drop = false;
+  r.copies[1].sent = TimePoint::epoch() + Duration::seconds(100);
+  r.copies[1].latency = Duration::zero();
+  return r;
+}
+
+bool records_equal(const ProbeRecord& a, const ProbeRecord& b) {
+  if (a.scheme != b.scheme || a.src != b.src || a.dst != b.dst || a.probe_id != b.probe_id ||
+      a.copy_count != b.copy_count) {
+    return false;
+  }
+  for (std::uint8_t i = 0; i < a.copy_count; ++i) {
+    const CopyRecord& x = a.copies[i];
+    const CopyRecord& y = b.copies[i];
+    if (x.tag != y.tag || x.via != y.via || x.delivered != y.delivered || x.cause != y.cause ||
+        x.host_drop != y.host_drop || x.sent != y.sent || x.latency != y.latency) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Records, RoundTripSingle) {
+  const ProbeRecord rec = sample_record();
+  ByteWriter w;
+  encode_record(rec, w);
+  ByteReader r(w.view());
+  const auto decoded = decode_record(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(records_equal(rec, *decoded));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Records, RoundTripOneCopy) {
+  ProbeRecord rec = sample_record();
+  rec.copy_count = 1;
+  rec.scheme = PairScheme::kLoss;
+  ByteWriter w;
+  encode_record(rec, w);
+  ByteReader r(w.view());
+  const auto decoded = decode_record(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(records_equal(rec, *decoded));
+}
+
+TEST(Records, RejectsBadSchemeByte) {
+  ByteWriter w;
+  encode_record(sample_record(), w);
+  auto bytes = std::move(w).take();
+  bytes[0] = 0xEE;  // scheme out of range
+  ByteReader r(bytes);
+  EXPECT_FALSE(decode_record(r).has_value());
+}
+
+TEST(Records, RejectsBadCopyCount) {
+  ProbeRecord rec = sample_record();
+  ByteWriter w;
+  encode_record(rec, w);
+  auto bytes = std::move(w).take();
+  bytes[13] = 3;  // copy_count field offset: 1+2+2+8 = 13
+  ByteReader r(bytes);
+  EXPECT_FALSE(decode_record(r).has_value());
+}
+
+TEST(Records, RejectsTruncated) {
+  ByteWriter w;
+  encode_record(sample_record(), w);
+  const auto bytes = std::move(w).take();
+  for (std::size_t len = 1; len < bytes.size(); len += 3) {
+    ByteReader r(std::span(bytes.data(), len));
+    EXPECT_FALSE(decode_record(r).has_value()) << len;
+  }
+}
+
+TEST(Records, FileRoundTrip) {
+  std::vector<ProbeRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    ProbeRecord rec = sample_record();
+    rec.probe_id = static_cast<std::uint64_t>(i);
+    rec.copies[0].sent = TimePoint::epoch() + Duration::seconds(i);
+    records.push_back(rec);
+  }
+  std::ostringstream os;
+  write_records(os, records);
+  const std::string blob = os.str();
+  const auto loaded = read_records(
+      std::span(reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(records_equal(records[i], (*loaded)[i])) << i;
+  }
+}
+
+TEST(Records, FileRejectsBadMagic) {
+  std::ostringstream os;
+  write_records(os, {});
+  std::string blob = os.str();
+  blob[0] = 'X';
+  EXPECT_FALSE(read_records(std::span(reinterpret_cast<const std::uint8_t*>(blob.data()),
+                                      blob.size()))
+                   .has_value());
+}
+
+TEST(Records, FileRejectsTrailingGarbage) {
+  std::ostringstream os;
+  const std::vector<ProbeRecord> one = {sample_record()};
+  write_records(os, one);
+  std::string blob = os.str() + "junk";
+  EXPECT_FALSE(read_records(std::span(reinterpret_cast<const std::uint8_t*>(blob.data()),
+                                      blob.size()))
+                   .has_value());
+}
+
+class RecordSchemeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecordSchemeRoundTrip, EverySchemeEncodes) {
+  ProbeRecord rec = sample_record();
+  rec.scheme = static_cast<PairScheme>(GetParam());
+  ByteWriter w;
+  encode_record(rec, w);
+  ByteReader r(w.view());
+  const auto decoded = decode_record(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->scheme, rec.scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RecordSchemeRoundTrip, ::testing::Range(0, 14));
+
+TEST(RecordStream, RoundTrip) {
+  std::ostringstream os;
+  RecordStreamWriter w(os);
+  for (int i = 0; i < 20; ++i) {
+    ProbeRecord rec = sample_record();
+    rec.probe_id = static_cast<std::uint64_t>(i);
+    w.add(rec);
+  }
+  EXPECT_EQ(w.written(), 20);
+  const std::string blob = os.str();
+  const auto loaded = read_record_stream(
+      std::span(reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ((*loaded)[i].probe_id, i);
+  }
+}
+
+TEST(RecordStream, EmptyStreamIsValid) {
+  std::ostringstream os;
+  RecordStreamWriter w(os);
+  const std::string blob = os.str();
+  const auto loaded = read_record_stream(
+      std::span(reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(RecordStream, TornRecordRejected) {
+  std::ostringstream os;
+  RecordStreamWriter w(os);
+  w.add(sample_record());
+  std::string blob = os.str();
+  blob.resize(blob.size() - 3);  // tear the last record
+  EXPECT_FALSE(read_record_stream(std::span(
+                   reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()))
+                   .has_value());
+}
+
+TEST(RecordStream, RejectsCountedFormatHeader) {
+  // A version-1 (counted) file must not parse as a stream.
+  std::ostringstream os;
+  const std::vector<ProbeRecord> one = {sample_record()};
+  write_records(os, one);
+  const std::string blob = os.str();
+  EXPECT_FALSE(read_record_stream(std::span(
+                   reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()))
+                   .has_value());
+}
+
+TEST(Records, AnyDeliveredHelper) {
+  ProbeRecord rec = sample_record();
+  EXPECT_TRUE(rec.any_delivered());
+  rec.copies[0].delivered = false;
+  EXPECT_FALSE(rec.any_delivered());
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,209 @@
+#include "measure/report.h"
+
+#include <gtest/gtest.h>
+
+namespace ronpath {
+namespace {
+
+TimePoint at(double seconds) { return TimePoint::epoch() + Duration::from_seconds_f(seconds); }
+
+ProbeRecord rec2(PairScheme scheme, NodeId src, NodeId dst, TimePoint sent, bool fl, bool sl,
+                 Duration lat1, Duration lat2) {
+  ProbeRecord r;
+  r.scheme = scheme;
+  r.src = src;
+  r.dst = dst;
+  r.copy_count = 2;
+  r.copies[0].sent = sent;
+  r.copies[0].delivered = !fl;
+  r.copies[0].latency = lat1;
+  r.copies[1].sent = sent;
+  r.copies[1].delivered = !sl;
+  r.copies[1].latency = lat2;
+  return r;
+}
+
+ProbeRecord rec1(PairScheme scheme, NodeId src, NodeId dst, TimePoint sent, bool lost,
+                 Duration lat) {
+  ProbeRecord r;
+  r.scheme = scheme;
+  r.src = src;
+  r.dst = dst;
+  r.copy_count = 1;
+  r.copies[0].sent = sent;
+  r.copies[0].delivered = !lost;
+  r.copies[0].latency = lat;
+  return r;
+}
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 4;
+
+  ReportFixture()
+      : agg_(kNodes, std::vector<PairScheme>{PairScheme::kLoss, PairScheme::kDirectRand,
+                                             PairScheme::kLatLoss},
+             AggregatorConfig{}) {}
+
+  void heartbeat(double t) {
+    for (NodeId i = 0; i < kNodes; ++i) agg_.note_activity(i, at(t));
+  }
+
+  Aggregator agg_;
+};
+
+TEST_F(ReportFixture, LossTableInferredRows) {
+  double t = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    heartbeat(t);
+    // direct rand: first copy lost 10% of the time.
+    agg_.add(rec2(PairScheme::kDirectRand, 0, 1, at(t), i % 10 == 0, false,
+                  Duration::millis(50), Duration::millis(70)));
+    // lat loss: first copy lost 5% of the time.
+    agg_.add(rec2(PairScheme::kLatLoss, 0, 1, at(t), i % 20 == 0, false, Duration::millis(45),
+                  Duration::millis(55)));
+    agg_.add(rec1(PairScheme::kLoss, 0, 1, at(t), false, Duration::millis(58)));
+    t += 1.0;
+  }
+  agg_.finish(at(10'000));
+
+  static constexpr PairScheme kRows[] = {PairScheme::kDirect, PairScheme::kLat,
+                                         PairScheme::kLoss, PairScheme::kDirectRand};
+  const auto rows = make_loss_table(agg_, kRows);
+  ASSERT_EQ(rows.size(), 4u);
+
+  // direct* inferred from direct rand first copies.
+  EXPECT_TRUE(rows[0].inferred);
+  EXPECT_EQ(rows[0].name, "direct*");
+  EXPECT_DOUBLE_EQ(rows[0].lp1, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].totlp, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].lat_ms, 50.0);
+  EXPECT_FALSE(rows[0].lp2.has_value());
+
+  // lat* inferred from lat loss first copies.
+  EXPECT_TRUE(rows[1].inferred);
+  EXPECT_DOUBLE_EQ(rows[1].lp1, 5.0);
+  EXPECT_DOUBLE_EQ(rows[1].lat_ms, 45.0);
+
+  // loss probed directly.
+  EXPECT_FALSE(rows[2].inferred);
+  EXPECT_EQ(rows[2].name, "loss");
+  EXPECT_DOUBLE_EQ(rows[2].lp1, 0.0);
+  EXPECT_DOUBLE_EQ(rows[2].lat_ms, 58.0);
+
+  // direct rand full columns; method latency is min(50, 70) = 50 when the
+  // first copy arrives, 70 when only the second does.
+  EXPECT_FALSE(rows[3].inferred);
+  ASSERT_TRUE(rows[3].lp2.has_value());
+  EXPECT_DOUBLE_EQ(*rows[3].lp2, 0.0);
+  ASSERT_TRUE(rows[3].clp.has_value());
+  EXPECT_DOUBLE_EQ(*rows[3].clp, 0.0);
+  EXPECT_NEAR(rows[3].lat_ms, (180 * 50.0 + 20 * 70.0) / 200.0, 1e-9);
+}
+
+TEST_F(ReportFixture, PerPathLossRequiresMinSamples) {
+  double t = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    heartbeat(t);
+    agg_.add(rec2(PairScheme::kDirectRand, 0, 1, at(t), i < 6, false, Duration::millis(50),
+                  Duration::millis(70)));
+    t += 1.0;
+  }
+  // Path 2->3 gets only a handful of samples: excluded by min_samples.
+  for (int i = 0; i < 5; ++i) {
+    heartbeat(t);
+    agg_.add(rec2(PairScheme::kDirectRand, 2, 3, at(t), false, false, Duration::millis(50),
+                  Duration::millis(70)));
+    t += 1.0;
+  }
+  agg_.finish(at(10'000));
+  const auto losses = per_path_loss_percent(agg_, PairScheme::kDirectRand, 50);
+  ASSERT_EQ(losses.size(), 1u);
+  EXPECT_DOUBLE_EQ(losses[0], 10.0);
+}
+
+TEST_F(ReportFixture, PerPathClpOnlyPathsWithFirstLosses) {
+  double t = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    heartbeat(t);
+    agg_.add(rec2(PairScheme::kDirectRand, 0, 1, at(t), i < 10, i < 5, Duration::millis(50),
+                  Duration::millis(70)));
+    agg_.add(rec2(PairScheme::kDirectRand, 2, 3, at(t), false, false, Duration::millis(50),
+                  Duration::millis(70)));
+    t += 1.0;
+  }
+  agg_.finish(at(10'000));
+  const auto clps = per_path_clp_percent(agg_, PairScheme::kDirectRand);
+  ASSERT_EQ(clps.size(), 1u);
+  EXPECT_DOUBLE_EQ(clps[0], 50.0);
+}
+
+// Clock-offset cancellation: forward/reverse means are averaged, so a
+// constant receiver offset cancels exactly (Section 4.1's method).
+TEST_F(ReportFixture, PairLatencyCancelsClockSkew) {
+  const Duration skew = Duration::millis(30);
+  double t = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    heartbeat(t);
+    // True latency 50 ms both ways; node 1's clock is +30 ms.
+    agg_.add(rec1(PairScheme::kLoss, 0, 1, at(t), false, Duration::millis(50) + skew));
+    agg_.add(rec1(PairScheme::kLoss, 1, 0, at(t), false, Duration::millis(50) - skew));
+    t += 1.0;
+  }
+  agg_.finish(at(10'000));
+  const auto lats = per_pair_latency_ms(agg_, PairScheme::kLoss, /*first_copy=*/true, 10);
+  ASSERT_EQ(lats.size(), 1u);
+  EXPECT_NEAR(lats[0], 50.0, 1e-9);
+}
+
+TEST_F(ReportFixture, WindowLossCdfIsMonotone) {
+  double t = 1.0;
+  for (int i = 0; i < 5000; ++i) {
+    heartbeat(t);
+    agg_.add(rec1(PairScheme::kLoss, 0, 1, at(t), i % 37 == 0, Duration::millis(40)));
+    t += 2.0;
+  }
+  agg_.finish(at(50'000));
+  const auto cdf = window_loss_cdf(agg_, PairScheme::kLoss);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].f, cdf[i - 1].f);
+    EXPECT_GT(cdf[i].x, cdf[i - 1].x);
+  }
+  EXPECT_NEAR(cdf.back().f, 1.0, 1e-9);
+}
+
+TEST_F(ReportFixture, HighLossTableShape) {
+  double t = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    heartbeat(t);
+    agg_.add(rec1(PairScheme::kLoss, 0, 1, at(t), i < 30, Duration::millis(40)));
+    t += 30.0;
+  }
+  agg_.finish(at(100'000));
+  static constexpr PairScheme kSchemes[] = {PairScheme::kLoss};
+  const auto table = make_high_loss_table(agg_, kSchemes);
+  ASSERT_EQ(table.schemes.size(), 1u);
+  // Counts decrease (weakly) with threshold.
+  for (std::size_t i = 1; i < kHighLossThresholds; ++i) {
+    EXPECT_LE(table.counts[i][0], table.counts[i - 1][0]);
+  }
+  EXPECT_GT(table.total_windows[0], 0);
+}
+
+TEST_F(ReportFixture, BaseStats) {
+  double t = 1.0;
+  for (int i = 0; i < 1000; ++i) {
+    heartbeat(t);
+    agg_.add(rec1(PairScheme::kLoss, 0, 1, at(t), i % 100 == 0, Duration::millis(40)));
+    t += 1.0;
+  }
+  agg_.finish(at(10'000));
+  const auto base = make_base_stats(agg_, PairScheme::kLoss);
+  EXPECT_NEAR(base.loss_percent, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(base.mean_latency_ms, 40.0);
+  EXPECT_GT(base.worst_hour_loss_percent, 0.0);
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "model/bounds.h"
+#include "model/design_space.h"
+#include "model/fec_analysis.h"
+#include "model/overhead.h"
+
+namespace ronpath {
+namespace {
+
+// ------------------------------------------------------------------ bounds
+
+TEST(Bounds, ReactiveIsMin) {
+  const std::array<double, 4> losses = {0.05, 0.01, 0.2, 0.03};
+  EXPECT_DOUBLE_EQ(p_reactive(losses), 0.01);
+}
+
+TEST(Bounds, RedundantIndependentIsProduct) {
+  const std::array<double, 3> losses = {0.1, 0.2, 0.5};
+  EXPECT_DOUBLE_EQ(p_redundant_independent(losses), 0.01);
+}
+
+TEST(Bounds, TwoRedundantExpectedSquares) {
+  EXPECT_DOUBLE_EQ(p_2redundant_expected(0.0042), 0.0042 * 0.0042);
+}
+
+TEST(Bounds, CorrelatedRedundancy) {
+  // Paper numbers: direct rand 1lp 0.41%, clp 62.47% -> totlp ~0.26%.
+  EXPECT_NEAR(p_2redundant_correlated(0.0041, 0.6247), 0.00256, 1e-5);
+}
+
+TEST(Bounds, LossImprovement) {
+  EXPECT_NEAR(loss_improvement(0.42, 0.26), 0.38, 0.005);
+  EXPECT_DOUBLE_EQ(loss_improvement(0.0, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(loss_improvement(0.5, 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------- overhead
+
+TEST(Overhead, ProbingScalesQuadratically) {
+  ProbeOverheadParams p10;
+  p10.nodes = 10;
+  ProbeOverheadParams p20 = p10;
+  p20.nodes = 20;
+  const double r = probing_bytes_per_sec(p20) / probing_bytes_per_sec(p10);
+  EXPECT_GT(r, 3.5);
+  EXPECT_LT(r, 4.5);
+}
+
+TEST(Overhead, PaperScaleSanity) {
+  // 30 nodes at 15 s probing: total probe traffic is modest (tens of KB/s
+  // across the mesh).
+  ProbeOverheadParams p;
+  const double total = probing_bytes_per_sec(p);
+  EXPECT_GT(total, 1'000.0);
+  EXPECT_LT(total, 100'000.0);
+}
+
+TEST(Overhead, ReactiveFactorShrinksWithFlow) {
+  ProbeOverheadParams p;
+  EXPECT_GT(reactive_overhead_factor(p, 1'000.0), reactive_overhead_factor(p, 100'000.0));
+  EXPECT_GT(reactive_overhead_factor(p, 1'000.0), 1.0);
+}
+
+TEST(Overhead, CrossoverConsistent) {
+  ProbeOverheadParams p;
+  const double b = crossover_flow_bytes_per_sec(p, 2.0);
+  EXPECT_NEAR(reactive_overhead_factor(p, b), 2.0, 1e-9);
+  // Below the crossover, redundancy is cheaper (reactive factor > 2x).
+  EXPECT_GT(reactive_overhead_factor(p, b / 2), 2.0);
+  EXPECT_LT(reactive_overhead_factor(p, b * 2), 2.0);
+}
+
+// ------------------------------------------------------------ design space
+
+TEST(DesignSpace, LimitsRespected) {
+  DesignSpaceParams params;
+  DesignSpace ds(params);
+  // Beyond the best-expected-path limit reactive is infeasible.
+  EXPECT_FALSE(ds.reactive_feasible(params.reactive_limit + 0.01, 0.1));
+  EXPECT_TRUE(ds.reactive_feasible(params.reactive_limit - 0.01, 0.1));
+  // Beyond the independence limit redundancy is infeasible.
+  EXPECT_FALSE(ds.redundant_feasible(params.independence_limit + 0.01, 0.1));
+  EXPECT_TRUE(ds.redundant_feasible(params.independence_limit - 0.01, 0.1));
+}
+
+TEST(DesignSpace, CapacityLimits) {
+  DesignSpace ds(DesignSpaceParams{});
+  // 2-redundant routing cannot serve flows above half capacity.
+  EXPECT_FALSE(ds.redundant_feasible(0.1, 0.6));
+  EXPECT_TRUE(ds.redundant_feasible(0.1, 0.45));
+  // Reactive capacity shrinks as the improvement requirement grows.
+  EXPECT_GT(ds.reactive_capacity_limit(0.0), ds.reactive_capacity_limit(0.6));
+}
+
+TEST(DesignSpace, ThinFlowsFavorRedundancy) {
+  DesignSpace ds(DesignSpaceParams{});
+  EXPECT_FALSE(ds.evaluate(0.3, 0.01).reactive_cheaper);
+  EXPECT_TRUE(ds.evaluate(0.3, 0.4).reactive_cheaper);
+}
+
+TEST(DesignSpace, RegionsPartitionTheGrid) {
+  DesignSpace ds(DesignSpaceParams{});
+  const auto grid = ds.grid(21, 21);
+  EXPECT_EQ(grid.size(), 441u);
+  int reactive = 0;
+  int redundant = 0;
+  int either = 0;
+  int neither = 0;
+  for (const auto& pt : grid) {
+    switch (pt.region) {
+      case SchemeRegion::kReactiveOnly: ++reactive; break;
+      case SchemeRegion::kRedundantOnly: ++redundant; break;
+      case SchemeRegion::kEither: ++either; break;
+      case SchemeRegion::kNeither: ++neither; break;
+    }
+  }
+  // All four regions appear in the paper's figure.
+  EXPECT_GT(reactive, 0);
+  EXPECT_GT(either, 0);
+  EXPECT_GT(neither, 0);
+  EXPECT_EQ(reactive + redundant + either + neither, 441);
+}
+
+TEST(DesignSpace, RegionNames) {
+  EXPECT_EQ(to_string(SchemeRegion::kNeither), "neither");
+  EXPECT_EQ(to_string(SchemeRegion::kEither), "either");
+}
+
+// ------------------------------------------------------------ FEC analysis
+
+ClpCurve paper_curve() {
+  // The paper's dd measurements: 72% at 0 ms, 66% at 10 ms, 65% at 20 ms,
+  // decaying to the 0.42% unconditional rate.
+  return ClpCurve({{Duration::zero(), 0.72},
+                   {Duration::millis(10), 0.66},
+                   {Duration::millis(20), 0.65}},
+                  0.0042);
+}
+
+TEST(ClpCurve, InterpolatesSamples) {
+  const ClpCurve c = paper_curve();
+  EXPECT_DOUBLE_EQ(c.at(Duration::zero()), 0.72);
+  EXPECT_DOUBLE_EQ(c.at(Duration::millis(10)), 0.66);
+  EXPECT_NEAR(c.at(Duration::millis(5)), 0.69, 1e-9);
+  EXPECT_NEAR(c.at(Duration::millis(15)), 0.655, 1e-9);
+}
+
+TEST(ClpCurve, DecaysToFloor) {
+  const ClpCurve c = paper_curve();
+  EXPECT_LT(c.at(Duration::seconds(5)), 0.01);
+  EXPECT_GE(c.at(Duration::seconds(5)), c.unconditional());
+}
+
+TEST(ClpCurve, MonotoneDecreasingTail) {
+  const ClpCurve c = paper_curve();
+  double prev = c.at(Duration::millis(20));
+  for (int ms = 40; ms <= 2000; ms += 20) {
+    const double cur = c.at(Duration::millis(ms));
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+// Section 5.2's headline: escaping the 70% same-path correlation requires
+// spreading FEC over hundreds of milliseconds.
+TEST(ClpCurve, DecorrelationGapIsHundredsOfMs) {
+  const ClpCurve c = paper_curve();
+  const Duration gap = c.decorrelation_gap(0.02);
+  EXPECT_GT(gap, Duration::millis(100));
+  EXPECT_LT(gap, Duration::seconds(3));
+}
+
+TEST(FecFailure, MatchesClosedFormForDuplication) {
+  // k=1, m=1 back-to-back: group fails iff both packets lost.
+  const ClpCurve c = paper_curve();
+  FecSchemeParams scheme;
+  scheme.data_packets = 1;
+  scheme.parity_packets = 1;
+  scheme.packet_spacing = Duration::zero();
+  const double first = 0.0042;
+  const double expected = first * c.at(Duration::zero());
+  EXPECT_NEAR(fec_group_failure_probability(c, first, scheme), expected, 1e-12);
+}
+
+TEST(FecFailure, DecreasesWithSpacing) {
+  const ClpCurve c = paper_curve();
+  FecSchemeParams tight;
+  tight.data_packets = 5;
+  tight.parity_packets = 1;
+  tight.packet_spacing = Duration::millis(1);
+  FecSchemeParams spread = tight;
+  spread.packet_spacing = Duration::millis(400);
+  const double pf_tight = fec_group_failure_probability(c, 0.0042, tight);
+  const double pf_spread = fec_group_failure_probability(c, 0.0042, spread);
+  EXPECT_LT(pf_spread, pf_tight);
+}
+
+TEST(FecFailure, MoreParityHelps) {
+  const ClpCurve c = paper_curve();
+  FecSchemeParams one;
+  one.data_packets = 4;
+  one.parity_packets = 1;
+  one.packet_spacing = Duration::millis(10);
+  FecSchemeParams two = one;
+  two.parity_packets = 2;
+  EXPECT_LT(fec_group_failure_probability(c, 0.0042, two),
+            fec_group_failure_probability(c, 0.0042, one));
+}
+
+TEST(RequiredSpacing, PaperConclusion) {
+  // A 5+1 code protecting a 70%-correlated path needs its packets spread
+  // by ~hundreds of ms to approach the independent-loss failure rate -
+  // nearly half a second of added recovery delay across the group.
+  const ClpCurve c = paper_curve();
+  // Independent-loss floor: same group with a flat curve at the base rate.
+  const ClpCurve flat({{Duration::zero(), 0.0042}}, 0.0042);
+  FecSchemeParams scheme;
+  scheme.data_packets = 5;
+  scheme.parity_packets = 1;
+  scheme.packet_spacing = Duration::zero();
+  const double floor = fec_group_failure_probability(flat, 0.0042, scheme);
+  const Duration spacing = required_spacing(c, 0.0042, 5, 1, 2.0 * floor);
+  EXPECT_GT(spacing, Duration::millis(50));
+  EXPECT_LT(spacing, Duration::seconds(2));
+}
+
+TEST(RequiredSpacing, UnreachableTargetReturnsMax) {
+  const ClpCurve c = paper_curve();
+  const Duration spacing =
+      required_spacing(c, 0.5, 5, 1, 1e-12, Duration::millis(100));
+  EXPECT_EQ(spacing, Duration::millis(100));
+}
+
+}  // namespace
+}  // namespace ronpath

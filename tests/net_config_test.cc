@@ -1,0 +1,131 @@
+#include "net/config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+
+namespace ronpath {
+namespace {
+
+class ConfigFixture : public ::testing::Test {
+ protected:
+  ConfigFixture() : topo_(testbed_2003()), cfg_(NetConfig::profile_2003()) {}
+
+  [[nodiscard]] NodeId node(const char* name) const { return *topo_.find(name); }
+
+  Topology topo_;
+  NetConfig cfg_;
+};
+
+TEST_F(ConfigFixture, AccessTableCoversAllClasses) {
+  ASSERT_EQ(cfg_.access.size(), 8u);
+  for (const auto& p : cfg_.access) {
+    EXPECT_GT(p.bursts_per_hour, 0.0);
+    EXPECT_GT(p.burst_drop_prob, 0.0);
+    EXPECT_LE(p.burst_drop_prob, 1.0);
+  }
+}
+
+TEST_F(ConfigFixture, UplinkBurstierThanDownlink) {
+  const NodeId mit = node("MIT");
+  const auto up = cfg_.params_for(topo_, topo_.site_index(mit, SiteComp::kUp));
+  const auto down = cfg_.params_for(topo_, topo_.site_index(mit, SiteComp::kDown));
+  EXPECT_GT(up.bursts_per_hour, down.bursts_per_hour);
+}
+
+TEST_F(ConfigFixture, ConsumerUplinkExtraCongested) {
+  const NodeId cable = node("CA-DSL");
+  const NodeId univ = node("MIT");
+  const auto cable_up = cfg_.params_for(topo_, topo_.site_index(cable, SiteComp::kUp));
+  const auto cable_down = cfg_.params_for(topo_, topo_.site_index(cable, SiteComp::kDown));
+  // Consumer up gets the asymmetry factor twice over.
+  EXPECT_GT(cable_up.bursts_per_hour / cable_down.bursts_per_hour,
+            cfg_.access_up_factor / cfg_.access_down_factor + 0.5);
+  // And cable is burstier than a university access link.
+  const auto univ_up = cfg_.params_for(topo_, topo_.site_index(univ, SiteComp::kUp));
+  EXPECT_GT(cable_up.bursts_per_hour, univ_up.bursts_per_hour);
+}
+
+TEST_F(ConfigFixture, ProviderFactorsApplied) {
+  const auto mit = cfg_.params_for(topo_, topo_.site_index(node("MIT"), SiteComp::kProvOut));
+  const auto korea =
+      cfg_.params_for(topo_, topo_.site_index(node("Korea"), SiteComp::kProvOut));
+  const auto cable =
+      cfg_.params_for(topo_, topo_.site_index(node("CA-DSL"), SiteComp::kProvOut));
+  EXPECT_GT(korea.bursts_per_hour, mit.bursts_per_hour);
+  EXPECT_GT(cable.bursts_per_hour, mit.bursts_per_hour);
+}
+
+TEST_F(ConfigFixture, IntlAndKoreaCoreSegmentsLossier) {
+  const auto us = cfg_.params_for(topo_, topo_.core_index(node("MIT"), node("UCSD")));
+  const auto intl = cfg_.params_for(topo_, topo_.core_index(node("MIT"), node("Lulea")));
+  const auto korea = cfg_.params_for(topo_, topo_.core_index(node("MIT"), node("Korea")));
+  EXPECT_GT(intl.bursts_per_hour, us.bursts_per_hour);
+  EXPECT_GT(korea.bursts_per_hour, intl.bursts_per_hour);
+}
+
+TEST_F(ConfigFixture, LossScaleScalesBurstRatesOnly) {
+  NetConfig scaled = cfg_;
+  scaled.loss_scale = cfg_.loss_scale * 2.0;
+  const std::size_t comp = topo_.site_index(node("MIT"), SiteComp::kUp);
+  const auto base = cfg_.params_for(topo_, comp);
+  const auto doubled = scaled.params_for(topo_, comp);
+  EXPECT_NEAR(doubled.bursts_per_hour, 2.0 * base.bursts_per_hour, 1e-9);
+  EXPECT_DOUBLE_EQ(doubled.episodes_per_day, base.episodes_per_day);
+  EXPECT_DOUBLE_EQ(doubled.base_loss, base.base_loss);
+}
+
+TEST_F(ConfigFixture, Profile2002HasMoreLossLessEdgeCorrelation) {
+  const NetConfig old = NetConfig::profile_2002();
+  EXPECT_GE(old.loss_scale, cfg_.loss_scale);
+  // 2002: weaker shared provider edges, stronger independent middles.
+  EXPECT_LT(old.provider.bursts_per_hour, cfg_.provider.bursts_per_hour);
+  EXPECT_GT(old.core.bursts_per_hour, cfg_.core.bursts_per_hour);
+  EXPECT_LT(old.provider_events.cross_fraction, cfg_.provider_events.cross_fraction);
+}
+
+TEST_F(ConfigFixture, IncidentsScaleIntoShortRuns) {
+  const NetConfig short_run = NetConfig::profile_2003(Duration::hours(14));
+  ASSERT_EQ(short_run.incidents.size(), 2u);
+  for (const auto& inc : short_run.incidents) {
+    EXPECT_LT(inc.start, TimePoint::epoch() + Duration::hours(14));
+    EXPECT_GT(inc.duration, Duration::zero());
+  }
+  // Full-length schedule: Cornell at day 6 of 14.
+  const NetConfig full = NetConfig::profile_2003(Duration::days(14));
+  EXPECT_EQ(full.incidents[0].start, TimePoint::epoch() + Duration::days(6));
+  EXPECT_EQ(full.incidents[0].duration, Duration::hours(30));
+}
+
+TEST_F(ConfigFixture, CornellIncidentIsLatencyPathology) {
+  const NetConfig full = NetConfig::profile_2003(Duration::days(14));
+  const Incident& cornell = full.incidents[0];
+  EXPECT_EQ(cornell.site_name, "Cornell");
+  EXPECT_EQ(cornell.scope, Incident::Scope::kCore);
+  EXPECT_GT(cornell.added_latency, Duration::millis(500));
+  EXPECT_LT(cornell.cross_fraction, 1.0);  // some clean transit remains
+}
+
+TEST_F(ConfigFixture, EpisodeLossRatesConfigured) {
+  // Severity-specified episodes everywhere: derived boosts stay sane.
+  for (std::size_t ci = 0; ci < topo_.component_count(); ci += 37) {
+    const auto p = cfg_.params_for(topo_, ci);
+    if (p.episode_loss_rate > 0.0) {
+      const double boost = derived_boost(p, p.episode_loss_rate);
+      EXPECT_GE(boost, 1.0);
+      EXPECT_LT(boost, 1e7);
+    }
+  }
+}
+
+TEST_F(ConfigFixture, MicroburstMixtureDefaults) {
+  const auto p = cfg_.params_for(topo_, topo_.site_index(0, SiteComp::kUp));
+  EXPECT_GT(p.short_burst_fraction, 0.5);
+  EXPECT_LT(p.short_burst_median, Duration::millis(20));
+  EXPECT_GT(p.burst_median, Duration::millis(100));
+  // Mixture mean dominated by the long population.
+  EXPECT_GT(mean_burst_seconds(p), p.short_burst_median.to_seconds_f());
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,286 @@
+#include "net/loss_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/config.h"
+#include "util/rng.h"
+
+namespace ronpath {
+namespace {
+
+TEST(LazyIntervalProcess, DeterministicForSeed) {
+  LazyIntervalProcess a(Duration::minutes(10), Duration::minutes(1), 5.0, Rng(7));
+  LazyIntervalProcess b(Duration::minutes(10), Duration::minutes(1), 5.0, Rng(7));
+  const TimePoint end = TimePoint::epoch() + Duration::hours(10);
+  a.generate_until(end);
+  b.generate_until(end);
+  ASSERT_EQ(a.intervals().size(), b.intervals().size());
+  for (std::size_t i = 0; i < a.intervals().size(); ++i) {
+    EXPECT_EQ(a.intervals()[i].start, b.intervals()[i].start);
+    EXPECT_EQ(a.intervals()[i].end, b.intervals()[i].end);
+  }
+}
+
+TEST(LazyIntervalProcess, GenerationIsQueryInvariant) {
+  // Generating in one shot or in many small steps yields the same layout.
+  LazyIntervalProcess one(Duration::minutes(5), Duration::minutes(1), 1.0, Rng(9));
+  LazyIntervalProcess steps(Duration::minutes(5), Duration::minutes(1), 1.0, Rng(9));
+  const TimePoint end = TimePoint::epoch() + Duration::hours(8);
+  one.generate_until(end);
+  for (int m = 1; m <= 8 * 60; ++m) {
+    steps.generate_until(TimePoint::epoch() + Duration::minutes(m));
+  }
+  ASSERT_EQ(one.intervals().size(), steps.intervals().size());
+  for (std::size_t i = 0; i < one.intervals().size(); ++i) {
+    EXPECT_EQ(one.intervals()[i].start, steps.intervals()[i].start);
+  }
+}
+
+TEST(LazyIntervalProcess, ValueAtInsideAndOutside) {
+  LazyIntervalProcess p(Duration::hours(1), Duration::minutes(5), 3.0, Rng(11));
+  const TimePoint end = TimePoint::epoch() + Duration::days(2);
+  p.generate_until(end);
+  ASSERT_FALSE(p.intervals().empty());
+  const StateInterval iv = p.intervals().front();
+  EXPECT_DOUBLE_EQ(p.value_at(iv.start), 3.0);
+  EXPECT_DOUBLE_EQ(p.value_at(iv.end - Duration::nanos(1)), 3.0);
+  EXPECT_DOUBLE_EQ(p.value_at(iv.end), 0.0);
+  if (iv.start > TimePoint::epoch()) {
+    EXPECT_DOUBLE_EQ(p.value_at(iv.start - Duration::nanos(1)), 0.0);
+  }
+}
+
+TEST(LazyIntervalProcess, MergedIntervalsAreDisjointSorted) {
+  // High duty cycle forces overlaps that must merge.
+  LazyIntervalProcess p(Duration::seconds(30), Duration::minutes(2), 1.0, Rng(13));
+  p.generate_until(TimePoint::epoch() + Duration::hours(4));
+  const auto& ivs = p.intervals();
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    EXPECT_GT(ivs[i].start, ivs[i - 1].end);
+  }
+}
+
+TEST(LazyIntervalProcess, PruneDropsOldIntervals) {
+  LazyIntervalProcess p(Duration::minutes(2), Duration::seconds(30), 1.0, Rng(17));
+  p.generate_until(TimePoint::epoch() + Duration::hours(2));
+  const std::size_t before = p.intervals().size();
+  ASSERT_GT(before, 0u);
+  p.prune_before(TimePoint::epoch() + Duration::hours(1));
+  EXPECT_LT(p.intervals().size(), before);
+  for (const auto& iv : p.intervals()) {
+    EXPECT_GT(iv.end, TimePoint::epoch() + Duration::hours(1));
+  }
+}
+
+TEST(LazyIntervalProcess, MeanDurationRoughlyMatches) {
+  LazyIntervalProcess p(Duration::hours(2), Duration::minutes(10), 1.0, Rng(19));
+  p.generate_until(TimePoint::epoch() + Duration::days(200));
+  double total_min = 0.0;
+  for (const auto& iv : p.intervals()) total_min += (iv.end - iv.start).to_seconds_f() / 60.0;
+  const double mean = total_min / static_cast<double>(p.intervals().size());
+  EXPECT_NEAR(mean, 10.0, 1.5);  // merging inflates slightly
+}
+
+TEST(DiurnalFactor, PeaksInLocalAfternoon) {
+  const double amp = 0.5;
+  // At longitude 0, peak near 16:00 UTC, trough near 04:00 UTC.
+  const double peak = diurnal_factor(TimePoint::epoch() + Duration::hours(16), 0.0, amp);
+  const double trough = diurnal_factor(TimePoint::epoch() + Duration::hours(4), 0.0, amp);
+  EXPECT_NEAR(peak, 1.5, 0.01);
+  EXPECT_NEAR(trough, 0.5, 0.01);
+}
+
+TEST(DiurnalFactor, LongitudeShiftsPhase) {
+  // 90 degrees east = local time 6 h ahead: the 10:00 UTC factor at lon 90
+  // equals the 16:00 UTC factor at lon 0.
+  const double a = diurnal_factor(TimePoint::epoch() + Duration::hours(10), 90.0, 0.5);
+  const double b = diurnal_factor(TimePoint::epoch() + Duration::hours(16), 0.0, 0.5);
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(DiurnalFactor, ZeroAmplitudeIsFlat) {
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(diurnal_factor(TimePoint::epoch() + Duration::hours(h), -71.0, 0.0), 1.0);
+  }
+}
+
+TEST(DerivedBoost, ProducesTargetLossRate) {
+  ComponentParams p;
+  p.bursts_per_hour = 2.0;
+  p.burst_drop_prob = 0.8;
+  const double boost = derived_boost(p, 0.10);
+  // rate*mean*drop*boost == 0.10
+  const double in_state = p.bursts_per_hour / 3600.0 * mean_burst_seconds(p) *
+                          p.burst_drop_prob * boost;
+  EXPECT_NEAR(in_state, 0.10, 1e-9);
+}
+
+TEST(DerivedBoost, NeverBelowOne) {
+  ComponentParams p;
+  p.bursts_per_hour = 10'000.0;
+  EXPECT_GE(derived_boost(p, 1e-9), 1.0);
+}
+
+TEST(MeanBurstSeconds, MixtureWeighting) {
+  ComponentParams p;
+  p.short_burst_fraction = 1.0;
+  p.short_burst_median = Duration::millis(10);
+  p.short_burst_sigma = 0.0;
+  EXPECT_NEAR(mean_burst_seconds(p), 0.010, 1e-9);
+  p.short_burst_fraction = 0.0;
+  p.burst_median = Duration::millis(100);
+  p.burst_sigma = 0.0;
+  EXPECT_NEAR(mean_burst_seconds(p), 0.100, 1e-9);
+}
+
+ComponentParams quiet_params() {
+  ComponentParams p;
+  p.base_loss = 0.0;
+  p.bursts_per_hour = 0.0;
+  p.episodes_per_day = 0.0;
+  p.outages_per_month = 0.0;
+  p.diurnal_amplitude = 0.0;
+  return p;
+}
+
+TEST(ComponentProcess, QuietComponentNeverDrops) {
+  ComponentProcess cp(quiet_params(), 0.0, {}, Rng(3));
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = cp.sample(TimePoint::epoch() + Duration::seconds(i));
+    EXPECT_DOUBLE_EQ(s.drop_prob, 0.0);
+    EXPECT_FALSE(s.burst);
+    EXPECT_FALSE(s.outage);
+  }
+}
+
+TEST(ComponentProcess, SameInstantSameState) {
+  ComponentParams p = quiet_params();
+  p.bursts_per_hour = 400.0;  // dense bursts
+  p.burst_drop_prob = 0.9;
+  ComponentProcess cp(p, 0.0, {}, Rng(5));
+  for (int i = 0; i < 5000; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::millis(i * 40);
+    const auto s1 = cp.sample(t);
+    const auto s2 = cp.sample(t);
+    EXPECT_EQ(s1.burst, s2.burst) << i;
+    EXPECT_DOUBLE_EQ(s1.drop_prob, s2.drop_prob);
+  }
+}
+
+TEST(ComponentProcess, BurstFractionMatchesExpectation) {
+  ComponentParams p = quiet_params();
+  p.bursts_per_hour = 60.0;
+  p.burst_drop_prob = 1.0;
+  p.short_burst_fraction = 0.0;
+  p.burst_median = Duration::millis(200);
+  p.burst_sigma = 0.0;  // constant 200 ms bursts
+  ComponentProcess cp(p, 0.0, {}, Rng(7));
+  std::int64_t in_burst = 0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::millis(i * 10);
+    if (cp.sample(t).burst) ++in_burst;
+  }
+  // Expected fraction: 60/h * 0.2s / 3600 = 1/300.
+  const double frac = static_cast<double>(in_burst) / n;
+  EXPECT_NEAR(frac, 1.0 / 300.0, 6e-4);
+}
+
+TEST(ComponentProcess, OutageDropsEverything) {
+  ComponentParams p = quiet_params();
+  p.outages_per_month = 20'000.0;  // frequent outages for the test
+  p.outage_mean = Duration::minutes(5);
+  ComponentProcess cp(p, 0.0, {}, Rng(11));
+  bool saw_outage = false;
+  for (int i = 0; i < 100'000 && !saw_outage; ++i) {
+    const auto s = cp.sample(TimePoint::epoch() + Duration::millis(i * 100));
+    if (s.outage) {
+      saw_outage = true;
+      EXPECT_DOUBLE_EQ(s.drop_prob, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_outage);
+}
+
+TEST(ComponentProcess, StaticBoostRaisesBurstDensity) {
+  ComponentParams p = quiet_params();
+  p.bursts_per_hour = 5.0;
+  p.burst_drop_prob = 1.0;
+  const TimePoint boost_start = TimePoint::epoch() + Duration::hours(1);
+  const TimePoint boost_end = TimePoint::epoch() + Duration::hours(2);
+  ComponentProcess cp(p, 0.0, {{boost_start, boost_end, 200.0}}, Rng(13));
+  std::int64_t before = 0;
+  std::int64_t during = 0;
+  for (int i = 0; i < 36'000; ++i) {
+    if (cp.sample(TimePoint::epoch() + Duration::millis(i * 100)).burst) ++before;
+  }
+  for (int i = 36'000; i < 72'000; ++i) {
+    if (cp.sample(TimePoint::epoch() + Duration::millis(i * 100)).burst) ++during;
+  }
+  EXPECT_GT(during, 10 * std::max<std::int64_t>(before, 1));
+}
+
+TEST(ComponentProcess, EpisodeRaisesBurstDensity) {
+  ComponentParams p = quiet_params();
+  p.bursts_per_hour = 2.0;
+  p.burst_drop_prob = 1.0;
+  p.episodes_per_day = 40.0;  // frequent, long episodes
+  p.episode_mean = Duration::minutes(30);
+  p.episode_burst_boost = 300.0;
+  ComponentProcess cp(p, 0.0, {}, Rng(17));
+  std::int64_t episode_bursts = 0;
+  std::int64_t quiet_bursts = 0;
+  std::int64_t episode_samples = 0;
+  std::int64_t quiet_samples = 0;
+  for (int i = 0; i < 864'000; ++i) {  // one day at 100 ms steps
+    const auto s = cp.sample(TimePoint::epoch() + Duration::millis(i * 100));
+    if (s.episode) {
+      ++episode_samples;
+      episode_bursts += s.burst ? 1 : 0;
+    } else {
+      ++quiet_samples;
+      quiet_bursts += s.burst ? 1 : 0;
+    }
+  }
+  ASSERT_GT(episode_samples, 0);
+  ASSERT_GT(quiet_samples, 0);
+  const double episode_rate = static_cast<double>(episode_bursts) / episode_samples;
+  const double quiet_rate = static_cast<double>(quiet_bursts) / std::max<std::int64_t>(quiet_samples, 1);
+  EXPECT_GT(episode_rate, 20.0 * std::max(quiet_rate, 1e-7));
+}
+
+TEST(ComponentProcess, QueueDelayMeanSetDuringBurst) {
+  ComponentParams p = quiet_params();
+  p.bursts_per_hour = 400.0;
+  p.burst_queue_mean = Duration::millis(12);
+  ComponentProcess cp(p, 0.0, {}, Rng(19));
+  bool checked = false;
+  for (int i = 0; i < 200'000 && !checked; ++i) {
+    const auto s = cp.sample(TimePoint::epoch() + Duration::millis(i * 10));
+    if (s.burst) {
+      EXPECT_EQ(s.queue_delay_mean, Duration::millis(12));
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(ComponentProcess, ToleratesSlightlyOutOfOrderQueries) {
+  ComponentParams p = quiet_params();
+  p.bursts_per_hour = 100.0;
+  ComponentProcess cp(p, 0.0, {}, Rng(23));
+  // Forward by 1 s, back by up to 2 s: within kQuerySafety.
+  Rng r(29);
+  TimePoint t = TimePoint::epoch() + Duration::seconds(10);
+  for (int i = 0; i < 20'000; ++i) {
+    t += Duration::millis(static_cast<std::int64_t>(r.uniform(-400.0, 1000.0)));
+    if (t < TimePoint::epoch() + Duration::seconds(10)) t = TimePoint::epoch() + Duration::seconds(10);
+    (void)cp.sample(t);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,169 @@
+// Integration tests: the overlay probing machinery running on the event
+// scheduler over the simulated underlay.
+
+#include "overlay/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/testbed.h"
+
+namespace ronpath {
+namespace {
+
+struct Fixture {
+  Topology topo;
+  Network net;
+  Scheduler sched;
+  OverlayNetwork overlay;
+
+  explicit Fixture(OverlayConfig cfg = {}, std::uint64_t seed = 42,
+                   Duration horizon = Duration::hours(3))
+      : topo(testbed_2002()),
+        net(topo, NetConfig::profile_2003(), horizon, Rng(seed)),
+        overlay(net, sched, cfg, Rng(seed + 1)) {}
+};
+
+TEST(OverlayNetwork, ProbesAllLinks) {
+  Fixture f;
+  f.overlay.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::seconds(40));
+  // 17 nodes, 272 links, one probe each per 15 s interval (plus startup
+  // stagger): after 40 s every link has at least one probe.
+  const auto n = static_cast<NodeId>(f.overlay.size());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      EXPECT_GE(f.overlay.estimator(a, b).samples(), 1u) << a << "->" << b;
+    }
+  }
+  EXPECT_GE(f.overlay.probes_sent(), 17 * 16 * 2);
+}
+
+TEST(OverlayNetwork, EstimatorsSeeLowLossOnQuietNetwork) {
+  Fixture f;
+  f.overlay.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(30));
+  // Aggregate estimated loss across links should be low (calibrated
+  // underlay is ~0.4-1% per round trip).
+  double total = 0.0;
+  int links = 0;
+  const auto n = static_cast<NodeId>(f.overlay.size());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      total += f.overlay.estimator(a, b).loss();
+      ++links;
+    }
+  }
+  EXPECT_LT(total / links, 0.05);
+}
+
+TEST(OverlayNetwork, LatencyEstimatesTrackBaseLatency) {
+  Fixture f;
+  f.overlay.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(10));
+  const auto n = static_cast<NodeId>(f.overlay.size());
+  int checked = 0;
+  for (NodeId a = 0; a < n && checked < 40; ++a) {
+    for (NodeId b = 0; b < n && checked < 40; ++b) {
+      if (a == b) continue;
+      const auto& est = f.overlay.estimator(a, b);
+      if (est.latency() == Duration::max()) continue;
+      const Duration base = f.net.base_latency(PathSpec{a, b, kDirectVia});
+      // One-way estimate = RTT/2; symmetric-ish topology keeps it within
+      // a factor of the base latency plus queueing.
+      EXPECT_GT(est.latency(), base / 3);
+      EXPECT_LT(est.latency(), 4 * base + Duration::millis(120));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(OverlayNetwork, RouteTagsProduceValidPaths) {
+  Fixture f;
+  f.overlay.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(5));
+  for (RouteTag tag : {RouteTag::kDirect, RouteTag::kRand, RouteTag::kLat, RouteTag::kLoss}) {
+    for (int i = 0; i < 50; ++i) {
+      const PathSpec p = f.overlay.route(0, 5, tag);
+      EXPECT_EQ(p.src, 0);
+      EXPECT_EQ(p.dst, 5);
+      if (!p.is_direct()) {
+        EXPECT_LT(p.via, f.overlay.size());
+        EXPECT_NE(p.via, p.src);
+        EXPECT_NE(p.via, p.dst);
+      }
+    }
+  }
+}
+
+TEST(OverlayNetwork, DirectTagAlwaysDirect) {
+  Fixture f;
+  f.overlay.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(1));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(f.overlay.route(2, 9, RouteTag::kDirect).is_direct());
+  }
+}
+
+TEST(OverlayNetwork, RandTagVariesIntermediate) {
+  Fixture f;
+  f.overlay.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(1));
+  std::set<NodeId> vias;
+  for (int i = 0; i < 200; ++i) {
+    const PathSpec p = f.overlay.route(0, 1, RouteTag::kRand);
+    if (!p.is_direct()) vias.insert(p.via);
+  }
+  // With 15 candidate intermediates, 200 draws should hit most of them.
+  EXPECT_GE(vias.size(), 10u);
+}
+
+TEST(OverlayNetwork, SendOverDeadViaFails) {
+  OverlayConfig cfg;
+  cfg.host_failures_per_month = 0.0;  // control liveness manually: none
+  Fixture f(cfg);
+  f.overlay.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::minutes(1));
+  // With no host failures every send over a live via reflects only the
+  // network fate.
+  const auto r = f.overlay.send(PathSpec{0, 1, 2}, f.sched.now());
+  EXPECT_TRUE(r.via_up);
+  EXPECT_TRUE(r.src_up);
+}
+
+TEST(OverlayNetwork, HostFailuresPauseProbing) {
+  OverlayConfig cfg;
+  // Extremely frequent failures so the short test observes them.
+  cfg.host_failures_per_month = 4000.0;
+  cfg.host_failure_mean = Duration::minutes(20);
+  Fixture f(cfg, /*seed=*/7);
+  f.overlay.start();
+  f.sched.run_until(TimePoint::epoch() + Duration::hours(1));
+  // At least one node must have been down at some point in the hour.
+  bool saw_down = false;
+  for (NodeId node = 0; node < f.overlay.size() && !saw_down; ++node) {
+    for (int m = 0; m < 60 && !saw_down; ++m) {
+      saw_down = !f.overlay.node_up(node, TimePoint::epoch() + Duration::minutes(m));
+    }
+  }
+  EXPECT_TRUE(saw_down);
+}
+
+TEST(OverlayNetwork, ProbeCountMatchesScheduleRate) {
+  Fixture f;
+  f.overlay.start();
+  const Duration runtime = Duration::minutes(10);
+  f.sched.run_until(TimePoint::epoch() + runtime);
+  // 272 links probed every 15 s for 10 min ~= 10880 probes, modulo
+  // startup stagger and host failures.
+  const auto expected = 17 * 16 * (runtime / f.overlay.config().probe_interval);
+  EXPECT_NEAR(static_cast<double>(f.overlay.probes_sent()), static_cast<double>(expected),
+              0.15 * static_cast<double>(expected));
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,232 @@
+#include "overlay/router.h"
+
+#include <gtest/gtest.h>
+
+#include "overlay/link_state.h"
+
+namespace ronpath {
+namespace {
+
+LinkMetrics metrics(double loss, Duration lat, bool down = false) {
+  LinkMetrics m;
+  m.loss = loss;
+  m.latency = lat;
+  m.has_latency = lat != Duration::max();
+  m.down = down;
+  m.samples = 100;
+  m.published = TimePoint::epoch();
+  return m;
+}
+
+// Fills a fully-connected table with uniform metrics.
+void fill(LinkStateTable& t, double loss, Duration lat) {
+  const auto n = static_cast<NodeId>(t.size());
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) t.publish(a, b, metrics(loss, lat));
+    }
+  }
+}
+
+TEST(PathEstimates, DirectUsesSingleLink) {
+  LinkStateTable t(3);
+  fill(t, 0.01, Duration::millis(50));
+  EXPECT_DOUBLE_EQ(path_loss_estimate(t, PathSpec{0, 1, kDirectVia}), 0.01);
+}
+
+TEST(PathEstimates, IndirectComposesLoss) {
+  LinkStateTable t(3);
+  fill(t, 0.1, Duration::millis(50));
+  const double expected = 1.0 - 0.9 * 0.9;
+  EXPECT_NEAR(path_loss_estimate(t, PathSpec{0, 1, 2}), expected, 1e-12);
+}
+
+TEST(PathEstimates, DownLinkIsTotalLoss) {
+  LinkStateTable t(3);
+  fill(t, 0.0, Duration::millis(10));
+  t.publish(0, 1, metrics(0.0, Duration::millis(10), /*down=*/true));
+  EXPECT_DOUBLE_EQ(path_loss_estimate(t, PathSpec{0, 1, kDirectVia}), 1.0);
+  EXPECT_TRUE(path_down(t, PathSpec{0, 1, kDirectVia}));
+  EXPECT_TRUE(path_down(t, PathSpec{0, 2, 1}));
+}
+
+TEST(PathEstimates, LatencySumsWithForwarding) {
+  LinkStateTable t(3);
+  fill(t, 0.0, Duration::millis(30));
+  RouterConfig cfg;
+  cfg.forward_delay = Duration::millis(1);
+  EXPECT_EQ(path_latency_estimate(t, PathSpec{0, 1, 2}, cfg), Duration::millis(61));
+}
+
+TEST(PathEstimates, UnmeasuredLatencySaturates) {
+  LinkStateTable t(3);
+  fill(t, 0.0, Duration::millis(30));
+  t.publish(0, 2, metrics(0.0, Duration::max()));
+  RouterConfig cfg;
+  EXPECT_EQ(path_latency_estimate(t, PathSpec{0, 1, 2}, cfg), Duration::max());
+}
+
+TEST(Router, PrefersDirectOnTies) {
+  LinkStateTable t(5);
+  fill(t, 0.01, Duration::millis(40));
+  Router r(0, t, RouterConfig{});
+  const auto choice = r.best_loss_path(1);
+  EXPECT_TRUE(choice.path.is_direct());
+}
+
+TEST(Router, AvoidsLossyDirectWhenClearlyWorse) {
+  LinkStateTable t(4);
+  fill(t, 0.005, Duration::millis(40));
+  t.publish(0, 1, metrics(0.30, Duration::millis(40)));  // bad direct
+  Router r(0, t, RouterConfig{});
+  const auto choice = r.best_loss_path(1);
+  EXPECT_FALSE(choice.path.is_direct());
+  EXPECT_LT(choice.loss, 0.30);
+}
+
+TEST(Router, IndirectPenaltySuppressesNoise) {
+  LinkStateTable t(4);
+  fill(t, 0.0, Duration::millis(40));
+  // Direct slightly lossy but within the indirect penalty: stays direct.
+  RouterConfig cfg;
+  cfg.indirect_loss_penalty = 0.03;
+  t.publish(0, 1, metrics(0.02, Duration::millis(40)));
+  Router r(0, t, cfg);
+  EXPECT_TRUE(r.best_loss_path(1).path.is_direct());
+}
+
+TEST(Router, LossHysteresisKeepsIncumbent) {
+  LinkStateTable t(4);
+  fill(t, 0.005, Duration::millis(40));
+  t.publish(0, 1, metrics(0.40, Duration::millis(40)));
+  RouterConfig cfg;
+  Router r(0, t, cfg);
+  const auto first = r.best_loss_path(1);
+  ASSERT_FALSE(first.path.is_direct());
+  const NodeId via = first.path.via;
+  // Another via becomes infinitesimally better: incumbent must stick.
+  for (NodeId v = 2; v < 4; ++v) {
+    if (v != via) {
+      t.publish(0, v, metrics(0.004, Duration::millis(40)));
+      t.publish(v, 1, metrics(0.004, Duration::millis(40)));
+    }
+  }
+  EXPECT_EQ(r.best_loss_path(1).path.via, via);
+}
+
+TEST(Router, SwitchesWhenIncumbentGoesDown) {
+  LinkStateTable t(4);
+  fill(t, 0.005, Duration::millis(40));
+  t.publish(0, 1, metrics(0.40, Duration::millis(40)));
+  Router r(0, t, RouterConfig{});
+  const auto first = r.best_loss_path(1);
+  ASSERT_FALSE(first.path.is_direct());
+  t.publish(0, first.path.via, metrics(0.0, Duration::millis(40), /*down=*/true));
+  const auto second = r.best_loss_path(1);
+  EXPECT_NE(second.path.via, first.path.via);
+}
+
+TEST(Router, LatencyPrefersFasterIndirect) {
+  LinkStateTable t(4);
+  fill(t, 0.0, Duration::millis(60));
+  // Via node 2 is much faster on both legs (triangle violation).
+  t.publish(0, 2, metrics(0.0, Duration::millis(10)));
+  t.publish(2, 1, metrics(0.0, Duration::millis(10)));
+  Router r(0, t, RouterConfig{});
+  const auto choice = r.best_lat_path(1);
+  EXPECT_EQ(choice.path.via, 2);
+  EXPECT_LT(choice.latency, Duration::millis(30));
+}
+
+TEST(Router, LatencyAvoidsDownLinks) {
+  LinkStateTable t(4);
+  fill(t, 0.0, Duration::millis(60));
+  t.publish(0, 1, metrics(0.0, Duration::millis(5), /*down=*/true));  // fast but dead
+  Router r(0, t, RouterConfig{});
+  const auto choice = r.best_lat_path(1);
+  EXPECT_FALSE(path_down(t, choice.path));
+}
+
+TEST(Router, LatencyHysteresis) {
+  LinkStateTable t(4);
+  fill(t, 0.0, Duration::millis(50));
+  Router r(0, t, RouterConfig{});
+  const auto first = r.best_lat_path(1);
+  EXPECT_TRUE(first.path.is_direct());
+  // A via gets trivially faster (under the 2 ms/5% margins): keep direct.
+  t.publish(0, 2, metrics(0.0, Duration::millis(24)));
+  t.publish(2, 1, metrics(0.0, Duration::millis(24)));
+  EXPECT_TRUE(r.best_lat_path(1).path.is_direct());
+  // Now dramatically faster: switch.
+  t.publish(0, 2, metrics(0.0, Duration::millis(10)));
+  t.publish(2, 1, metrics(0.0, Duration::millis(10)));
+  EXPECT_EQ(r.best_lat_path(1).path.via, 2);
+}
+
+TEST(Router, LiveIntermediatesExcludesEndpointsAndDown) {
+  LinkStateTable t(5);
+  fill(t, 0.0, Duration::millis(10));
+  // Node 3 appears down on all links.
+  for (NodeId o = 0; o < 5; ++o) {
+    if (o == 3) continue;
+    t.publish(3, o, metrics(0.0, Duration::millis(10), true));
+    t.publish(o, 3, metrics(0.0, Duration::millis(10), true));
+  }
+  Router r(0, t, RouterConfig{});
+  const auto vias = r.live_intermediates(1);
+  EXPECT_EQ(vias.size(), 2u);  // nodes 2 and 4
+  for (NodeId v : vias) {
+    EXPECT_NE(v, 0);
+    EXPECT_NE(v, 1);
+    EXPECT_NE(v, 3);
+  }
+}
+
+TEST(Router, TwoHopComposesLoss) {
+  LinkStateTable t(4);
+  fill(t, 0.1, Duration::millis(50));
+  const double expected = 1.0 - 0.9 * 0.9 * 0.9;
+  EXPECT_NEAR(path_loss_estimate(t, PathSpec{0, 1, 2, 3}), expected, 1e-12);
+}
+
+TEST(Router, TwoHopSelectorFindsCleanRelayChain) {
+  // Direct and ALL single-hop alternates are poisoned; only the chain
+  // 0 -> 2 -> 3 -> 1 is clean.
+  LinkStateTable t(4);
+  fill(t, 0.5, Duration::millis(40));
+  t.publish(0, 2, metrics(0.0, Duration::millis(40)));
+  t.publish(2, 3, metrics(0.0, Duration::millis(40)));
+  t.publish(3, 1, metrics(0.0, Duration::millis(40)));
+  Router r(0, t, RouterConfig{});
+  const auto one = r.best_loss_path(1);
+  const auto two = r.best_loss_path_two_hop(1);
+  EXPECT_GT(one.loss, 0.4);
+  EXPECT_TRUE(two.path.is_two_hop());
+  EXPECT_EQ(two.path.via, 2);
+  EXPECT_EQ(two.path.via2, 3);
+  EXPECT_LT(two.loss, 0.1);
+}
+
+TEST(Router, TwoHopPrefersSimplerPathsOnTies) {
+  LinkStateTable t(5);
+  fill(t, 0.0, Duration::millis(40));
+  Router r(0, t, RouterConfig{});
+  // Everything clean: direct wins (penalties bias against hops).
+  EXPECT_TRUE(r.best_loss_path_two_hop(1).path.is_direct());
+}
+
+TEST(LinkStateTable, NodeSeemsUpBeforeAnyProbes) {
+  LinkStateTable t(3);
+  EXPECT_TRUE(t.node_seems_up(0));
+}
+
+TEST(LinkStateTable, PublishAndGet) {
+  LinkStateTable t(3);
+  t.publish(0, 1, metrics(0.25, Duration::millis(99)));
+  EXPECT_DOUBLE_EQ(t.get(0, 1).loss, 0.25);
+  EXPECT_EQ(t.get(0, 1).latency, Duration::millis(99));
+  EXPECT_DOUBLE_EQ(t.get(1, 0).loss, 0.0);  // reverse untouched
+}
+
+}  // namespace
+}  // namespace ronpath

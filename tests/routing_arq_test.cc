@@ -1,0 +1,140 @@
+#include "routing/arq.h"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+
+namespace ronpath {
+namespace {
+
+struct Fixture {
+  Topology topo;
+  Network net;
+  Scheduler sched;
+  OverlayNetwork overlay;
+
+  explicit Fixture(std::uint64_t seed = 42, NetConfig cfg = NetConfig::profile_2003())
+      : topo(testbed_2002()),
+        net(topo, std::move(cfg), Duration::hours(4), Rng(seed)),
+        overlay(net, sched, OverlayConfig{}, Rng(seed + 1)) {
+    overlay.start();
+    sched.run_until(TimePoint::epoch() + Duration::minutes(2));
+  }
+};
+
+TEST(ArqChannel, DeliversOnQuietNetwork) {
+  Fixture f;
+  ArqChannel arq(f.overlay, f.sched, 0, 1, ArqConfig{}, Rng(1));
+  for (int i = 0; i < 500; ++i) {
+    f.sched.run_until(f.sched.now() + Duration::millis(20));
+    arq.send();
+  }
+  f.sched.run_until(f.sched.now() + Duration::minutes(2));
+  const auto& st = arq.stats();
+  EXPECT_EQ(st.packets, 500);
+  EXPECT_GT(st.delivery_rate(), 0.995);
+  EXPECT_GE(st.acked, st.packets - 5);
+  EXPECT_TRUE(arq.idle());
+  // Nearly one transmission per packet on a quiet path.
+  EXPECT_LT(st.mean_transmissions(), 1.05);
+}
+
+TEST(ArqChannel, RtoConvergesToPathRtt) {
+  Fixture f;
+  ArqChannel arq(f.overlay, f.sched, 0, 1, ArqConfig{}, Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    f.sched.run_until(f.sched.now() + Duration::millis(20));
+    arq.send();
+  }
+  f.sched.run_until(f.sched.now() + Duration::minutes(1));
+  // RTO should have adapted: between min_rto and well under initial 1 s
+  // for a low-jitter path, and at least min_rto.
+  EXPECT_GE(arq.current_rto(), ArqConfig{}.min_rto);
+  EXPECT_LT(arq.current_rto(), Duration::seconds(1));
+}
+
+TEST(ArqChannel, RecoversLossesViaRetransmission) {
+  NetConfig lossy = NetConfig::profile_2003();
+  lossy.loss_scale *= 50.0;
+  Fixture f(7, lossy);
+  ArqChannel arq(f.overlay, f.sched, 2, 9, ArqConfig{}, Rng(3));
+  for (int i = 0; i < 3000; ++i) {
+    f.sched.run_until(f.sched.now() + Duration::millis(20));
+    arq.send();
+  }
+  f.sched.run_until(f.sched.now() + Duration::minutes(10));
+  const auto& st = arq.stats();
+  // Real losses happened (retransmissions exceeded packets)...
+  EXPECT_GT(st.transmissions, st.packets);
+  // ...and ARQ recovered nearly everything.
+  EXPECT_GT(st.delivery_rate(), 0.99);
+}
+
+TEST(ArqChannel, LatencyTailStretchesUnderLoss) {
+  NetConfig lossy = NetConfig::profile_2003();
+  lossy.loss_scale *= 50.0;
+  Fixture f(7, lossy);
+  ArqChannel arq(f.overlay, f.sched, 2, 9, ArqConfig{}, Rng(4));
+  for (int i = 0; i < 3000; ++i) {
+    f.sched.run_until(f.sched.now() + Duration::millis(20));
+    arq.send();
+  }
+  f.sched.run_until(f.sched.now() + Duration::minutes(10));
+  const auto& st = arq.stats();
+  // Some delivery waited for at least one RTO (>200 ms).
+  EXPECT_GT(st.delivery_latency_ms.max(), 200.0);
+  // While the mean stays near the path RTT-ish scale.
+  EXPECT_LT(st.delivery_latency_ms.mean(), 100.0);
+}
+
+TEST(ArqChannel, GivesUpAfterMaxRetransmits) {
+  // A destination behind a near-total access brownout: most packets and
+  // retransmissions die (in-burst drop is the access class's 0.74, so a
+  // 3-try packet still fails ~40% of the time).
+  ArqConfig arq_cfg;
+  arq_cfg.max_retransmits = 2;
+  arq_cfg.initial_rto = Duration::millis(300);
+  // Use an impossible path by pointing at a node that is "down":
+  // simulate by sending to a node while its host-failure process is
+  // forced - simpler: crank loss to ~100% via an incident on the dst.
+  Incident kill;
+  kill.site_name = "MIT";
+  kill.scope = Incident::Scope::kAccess;
+  kill.start = TimePoint::epoch();
+  kill.duration = Duration::hours(4);
+  kill.loss_rate = 1.0;
+  NetConfig dead = NetConfig::profile_2003();
+  dead.incidents.push_back(kill);
+  Fixture g(13, dead);
+  const NodeId mit = *g.topo.find("MIT");
+  NodeId other = mit == 0 ? 1 : 0;
+  ArqChannel arq(g.overlay, g.sched, other, mit, arq_cfg, Rng(5));
+  for (int i = 0; i < 50; ++i) {
+    g.sched.run_until(g.sched.now() + Duration::millis(50));
+    arq.send();
+  }
+  g.sched.run_until(g.sched.now() + Duration::minutes(5));
+  const auto& st = arq.stats();
+  EXPECT_GT(st.given_up, 0);
+  EXPECT_TRUE(arq.idle());
+  // Every give-up used exactly 1 + max_retransmits transmissions.
+  EXPECT_LE(st.transmissions, st.packets * (1 + arq_cfg.max_retransmits));
+}
+
+TEST(ArqChannel, AlternateRetransmitUsesOverlayPaths) {
+  NetConfig lossy = NetConfig::profile_2003();
+  lossy.loss_scale *= 50.0;
+  Fixture f(17, lossy);
+  ArqConfig cfg;
+  cfg.retransmit_on_alternate = true;
+  ArqChannel arq(f.overlay, f.sched, 3, 12, cfg, Rng(6));
+  for (int i = 0; i < 2000; ++i) {
+    f.sched.run_until(f.sched.now() + Duration::millis(20));
+    arq.send();
+  }
+  f.sched.run_until(f.sched.now() + Duration::minutes(10));
+  EXPECT_GT(arq.stats().delivery_rate(), 0.99);
+}
+
+}  // namespace
+}  // namespace ronpath

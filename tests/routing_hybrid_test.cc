@@ -1,0 +1,135 @@
+#include "routing/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+
+namespace ronpath {
+namespace {
+
+struct Fixture {
+  Topology topo;
+  Network net;
+  Scheduler sched;
+  OverlayNetwork overlay;
+
+  explicit Fixture(std::uint64_t seed = 42, NetConfig cfg = NetConfig::profile_2003())
+      : topo(testbed_2002()),
+        net(topo, std::move(cfg), Duration::hours(3), Rng(seed)),
+        overlay(net, sched, OverlayConfig{}, Rng(seed + 1)) {
+    overlay.start();
+    sched.run_until(TimePoint::epoch() + Duration::minutes(3));
+  }
+};
+
+TEST(HybridSender, BestPathNeverDuplicates) {
+  Fixture f;
+  HybridConfig cfg;
+  cfg.mode = HybridMode::kBestPath;
+  HybridSender sender(f.overlay, cfg, Rng(1));
+  for (int i = 0; i < 200; ++i) {
+    const auto out = sender.send(0, 5, f.sched.now() + Duration::millis(i * 10));
+    EXPECT_EQ(out.probe.copies.size(), 1u);
+    EXPECT_FALSE(out.duplicated);
+  }
+  EXPECT_DOUBLE_EQ(sender.overhead_factor(), 1.0);
+  EXPECT_EQ(sender.duplicated(), 0);
+}
+
+TEST(HybridSender, AlwaysDuplicateSendsTwo) {
+  Fixture f;
+  HybridConfig cfg;
+  cfg.mode = HybridMode::kAlwaysDuplicate;
+  HybridSender sender(f.overlay, cfg, Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    const auto out = sender.send(0, 5, f.sched.now() + Duration::millis(i * 10));
+    ASSERT_EQ(out.probe.copies.size(), 2u);
+    EXPECT_TRUE(out.duplicated);
+  }
+  EXPECT_DOUBLE_EQ(sender.overhead_factor(), 2.0);
+}
+
+TEST(HybridSender, DuplicateCopiesUseDistinctPaths) {
+  Fixture f;
+  HybridConfig cfg;
+  cfg.mode = HybridMode::kAlwaysDuplicate;
+  HybridSender sender(f.overlay, cfg, Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    const auto out = sender.send(2, 9, f.sched.now() + Duration::millis(i * 10));
+    ASSERT_EQ(out.probe.copies.size(), 2u);
+    EXPECT_NE(out.probe.copies[0].path, out.probe.copies[1].path);
+  }
+}
+
+TEST(HybridSender, AdaptiveQuietNetworkStaysSingle) {
+  // On a quiet network the best path's estimate is ~0: no duplication.
+  Fixture f;
+  HybridConfig cfg;
+  cfg.mode = HybridMode::kAdaptive;
+  cfg.duplicate_threshold = 0.05;
+  HybridSender sender(f.overlay, cfg, Rng(4));
+  for (int i = 0; i < 300; ++i) {
+    (void)sender.send(0, 5, f.sched.now() + Duration::millis(i * 10));
+  }
+  // At most a handful of duplications (estimate noise), overhead near 1x.
+  EXPECT_LT(sender.overhead_factor(), 1.1);
+}
+
+TEST(HybridSender, AdaptiveZeroThresholdDuplicatesEverything) {
+  Fixture f;
+  HybridConfig cfg;
+  cfg.mode = HybridMode::kAdaptive;
+  cfg.duplicate_threshold = 0.0;  // any estimate >= 0 triggers
+  HybridSender sender(f.overlay, cfg, Rng(5));
+  for (int i = 0; i < 50; ++i) {
+    const auto out = sender.send(1, 7, f.sched.now() + Duration::millis(i * 10));
+    EXPECT_TRUE(out.duplicated);
+  }
+}
+
+TEST(HybridSender, OverheadAccounting) {
+  Fixture f;
+  HybridConfig cfg;
+  cfg.mode = HybridMode::kAdaptive;
+  cfg.duplicate_threshold = 0.0;
+  HybridSender sender(f.overlay, cfg, Rng(6));
+  for (int i = 0; i < 10; ++i) {
+    (void)sender.send(0, 3, f.sched.now() + Duration::millis(i));
+  }
+  EXPECT_EQ(sender.packets(), 10);
+  EXPECT_EQ(sender.copies(), 20);
+  EXPECT_EQ(sender.duplicated(), 10);
+}
+
+TEST(HybridSender, ModeNames) {
+  EXPECT_EQ(to_string(HybridMode::kBestPath), "best-path");
+  EXPECT_EQ(to_string(HybridMode::kAlwaysDuplicate), "always-duplicate");
+  EXPECT_EQ(to_string(HybridMode::kAdaptive), "adaptive");
+}
+
+// Property: over a lossy stretch, more duplication never hurts delivery.
+TEST(HybridSender, DuplicationImprovesDeliveryUnderLoss) {
+  NetConfig lossy = NetConfig::profile_2003();
+  lossy.loss_scale *= 20.0;
+  std::int64_t lost_single = 0;
+  std::int64_t lost_dup = 0;
+  const int n = 20'000;
+  for (int mode = 0; mode < 2; ++mode) {
+    Fixture f(7, lossy);
+    HybridConfig cfg;
+    cfg.mode = mode == 0 ? HybridMode::kBestPath : HybridMode::kAlwaysDuplicate;
+    HybridSender sender(f.overlay, cfg, Rng(8));
+    Rng pick(9);
+    for (int i = 0; i < n; ++i) {
+      const NodeId src = static_cast<NodeId>(pick.next_below(f.topo.size()));
+      NodeId dst = src;
+      while (dst == src) dst = static_cast<NodeId>(pick.next_below(f.topo.size()));
+      const auto out = sender.send(src, dst, f.sched.now() + Duration::millis(i * 5));
+      (mode == 0 ? lost_single : lost_dup) += out.delivered() ? 0 : 1;
+    }
+  }
+  EXPECT_LT(lost_dup, lost_single);
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,120 @@
+#include "routing/multipath.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/testbed.h"
+
+namespace ronpath {
+namespace {
+
+struct Fixture {
+  Topology topo;
+  Network net;
+  Scheduler sched;
+  OverlayNetwork overlay;
+  MultipathSender sender;
+
+  Fixture()
+      : topo(testbed_2002()),
+        net(topo, NetConfig::profile_2003(), Duration::hours(2), Rng(42)),
+        overlay(net, sched, OverlayConfig{}, Rng(43)),
+        sender(overlay, Rng(44)) {
+    overlay.start();
+    sched.run_until(TimePoint::epoch() + Duration::minutes(2));
+  }
+};
+
+TEST(MultipathSender, SinglePacketSchemes) {
+  Fixture f;
+  for (PairScheme s : {PairScheme::kDirect, PairScheme::kLat, PairScheme::kLoss}) {
+    const auto out = f.sender.send(s, 0, 1, f.sched.now());
+    EXPECT_EQ(out.copies.size(), 1u);
+    EXPECT_EQ(out.scheme, s);
+    EXPECT_EQ(out.src, 0);
+    EXPECT_EQ(out.dst, 1);
+  }
+}
+
+TEST(MultipathSender, TwoPacketSchemesSendTwo) {
+  Fixture f;
+  const auto out = f.sender.send(PairScheme::kDirectRand, 0, 1, f.sched.now());
+  ASSERT_EQ(out.copies.size(), 2u);
+  EXPECT_EQ(out.copies[0].tag, RouteTag::kDirect);
+  EXPECT_EQ(out.copies[1].tag, RouteTag::kRand);
+  EXPECT_TRUE(out.copies[0].path.is_direct());
+}
+
+TEST(MultipathSender, DdSchemesReuseFirstPath) {
+  Fixture f;
+  for (PairScheme s : {PairScheme::kDirectDirect, PairScheme::kDd10ms, PairScheme::kDd20ms}) {
+    const auto out = f.sender.send(s, 2, 5, f.sched.now());
+    ASSERT_EQ(out.copies.size(), 2u);
+    EXPECT_EQ(out.copies[0].path, out.copies[1].path) << to_string(s);
+  }
+}
+
+TEST(MultipathSender, GapShiftsSecondSendTime) {
+  Fixture f;
+  const TimePoint now = f.sched.now();
+  const auto dd0 = f.sender.send(PairScheme::kDirectDirect, 0, 1, now);
+  EXPECT_EQ(dd0.copies[1].sent, now);
+  const auto dd10 = f.sender.send(PairScheme::kDd10ms, 0, 1, now);
+  EXPECT_EQ(dd10.copies[1].sent, now + Duration::millis(10));
+  const auto dd20 = f.sender.send(PairScheme::kDd20ms, 0, 1, now);
+  EXPECT_EQ(dd20.copies[1].sent, now + Duration::millis(20));
+}
+
+TEST(MultipathSender, ProbeIdsUnique) {
+  Fixture f;
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const auto out = f.sender.send(PairScheme::kDirect, 0, 1, f.sched.now());
+    EXPECT_TRUE(ids.insert(out.probe_id).second);
+  }
+}
+
+TEST(MultipathSender, LatLossCopiesUseSelectedTactics) {
+  Fixture f;
+  const auto out = f.sender.send(PairScheme::kLatLoss, 3, 7, f.sched.now());
+  ASSERT_EQ(out.copies.size(), 2u);
+  EXPECT_EQ(out.copies[0].tag, RouteTag::kLat);
+  EXPECT_EQ(out.copies[1].tag, RouteTag::kLoss);
+}
+
+TEST(ProbeOutcome, AnyDeliveredAndFirstArrival) {
+  ProbeOutcome out;
+  CopyOutcome lost;
+  lost.sent = TimePoint::epoch();
+  lost.result.net.delivered = false;
+  out.copies.push_back(lost);
+  EXPECT_FALSE(out.any_delivered());
+
+  CopyOutcome ok;
+  ok.sent = TimePoint::epoch() + Duration::millis(10);
+  ok.result.net.delivered = true;
+  ok.result.net.latency = Duration::millis(50);
+  out.copies.push_back(ok);
+  EXPECT_TRUE(out.any_delivered());
+  EXPECT_EQ(out.first_arrival(), TimePoint::epoch() + Duration::millis(60));
+}
+
+TEST(MultipathSender, MostCopiesDeliverOnQuietNetwork) {
+  Fixture f;
+  int delivered = 0;
+  int total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId dst = static_cast<NodeId>(1 + (i % 16));
+    const auto out = f.sender.send(PairScheme::kDirectRand, 0, dst,
+                                   f.sched.now() + Duration::millis(i * 3));
+    for (const auto& c : out.copies) {
+      ++total;
+      delivered += c.delivered() ? 1 : 0;
+    }
+  }
+  EXPECT_GT(delivered, total * 90 / 100);
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,119 @@
+#include "routing/schemes.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ronpath {
+namespace {
+
+TEST(Schemes, RegistryCoversAllEnumerators) {
+  EXPECT_EQ(all_schemes().size(), 14u);
+  for (const auto& spec : all_schemes()) {
+    EXPECT_FALSE(spec.name.empty());
+    // Spec is stored at its enumerator slot.
+    EXPECT_EQ(&scheme_spec(spec.scheme), &spec);
+  }
+}
+
+TEST(Schemes, SinglePacketSpecs) {
+  for (PairScheme s : {PairScheme::kDirect, PairScheme::kLat, PairScheme::kLoss,
+                       PairScheme::kRand}) {
+    const auto& spec = scheme_spec(s);
+    EXPECT_FALSE(spec.two_packets());
+    EXPECT_DOUBLE_EQ(spec.redundancy(), 1.0);
+    EXPECT_EQ(spec.gap, Duration::zero());
+  }
+}
+
+TEST(Schemes, TwoPacketSpecs) {
+  for (PairScheme s : {PairScheme::kDirectRand, PairScheme::kLatLoss,
+                       PairScheme::kDirectDirect, PairScheme::kDd10ms, PairScheme::kDd20ms,
+                       PairScheme::kRandRand, PairScheme::kDirectLat, PairScheme::kDirectLoss,
+                       PairScheme::kRandLat, PairScheme::kRandLoss}) {
+    const auto& spec = scheme_spec(s);
+    EXPECT_TRUE(spec.two_packets()) << spec.name;
+    EXPECT_DOUBLE_EQ(spec.redundancy(), 2.0);
+  }
+}
+
+TEST(Schemes, DdFamilyReusesPath) {
+  EXPECT_TRUE(scheme_spec(PairScheme::kDirectDirect).second_same_path);
+  EXPECT_TRUE(scheme_spec(PairScheme::kDd10ms).second_same_path);
+  EXPECT_TRUE(scheme_spec(PairScheme::kDd20ms).second_same_path);
+  EXPECT_FALSE(scheme_spec(PairScheme::kDirectRand).second_same_path);
+}
+
+TEST(Schemes, DdGaps) {
+  EXPECT_EQ(scheme_spec(PairScheme::kDirectDirect).gap, Duration::zero());
+  EXPECT_EQ(scheme_spec(PairScheme::kDd10ms).gap, Duration::millis(10));
+  EXPECT_EQ(scheme_spec(PairScheme::kDd20ms).gap, Duration::millis(20));
+}
+
+TEST(Schemes, CopyTactics) {
+  const auto& dr = scheme_spec(PairScheme::kDirectRand);
+  EXPECT_EQ(dr.first, RouteTag::kDirect);
+  EXPECT_EQ(*dr.second, RouteTag::kRand);
+  // lat loss: first copy is the lat-routed one (Table 5 footnote: lat* is
+  // inferred from the first packet of lat loss).
+  const auto& ll = scheme_spec(PairScheme::kLatLoss);
+  EXPECT_EQ(ll.first, RouteTag::kLat);
+  EXPECT_EQ(*ll.second, RouteTag::kLoss);
+}
+
+TEST(Schemes, Ron2003ProbeSetMatchesPaper) {
+  const auto set = ron2003_probe_set();
+  EXPECT_EQ(set.size(), 6u);
+  const std::set<PairScheme> s(set.begin(), set.end());
+  EXPECT_TRUE(s.count(PairScheme::kLoss));
+  EXPECT_TRUE(s.count(PairScheme::kDirectRand));
+  EXPECT_TRUE(s.count(PairScheme::kLatLoss));
+  EXPECT_TRUE(s.count(PairScheme::kDirectDirect));
+  EXPECT_TRUE(s.count(PairScheme::kDd10ms));
+  EXPECT_TRUE(s.count(PairScheme::kDd20ms));
+  // direct and lat are inferred, not probed.
+  EXPECT_FALSE(s.count(PairScheme::kDirect));
+  EXPECT_FALSE(s.count(PairScheme::kLat));
+}
+
+TEST(Schemes, RonwideProbeSetMatchesTable7) {
+  const auto set = ronwide_probe_set();
+  EXPECT_EQ(set.size(), 12u);
+  const std::set<PairScheme> s(set.begin(), set.end());
+  EXPECT_TRUE(s.count(PairScheme::kDirect));
+  EXPECT_TRUE(s.count(PairScheme::kRand));
+  EXPECT_TRUE(s.count(PairScheme::kRandRand));
+  EXPECT_TRUE(s.count(PairScheme::kRandLat));
+  EXPECT_TRUE(s.count(PairScheme::kRandLoss));
+  EXPECT_FALSE(s.count(PairScheme::kDd10ms));
+  EXPECT_FALSE(s.count(PairScheme::kDd20ms));
+}
+
+TEST(Schemes, RonnarrowIsThreeMostPromising) {
+  const auto set = ronnarrow_probe_set();
+  ASSERT_EQ(set.size(), 3u);
+  const std::set<PairScheme> s(set.begin(), set.end());
+  EXPECT_TRUE(s.count(PairScheme::kLoss));
+  EXPECT_TRUE(s.count(PairScheme::kDirectRand));
+  EXPECT_TRUE(s.count(PairScheme::kLatLoss));
+}
+
+TEST(Schemes, ReportRowsOrderedLikeTables) {
+  const auto rows = ron2003_report_rows();
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows[0], PairScheme::kDirect);
+  EXPECT_EQ(rows[1], PairScheme::kLat);
+  EXPECT_EQ(rows[2], PairScheme::kLoss);
+  EXPECT_EQ(rows.back(), PairScheme::kDd20ms);
+  EXPECT_EQ(ronwide_report_rows().size(), 12u);
+}
+
+TEST(Schemes, InferenceSources) {
+  EXPECT_EQ(inference_source(PairScheme::kDirect), PairScheme::kDirectRand);
+  EXPECT_EQ(inference_source(PairScheme::kLat), PairScheme::kLatLoss);
+  EXPECT_FALSE(inference_source(PairScheme::kLoss).has_value());
+  EXPECT_FALSE(inference_source(PairScheme::kDirectRand).has_value());
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,123 @@
+// Stress and cross-seed property tests: randomized workloads against the
+// event scheduler and the network substrate, checking the invariants that
+// every other layer relies on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/testbed.h"
+#include "event/scheduler.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace ronpath {
+namespace {
+
+// Randomized schedule/cancel/reschedule storm: events must fire exactly
+// once, in non-decreasing time order, and cancelled events never fire.
+TEST(SchedulerStress, RandomScheduleAndCancel) {
+  Rng rng(2718);
+  Scheduler sched;
+  std::map<int, int> fired;  // id -> count
+  std::vector<std::pair<int, EventHandle>> live;
+  int next_id = 0;
+  TimePoint last_fire;
+
+  for (int round = 0; round < 200; ++round) {
+    // Schedule a burst of events at random offsets.
+    const int n = static_cast<int>(rng.next_below(20)) + 1;
+    for (int i = 0; i < n; ++i) {
+      const int id = next_id++;
+      const Duration delay = Duration::millis(static_cast<std::int64_t>(rng.next_below(5000)));
+      EventHandle h = sched.schedule_after(delay, [&, id] {
+        ++fired[id];
+        EXPECT_GE(sched.now(), last_fire);
+        last_fire = sched.now();
+      });
+      live.emplace_back(id, std::move(h));
+    }
+    // Cancel a random subset.
+    for (auto& [id, handle] : live) {
+      if (rng.bernoulli(0.25)) handle.cancel();
+    }
+    // Advance a random amount.
+    sched.run_until(sched.now() + Duration::millis(static_cast<std::int64_t>(rng.next_below(2000))));
+  }
+  sched.run_all();
+
+  for (const auto& [id, count] : fired) {
+    EXPECT_EQ(count, 1) << "event " << id << " fired " << count << " times";
+  }
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(SchedulerStress, ReentrantSchedulingFromCallbacks) {
+  Scheduler sched;
+  Rng rng(3141);
+  std::int64_t fired = 0;
+  // Each callback schedules 0-2 children until a budget is exhausted.
+  std::int64_t budget = 5000;
+  std::function<void()> spawn = [&] {
+    ++fired;
+    if (budget <= 0) return;
+    const auto kids = rng.next_below(3);
+    for (std::uint64_t k = 0; k < kids && budget > 0; ++k) {
+      --budget;
+      sched.schedule_after(Duration::micros(static_cast<std::int64_t>(rng.next_below(1000))),
+                           spawn);
+    }
+  };
+  sched.schedule_after(Duration::zero(), spawn);
+  sched.run_all();
+  EXPECT_GT(fired, 1);
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+// Network invariants across seeds: conservation of packets, monotone
+// clock behavior, latency floors.
+class NetworkSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkSeeds, ConservationAndFloors) {
+  const Topology topo = testbed_2002();
+  Network net(topo, NetConfig::profile_2003(), Duration::hours(2), Rng(GetParam()));
+  Rng rng(GetParam() + 1);
+  std::int64_t delivered = 0;
+  std::int64_t lost = 0;
+  const std::int64_t n = 60'000;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::micros(i * 100'000);
+    const NodeId a = static_cast<NodeId>(rng.next_below(topo.size()));
+    NodeId b = a;
+    while (b == a) b = static_cast<NodeId>(rng.next_below(topo.size()));
+    const bool indirect = rng.bernoulli(0.3);
+    PathSpec path{a, b, kDirectVia};
+    if (indirect) {
+      NodeId v = a;
+      while (v == a || v == b) v = static_cast<NodeId>(rng.next_below(topo.size()));
+      path.via = v;
+    }
+    const auto r = net.transmit(path, t);
+    if (r.delivered) {
+      ++delivered;
+      EXPECT_GE(r.latency, net.base_latency(path)) << "seed " << GetParam();
+      EXPECT_LT(r.latency, Duration::seconds(5));
+    } else {
+      ++lost;
+      EXPECT_NE(r.cause, DropCause::kNone);
+      EXPECT_LT(r.drop_component, topo.component_count());
+    }
+  }
+  EXPECT_EQ(delivered + lost, n);
+  EXPECT_EQ(net.stats().transmitted, n);
+  EXPECT_EQ(net.stats().delivered, delivered);
+  // Sanity: loss exists but is far from catastrophic.
+  EXPECT_GT(lost, 0);
+  EXPECT_LT(lost, n / 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkSeeds, ::testing::Values(3u, 17u, 255u, 9001u));
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,112 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace ronpath {
+namespace {
+
+TEST(Duration, NamedConstructorsAgree) {
+  EXPECT_EQ(Duration::micros(1), Duration::nanos(1'000));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1'000));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1'000));
+  EXPECT_EQ(Duration::minutes(1), Duration::seconds(60));
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+  EXPECT_EQ(Duration::days(1), Duration::hours(24));
+}
+
+TEST(Duration, FractionalConstruction) {
+  EXPECT_EQ(Duration::from_seconds_f(1.5), Duration::millis(1'500));
+  EXPECT_EQ(Duration::from_millis_f(0.25), Duration::micros(250));
+  EXPECT_EQ(Duration::from_seconds_f(0.0), Duration::zero());
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(300);
+  const Duration b = Duration::millis(200);
+  EXPECT_EQ(a + b, Duration::millis(500));
+  EXPECT_EQ(a - b, Duration::millis(100));
+  EXPECT_EQ(b - a, -Duration::millis(100));
+  EXPECT_EQ(a * 3, Duration::millis(900));
+  EXPECT_EQ(3 * a, Duration::millis(900));
+  EXPECT_EQ(a / 3, Duration::millis(100));
+  EXPECT_EQ(a / b, 1);
+  EXPECT_EQ(a % b, Duration::millis(100));
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::seconds(1);
+  d += Duration::seconds(2);
+  EXPECT_EQ(d, Duration::seconds(3));
+  d -= Duration::seconds(1);
+  EXPECT_EQ(d, Duration::seconds(2));
+  d *= 5;
+  EXPECT_EQ(d, Duration::seconds(10));
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_LE(Duration::millis(2), Duration::millis(2));
+  EXPECT_GT(Duration::seconds(1), Duration::millis(999));
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((-Duration::nanos(1)).is_negative());
+  EXPECT_FALSE(Duration::nanos(1).is_negative());
+}
+
+TEST(Duration, CountAccessors) {
+  const Duration d = Duration::millis(1'234);
+  EXPECT_EQ(d.count_nanos(), 1'234'000'000);
+  EXPECT_EQ(d.count_micros(), 1'234'000);
+  EXPECT_EQ(d.count_millis(), 1'234);
+  EXPECT_EQ(d.count_seconds(), 1);
+  EXPECT_DOUBLE_EQ(d.to_seconds_f(), 1.234);
+  EXPECT_DOUBLE_EQ(d.to_millis_f(), 1'234.0);
+}
+
+TEST(Duration, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::nanos(17).to_string(), "17ns");
+  EXPECT_NE(Duration::micros(17).to_string().find("us"), std::string::npos);
+  EXPECT_NE(Duration::millis(17).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(Duration::seconds(17).to_string().find("s"), std::string::npos);
+  EXPECT_NE(Duration::hours(5).to_string().find("h"), std::string::npos);
+  EXPECT_NE(Duration::days(3).to_string().find("d"), std::string::npos);
+}
+
+TEST(TimePoint, EpochAndOffsets) {
+  const TimePoint t0 = TimePoint::epoch();
+  EXPECT_EQ(t0.nanos_since_epoch(), 0);
+  const TimePoint t1 = t0 + Duration::seconds(5);
+  EXPECT_EQ((t1 - t0), Duration::seconds(5));
+  EXPECT_EQ(t1 - Duration::seconds(5), t0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimePoint, CompoundAssignment) {
+  TimePoint t = TimePoint::epoch();
+  t += Duration::minutes(1);
+  EXPECT_EQ(t.since_epoch(), Duration::minutes(1));
+  t -= Duration::seconds(30);
+  EXPECT_EQ(t.since_epoch(), Duration::seconds(30));
+}
+
+TEST(TimePoint, ToStringFormat) {
+  const TimePoint t =
+      TimePoint::epoch() + Duration::days(2) + Duration::hours(3) + Duration::minutes(4) +
+      Duration::seconds(5) + Duration::millis(6);
+  EXPECT_EQ(t.to_string(), "2+03:04:05.006");
+}
+
+TEST(TimePoint, SecondsSinceEpochF) {
+  const TimePoint t = TimePoint::epoch() + Duration::millis(2'500);
+  EXPECT_DOUBLE_EQ(t.seconds_since_epoch_f(), 2.5);
+}
+
+// Duration arithmetic must be exact over the full 14-day run range.
+TEST(Duration, FourteenDayRangeExact) {
+  const Duration run = Duration::days(14);
+  EXPECT_EQ(run.count_seconds(), 14 * 86'400);
+  const TimePoint end = TimePoint::epoch() + run;
+  EXPECT_EQ((end - TimePoint::epoch()) / Duration::hours(1), 336);
+}
+
+}  // namespace
+}  // namespace ronpath

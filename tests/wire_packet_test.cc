@@ -1,0 +1,174 @@
+#include "wire/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/rng.h"
+#include "wire/bytes.h"
+
+namespace ronpath {
+namespace {
+
+ProbePacket sample_packet() {
+  ProbePacket p;
+  p.type = PacketType::kProbeRequest;
+  p.route_tag = RouteTag::kRand;
+  p.scheme = PairScheme::kDirectRand;
+  p.pair_index = 1;
+  p.flags.response = false;
+  p.flags.forwarded = true;
+  p.probe_id = 0x0123456789ABCDEFull;
+  p.src = 3;
+  p.dst = 17;
+  p.via = 9;
+  p.send_ts = TimePoint::epoch() + Duration::millis(1234);
+  p.echo_ts = TimePoint::epoch();
+  return p;
+}
+
+TEST(ByteWriterReader, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0x01234567);
+  w.u64(0x89ABCDEF01234567ull);
+  w.i64(-42);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0x01234567u);
+  EXPECT_EQ(r.u64(), 0x89ABCDEF01234567ull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, ShortBufferSticksError) {
+  const std::uint8_t buf[] = {0x01, 0x02};
+  ByteReader r(buf);
+  (void)r.u32();  // short: flips the sticky error flag
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // still erroring
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(ByteReader, BigEndianOnWire) {
+  ByteWriter w;
+  w.u16(0x0102);
+  const auto v = w.view();
+  EXPECT_EQ(v[0], 0x01);
+  EXPECT_EQ(v[1], 0x02);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE).
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(ProbePacket, EncodeSizeIsFixed) {
+  EXPECT_EQ(encode(sample_packet()).size(), kProbePacketWireSize);
+}
+
+TEST(ProbePacket, RoundTrip) {
+  const ProbePacket p = sample_packet();
+  const auto wire = encode(p);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+}
+
+TEST(ProbePacket, RejectsTruncation) {
+  const auto wire = encode(sample_packet());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(decode(std::span(wire.data(), len)).has_value()) << "len=" << len;
+  }
+}
+
+TEST(ProbePacket, RejectsTrailingBytes) {
+  auto wire = encode(sample_packet());
+  wire.push_back(0);
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+// Flipping any single bit must be caught (magic/enum validation or CRC).
+TEST(ProbePacket, DetectsSingleBitCorruption) {
+  const auto wire = encode(sample_packet());
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = wire;
+      corrupt[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(decode(corrupt).has_value()) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(ProbePacket, RejectsBadMagic) {
+  auto wire = encode(sample_packet());
+  wire[0] = 0x00;
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+using SchemeTagCase = std::tuple<int, int, int>;
+
+class PacketRoundTrip : public ::testing::TestWithParam<SchemeTagCase> {};
+
+TEST_P(PacketRoundTrip, AllEnumCombinations) {
+  const auto [scheme, tag, pair_index] = GetParam();
+  ProbePacket p = sample_packet();
+  p.scheme = static_cast<PairScheme>(scheme);
+  p.route_tag = static_cast<RouteTag>(tag);
+  p.pair_index = static_cast<std::uint8_t>(pair_index);
+  const auto decoded = decode(encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PacketRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 14), ::testing::Range(0, 4),
+                                            ::testing::Range(0, 2)));
+
+TEST(ProbePacket, RandomizedRoundTrip) {
+  Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    ProbePacket p;
+    p.type = static_cast<PacketType>(1 + rng.next_below(3));
+    p.route_tag = static_cast<RouteTag>(rng.next_below(4));
+    p.scheme = static_cast<PairScheme>(rng.next_below(14));
+    p.pair_index = static_cast<std::uint8_t>(rng.next_below(2));
+    p.flags.response = rng.bernoulli(0.5);
+    p.flags.forwarded = rng.bernoulli(0.5);
+    p.probe_id = rng.next_u64();
+    p.src = static_cast<NodeId>(rng.next_below(30));
+    p.dst = static_cast<NodeId>(rng.next_below(30));
+    p.via = rng.bernoulli(0.5) ? kDirectVia : static_cast<NodeId>(rng.next_below(30));
+    p.send_ts = TimePoint::from_nanos(static_cast<std::int64_t>(rng.next_below(1'000'000'000)));
+    p.echo_ts = TimePoint::from_nanos(static_cast<std::int64_t>(rng.next_below(1'000'000'000)));
+    const auto decoded = decode(encode(p));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, p);
+  }
+}
+
+TEST(EnumNames, RouteTagStrings) {
+  EXPECT_EQ(to_string(RouteTag::kDirect), "direct");
+  EXPECT_EQ(to_string(RouteTag::kRand), "rand");
+  EXPECT_EQ(to_string(RouteTag::kLat), "lat");
+  EXPECT_EQ(to_string(RouteTag::kLoss), "loss");
+}
+
+TEST(EnumNames, SchemeStringsMatchPaper) {
+  EXPECT_EQ(to_string(PairScheme::kDirectRand), "direct rand");
+  EXPECT_EQ(to_string(PairScheme::kLatLoss), "lat loss");
+  EXPECT_EQ(to_string(PairScheme::kDirectDirect), "direct direct");
+  EXPECT_EQ(to_string(PairScheme::kDd10ms), "dd 10 ms");
+  EXPECT_EQ(to_string(PairScheme::kDd20ms), "dd 20 ms");
+  EXPECT_EQ(to_string(PairScheme::kRandRand), "rand rand");
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,225 @@
+// rondata: capture and analyze probe datasets offline.
+//
+// The paper's infrastructure logged every probe on each host and pushed
+// the logs to a central machine for post-processing (and the authors
+// published the resulting traces). rondata is this repo's equivalent:
+//
+//   rondata capture --out FILE [--dataset ron2003|ronwide|ronnarrow]
+//                   [--hours H|--days D] [--seed S]
+//       run a simulated dataset and stream every probe record to FILE.
+//
+//   rondata inspect FILE
+//       header check, record/scheme counts, time span, quick loss summary.
+//
+//   rondata table FILE
+//       replay the records through the measurement pipeline (including
+//       the 90 s host-failure filter) and print the Table 5-style loss
+//       table for the schemes present.
+//
+//   rondata csv FILE
+//       dump records as CSV for external analysis.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "core/experiment.h"
+#include "measure/aggregator.h"
+#include "measure/records.h"
+#include "measure/report.h"
+#include "routing/schemes.h"
+#include "util/table.h"
+
+using namespace ronpath;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rondata capture --out FILE [--dataset ron2003|ronwide|ronnarrow]\n"
+               "                  [--hours H|--days D] [--seed S]\n"
+               "  rondata inspect FILE\n"
+               "  rondata table FILE\n"
+               "  rondata csv FILE\n");
+  return 2;
+}
+
+std::optional<std::vector<ProbeRecord>> load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::vector<char> blob((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+  auto records = read_record_stream(
+      std::span(reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()));
+  if (!records) std::fprintf(stderr, "%s: not a rondata stream (or torn)\n", path.c_str());
+  return records;
+}
+
+int cmd_capture(int argc, char** argv) {
+  ExperimentConfig cfg;
+  cfg.duration = Duration::hours(2);
+  std::string out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(usage());
+      return argv[++i];
+    };
+    if (a == "--out") {
+      out = next();
+    } else if (a == "--dataset") {
+      const std::string d = next();
+      if (d == "ron2003") cfg.dataset = Dataset::kRon2003;
+      else if (d == "ronwide") cfg.dataset = Dataset::kRonWide;
+      else if (d == "ronnarrow") cfg.dataset = Dataset::kRonNarrow;
+      else return usage();
+    } else if (a == "--hours") {
+      cfg.duration = Duration::hours(std::atoll(next()));
+    } else if (a == "--days") {
+      cfg.duration = Duration::days(std::atoll(next()));
+    } else if (a == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else {
+      return usage();
+    }
+  }
+  if (out.empty()) return usage();
+  cfg.record_path = out;
+  const auto res = run_experiment(cfg);
+  std::printf("captured %lld probes (%s, %zu nodes, %s measured) -> %s\n",
+              static_cast<long long>(res.probes),
+              std::string(to_string(cfg.dataset)).c_str(), res.topology.size(),
+              res.measured.to_string().c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  const auto records = load(path);
+  if (!records) return 1;
+  if (records->empty()) {
+    std::printf("%s: empty dataset\n", path.c_str());
+    return 0;
+  }
+  TimePoint lo = TimePoint::max();
+  TimePoint hi = TimePoint::epoch();
+  std::set<NodeId> hosts;
+  std::array<std::int64_t, 14> by_scheme{};
+  std::array<std::int64_t, 14> lost_by_scheme{};
+  for (const auto& r : *records) {
+    lo = std::min(lo, r.sent());
+    hi = std::max(hi, r.sent());
+    hosts.insert(r.src);
+    hosts.insert(r.dst);
+    ++by_scheme[static_cast<std::size_t>(r.scheme)];
+    if (!r.any_delivered()) ++lost_by_scheme[static_cast<std::size_t>(r.scheme)];
+  }
+  std::printf("%s: %zu records, %zu hosts, span %s .. %s\n", path.c_str(), records->size(),
+              hosts.size(), lo.to_string().c_str(), hi.to_string().c_str());
+  TextTable t({"scheme", "records", "method loss %"});
+  t.set_align(0, TextTable::Align::kLeft);
+  for (std::size_t s = 0; s < by_scheme.size(); ++s) {
+    if (by_scheme[s] == 0) continue;
+    t.add_row({std::string(to_string(static_cast<PairScheme>(s))),
+               TextTable::num(by_scheme[s]),
+               TextTable::num(100.0 * static_cast<double>(lost_by_scheme[s]) /
+                                  static_cast<double>(by_scheme[s]))});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_table(const std::string& path) {
+  const auto records = load(path);
+  if (!records || records->empty()) return 1;
+
+  // Schemes present and host count drive the aggregator setup.
+  std::set<PairScheme> scheme_set;
+  NodeId max_node = 0;
+  for (const auto& r : *records) {
+    scheme_set.insert(r.scheme);
+    max_node = std::max({max_node, r.src, r.dst});
+  }
+  const std::vector<PairScheme> schemes(scheme_set.begin(), scheme_set.end());
+
+  // Replay in send order; activity heartbeats come from each host's own
+  // sends, exactly as the live pipeline infers liveness.
+  std::vector<const ProbeRecord*> ordered;
+  ordered.reserve(records->size());
+  for (const auto& r : *records) ordered.push_back(&r);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ProbeRecord* a, const ProbeRecord* b) { return a->sent() < b->sent(); });
+
+  Aggregator agg(static_cast<std::size_t>(max_node) + 1, schemes, AggregatorConfig{});
+  for (const ProbeRecord* r : ordered) {
+    agg.note_activity(r->src, r->sent());
+    agg.add(*r);
+  }
+  agg.finish(ordered.back()->sent() + Duration::hours(1));
+
+  // Report rows: inferred direct/lat first if their sources are present,
+  // then every probed scheme.
+  std::vector<PairScheme> rows;
+  if (scheme_set.count(PairScheme::kDirectRand) && !scheme_set.count(PairScheme::kDirect)) {
+    rows.push_back(PairScheme::kDirect);
+  }
+  if (scheme_set.count(PairScheme::kLatLoss) && !scheme_set.count(PairScheme::kLat)) {
+    rows.push_back(PairScheme::kLat);
+  }
+  rows.insert(rows.end(), schemes.begin(), schemes.end());
+
+  const auto table = make_loss_table(agg, rows);
+  TextTable t({"Type", "1lp", "2lp", "totlp", "clp", "lat"});
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const auto& r : table) {
+    t.add_row({r.name, TextTable::num(r.lp1),
+               TextTable::opt_num(r.lp2.has_value(), r.lp2.value_or(0)),
+               TextTable::num(r.totlp), TextTable::opt_num(r.clp.has_value(), r.clp.value_or(0)),
+               TextTable::num(r.lat_ms)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_csv(const std::string& path) {
+  const auto records = load(path);
+  if (!records) return 1;
+  CsvWriter csv(std::cout);
+  csv.row({"scheme", "src", "dst", "probe_id", "copy", "tag", "via", "delivered", "cause",
+           "host_drop", "sent_ns", "latency_ns"});
+  for (const auto& r : *records) {
+    for (std::uint8_t i = 0; i < r.copy_count; ++i) {
+      const CopyRecord& c = r.copies[i];
+      csv.row({std::string(to_string(r.scheme)), TextTable::num(static_cast<std::int64_t>(r.src)),
+               TextTable::num(static_cast<std::int64_t>(r.dst)),
+               TextTable::num(static_cast<std::int64_t>(r.probe_id)),
+               TextTable::num(static_cast<std::int64_t>(i)), std::string(to_string(c.tag)),
+               c.via == kDirectVia ? "direct" : TextTable::num(static_cast<std::int64_t>(c.via)),
+               c.delivered ? "1" : "0", std::string(to_string(c.cause)),
+               c.host_drop ? "1" : "0",
+               TextTable::num(c.sent.nanos_since_epoch()),
+               TextTable::num(c.latency.count_nanos())});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "capture") return cmd_capture(argc, argv);
+  if (argc < 3) return usage();
+  if (cmd == "inspect") return cmd_inspect(argv[2]);
+  if (cmd == "table") return cmd_table(argv[2]);
+  if (cmd == "csv") return cmd_csv(argv[2]);
+  return usage();
+}
