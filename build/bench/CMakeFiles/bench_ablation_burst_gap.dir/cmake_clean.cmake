@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_burst_gap.dir/bench_ablation_burst_gap.cc.o"
+  "CMakeFiles/bench_ablation_burst_gap.dir/bench_ablation_burst_gap.cc.o.d"
+  "bench_ablation_burst_gap"
+  "bench_ablation_burst_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_burst_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shared_bottleneck.dir/bench_ablation_shared_bottleneck.cc.o"
+  "CMakeFiles/bench_ablation_shared_bottleneck.dir/bench_ablation_shared_bottleneck.cc.o.d"
+  "bench_ablation_shared_bottleneck"
+  "bench_ablation_shared_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

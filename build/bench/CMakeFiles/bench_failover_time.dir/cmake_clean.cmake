@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failover_time.dir/bench_failover_time.cc.o"
+  "CMakeFiles/bench_failover_time.dir/bench_failover_time.cc.o.d"
+  "bench_failover_time"
+  "bench_failover_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failover_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fec_analysis.dir/bench_fec_analysis.cc.o"
+  "CMakeFiles/bench_fec_analysis.dir/bench_fec_analysis.cc.o.d"
+  "bench_fec_analysis"
+  "bench_fec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

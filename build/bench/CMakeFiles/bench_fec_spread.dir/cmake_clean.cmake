@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fec_spread.dir/bench_fec_spread.cc.o"
+  "CMakeFiles/bench_fec_spread.dir/bench_fec_spread.cc.o.d"
+  "bench_fec_spread"
+  "bench_fec_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fec_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_eval.dir/bench_full_eval.cc.o"
+  "CMakeFiles/bench_full_eval.dir/bench_full_eval.cc.o.d"
+  "bench_full_eval"
+  "bench_full_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_sweetspot.dir/bench_hybrid_sweetspot.cc.o"
+  "CMakeFiles/bench_hybrid_sweetspot.dir/bench_hybrid_sweetspot.cc.o.d"
+  "bench_hybrid_sweetspot"
+  "bench_hybrid_sweetspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_sweetspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

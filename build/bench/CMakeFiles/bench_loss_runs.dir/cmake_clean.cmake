@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loss_runs.dir/bench_loss_runs.cc.o"
+  "CMakeFiles/bench_loss_runs.dir/bench_loss_runs.cc.o.d"
+  "bench_loss_runs"
+  "bench_loss_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loss_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

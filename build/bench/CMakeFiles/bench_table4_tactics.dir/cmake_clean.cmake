@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tactics.dir/bench_table4_tactics.cc.o"
+  "CMakeFiles/bench_table4_tactics.dir/bench_table4_tactics.cc.o.d"
+  "bench_table4_tactics"
+  "bench_table4_tactics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tactics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

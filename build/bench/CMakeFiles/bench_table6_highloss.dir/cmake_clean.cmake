@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_highloss.dir/bench_table6_highloss.cc.o"
+  "CMakeFiles/bench_table6_highloss.dir/bench_table6_highloss.cc.o.d"
+  "bench_table6_highloss"
+  "bench_table6_highloss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_highloss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

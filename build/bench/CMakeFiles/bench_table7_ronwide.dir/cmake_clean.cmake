@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_ronwide.dir/bench_table7_ronwide.cc.o"
+  "CMakeFiles/bench_table7_ronwide.dir/bench_table7_ronwide.cc.o.d"
+  "bench_table7_ronwide"
+  "bench_table7_ronwide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_ronwide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_transfer.dir/fec_transfer.cpp.o"
+  "CMakeFiles/fec_transfer.dir/fec_transfer.cpp.o.d"
+  "fec_transfer"
+  "fec_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probing_daemon.dir/probing_daemon.cpp.o"
+  "CMakeFiles/probing_daemon.dir/probing_daemon.cpp.o.d"
+  "probing_daemon"
+  "probing_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probing_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

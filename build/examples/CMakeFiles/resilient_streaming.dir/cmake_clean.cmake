@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_streaming.dir/resilient_streaming.cpp.o"
+  "CMakeFiles/resilient_streaming.dir/resilient_streaming.cpp.o.d"
+  "resilient_streaming"
+  "resilient_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

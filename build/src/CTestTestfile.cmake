@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("event")
+subdirs("wire")
+subdirs("net")
+subdirs("fec")
+subdirs("overlay")
+subdirs("routing")
+subdirs("measure")
+subdirs("model")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_core.dir/driver.cc.o"
+  "CMakeFiles/ronpath_core.dir/driver.cc.o.d"
+  "CMakeFiles/ronpath_core.dir/experiment.cc.o"
+  "CMakeFiles/ronpath_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ronpath_core.dir/testbed.cc.o"
+  "CMakeFiles/ronpath_core.dir/testbed.cc.o.d"
+  "libronpath_core.a"
+  "libronpath_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_event.dir/scheduler.cc.o"
+  "CMakeFiles/ronpath_event.dir/scheduler.cc.o.d"
+  "libronpath_event.a"
+  "libronpath_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

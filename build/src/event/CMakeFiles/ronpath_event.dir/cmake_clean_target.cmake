@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libronpath_event.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fec/gf256.cc" "src/fec/CMakeFiles/ronpath_fec.dir/gf256.cc.o" "gcc" "src/fec/CMakeFiles/ronpath_fec.dir/gf256.cc.o.d"
+  "/root/repo/src/fec/packet_fec.cc" "src/fec/CMakeFiles/ronpath_fec.dir/packet_fec.cc.o" "gcc" "src/fec/CMakeFiles/ronpath_fec.dir/packet_fec.cc.o.d"
+  "/root/repo/src/fec/reed_solomon.cc" "src/fec/CMakeFiles/ronpath_fec.dir/reed_solomon.cc.o" "gcc" "src/fec/CMakeFiles/ronpath_fec.dir/reed_solomon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ronpath_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

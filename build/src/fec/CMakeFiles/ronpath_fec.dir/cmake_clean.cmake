@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_fec.dir/gf256.cc.o"
+  "CMakeFiles/ronpath_fec.dir/gf256.cc.o.d"
+  "CMakeFiles/ronpath_fec.dir/packet_fec.cc.o"
+  "CMakeFiles/ronpath_fec.dir/packet_fec.cc.o.d"
+  "CMakeFiles/ronpath_fec.dir/reed_solomon.cc.o"
+  "CMakeFiles/ronpath_fec.dir/reed_solomon.cc.o.d"
+  "libronpath_fec.a"
+  "libronpath_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

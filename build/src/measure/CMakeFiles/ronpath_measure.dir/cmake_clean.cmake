@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_measure.dir/aggregator.cc.o"
+  "CMakeFiles/ronpath_measure.dir/aggregator.cc.o.d"
+  "CMakeFiles/ronpath_measure.dir/liveness.cc.o"
+  "CMakeFiles/ronpath_measure.dir/liveness.cc.o.d"
+  "CMakeFiles/ronpath_measure.dir/records.cc.o"
+  "CMakeFiles/ronpath_measure.dir/records.cc.o.d"
+  "CMakeFiles/ronpath_measure.dir/report.cc.o"
+  "CMakeFiles/ronpath_measure.dir/report.cc.o.d"
+  "libronpath_measure.a"
+  "libronpath_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/bounds.cc" "src/model/CMakeFiles/ronpath_model.dir/bounds.cc.o" "gcc" "src/model/CMakeFiles/ronpath_model.dir/bounds.cc.o.d"
+  "/root/repo/src/model/design_space.cc" "src/model/CMakeFiles/ronpath_model.dir/design_space.cc.o" "gcc" "src/model/CMakeFiles/ronpath_model.dir/design_space.cc.o.d"
+  "/root/repo/src/model/fec_analysis.cc" "src/model/CMakeFiles/ronpath_model.dir/fec_analysis.cc.o" "gcc" "src/model/CMakeFiles/ronpath_model.dir/fec_analysis.cc.o.d"
+  "/root/repo/src/model/overhead.cc" "src/model/CMakeFiles/ronpath_model.dir/overhead.cc.o" "gcc" "src/model/CMakeFiles/ronpath_model.dir/overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ronpath_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

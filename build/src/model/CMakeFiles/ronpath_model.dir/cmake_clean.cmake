@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_model.dir/bounds.cc.o"
+  "CMakeFiles/ronpath_model.dir/bounds.cc.o.d"
+  "CMakeFiles/ronpath_model.dir/design_space.cc.o"
+  "CMakeFiles/ronpath_model.dir/design_space.cc.o.d"
+  "CMakeFiles/ronpath_model.dir/fec_analysis.cc.o"
+  "CMakeFiles/ronpath_model.dir/fec_analysis.cc.o.d"
+  "CMakeFiles/ronpath_model.dir/overhead.cc.o"
+  "CMakeFiles/ronpath_model.dir/overhead.cc.o.d"
+  "libronpath_model.a"
+  "libronpath_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

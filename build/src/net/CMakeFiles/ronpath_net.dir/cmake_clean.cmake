@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_net.dir/config.cc.o"
+  "CMakeFiles/ronpath_net.dir/config.cc.o.d"
+  "CMakeFiles/ronpath_net.dir/loss_process.cc.o"
+  "CMakeFiles/ronpath_net.dir/loss_process.cc.o.d"
+  "CMakeFiles/ronpath_net.dir/network.cc.o"
+  "CMakeFiles/ronpath_net.dir/network.cc.o.d"
+  "CMakeFiles/ronpath_net.dir/topology.cc.o"
+  "CMakeFiles/ronpath_net.dir/topology.cc.o.d"
+  "libronpath_net.a"
+  "libronpath_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/estimator.cc" "src/overlay/CMakeFiles/ronpath_overlay.dir/estimator.cc.o" "gcc" "src/overlay/CMakeFiles/ronpath_overlay.dir/estimator.cc.o.d"
+  "/root/repo/src/overlay/link_state.cc" "src/overlay/CMakeFiles/ronpath_overlay.dir/link_state.cc.o" "gcc" "src/overlay/CMakeFiles/ronpath_overlay.dir/link_state.cc.o.d"
+  "/root/repo/src/overlay/overlay.cc" "src/overlay/CMakeFiles/ronpath_overlay.dir/overlay.cc.o" "gcc" "src/overlay/CMakeFiles/ronpath_overlay.dir/overlay.cc.o.d"
+  "/root/repo/src/overlay/router.cc" "src/overlay/CMakeFiles/ronpath_overlay.dir/router.cc.o" "gcc" "src/overlay/CMakeFiles/ronpath_overlay.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ronpath_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/ronpath_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ronpath_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/ronpath_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

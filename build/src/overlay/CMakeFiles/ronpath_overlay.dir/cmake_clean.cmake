@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_overlay.dir/estimator.cc.o"
+  "CMakeFiles/ronpath_overlay.dir/estimator.cc.o.d"
+  "CMakeFiles/ronpath_overlay.dir/link_state.cc.o"
+  "CMakeFiles/ronpath_overlay.dir/link_state.cc.o.d"
+  "CMakeFiles/ronpath_overlay.dir/overlay.cc.o"
+  "CMakeFiles/ronpath_overlay.dir/overlay.cc.o.d"
+  "CMakeFiles/ronpath_overlay.dir/router.cc.o"
+  "CMakeFiles/ronpath_overlay.dir/router.cc.o.d"
+  "libronpath_overlay.a"
+  "libronpath_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/arq.cc" "src/routing/CMakeFiles/ronpath_routing.dir/arq.cc.o" "gcc" "src/routing/CMakeFiles/ronpath_routing.dir/arq.cc.o.d"
+  "/root/repo/src/routing/hybrid.cc" "src/routing/CMakeFiles/ronpath_routing.dir/hybrid.cc.o" "gcc" "src/routing/CMakeFiles/ronpath_routing.dir/hybrid.cc.o.d"
+  "/root/repo/src/routing/multipath.cc" "src/routing/CMakeFiles/ronpath_routing.dir/multipath.cc.o" "gcc" "src/routing/CMakeFiles/ronpath_routing.dir/multipath.cc.o.d"
+  "/root/repo/src/routing/schemes.cc" "src/routing/CMakeFiles/ronpath_routing.dir/schemes.cc.o" "gcc" "src/routing/CMakeFiles/ronpath_routing.dir/schemes.cc.o.d"
+  "/root/repo/src/routing/spread_fec.cc" "src/routing/CMakeFiles/ronpath_routing.dir/spread_fec.cc.o" "gcc" "src/routing/CMakeFiles/ronpath_routing.dir/spread_fec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/ronpath_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/ronpath_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/ronpath_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/ronpath_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ronpath_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ronpath_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_routing.dir/arq.cc.o"
+  "CMakeFiles/ronpath_routing.dir/arq.cc.o.d"
+  "CMakeFiles/ronpath_routing.dir/hybrid.cc.o"
+  "CMakeFiles/ronpath_routing.dir/hybrid.cc.o.d"
+  "CMakeFiles/ronpath_routing.dir/multipath.cc.o"
+  "CMakeFiles/ronpath_routing.dir/multipath.cc.o.d"
+  "CMakeFiles/ronpath_routing.dir/schemes.cc.o"
+  "CMakeFiles/ronpath_routing.dir/schemes.cc.o.d"
+  "CMakeFiles/ronpath_routing.dir/spread_fec.cc.o"
+  "CMakeFiles/ronpath_routing.dir/spread_fec.cc.o.d"
+  "libronpath_routing.a"
+  "libronpath_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

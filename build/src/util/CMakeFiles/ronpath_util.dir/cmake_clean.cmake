@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_util.dir/rng.cc.o"
+  "CMakeFiles/ronpath_util.dir/rng.cc.o.d"
+  "CMakeFiles/ronpath_util.dir/stats.cc.o"
+  "CMakeFiles/ronpath_util.dir/stats.cc.o.d"
+  "CMakeFiles/ronpath_util.dir/table.cc.o"
+  "CMakeFiles/ronpath_util.dir/table.cc.o.d"
+  "CMakeFiles/ronpath_util.dir/time.cc.o"
+  "CMakeFiles/ronpath_util.dir/time.cc.o.d"
+  "libronpath_util.a"
+  "libronpath_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronpath_wire.dir/packet.cc.o"
+  "CMakeFiles/ronpath_wire.dir/packet.cc.o.d"
+  "libronpath_wire.a"
+  "libronpath_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronpath_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_gf256_test.dir/fec_gf256_test.cc.o"
+  "CMakeFiles/fec_gf256_test.dir/fec_gf256_test.cc.o.d"
+  "fec_gf256_test"
+  "fec_gf256_test.pdb"
+  "fec_gf256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_gf256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

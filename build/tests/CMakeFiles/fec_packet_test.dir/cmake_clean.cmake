@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_packet_test.dir/fec_packet_test.cc.o"
+  "CMakeFiles/fec_packet_test.dir/fec_packet_test.cc.o.d"
+  "fec_packet_test"
+  "fec_packet_test.pdb"
+  "fec_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_rs_test.dir/fec_rs_test.cc.o"
+  "CMakeFiles/fec_rs_test.dir/fec_rs_test.cc.o.d"
+  "fec_rs_test"
+  "fec_rs_test.pdb"
+  "fec_rs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_rs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

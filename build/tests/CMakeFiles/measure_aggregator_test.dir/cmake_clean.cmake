@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_aggregator_test.dir/measure_aggregator_test.cc.o"
+  "CMakeFiles/measure_aggregator_test.dir/measure_aggregator_test.cc.o.d"
+  "measure_aggregator_test"
+  "measure_aggregator_test.pdb"
+  "measure_aggregator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_liveness_test.dir/measure_liveness_test.cc.o"
+  "CMakeFiles/measure_liveness_test.dir/measure_liveness_test.cc.o.d"
+  "measure_liveness_test"
+  "measure_liveness_test.pdb"
+  "measure_liveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

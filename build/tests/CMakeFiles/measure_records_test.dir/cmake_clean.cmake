@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_records_test.dir/measure_records_test.cc.o"
+  "CMakeFiles/measure_records_test.dir/measure_records_test.cc.o.d"
+  "measure_records_test"
+  "measure_records_test.pdb"
+  "measure_records_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_records_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_config_test.dir/net_config_test.cc.o"
+  "CMakeFiles/net_config_test.dir/net_config_test.cc.o.d"
+  "net_config_test"
+  "net_config_test.pdb"
+  "net_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_estimator_test.dir/overlay_estimator_test.cc.o"
+  "CMakeFiles/overlay_estimator_test.dir/overlay_estimator_test.cc.o.d"
+  "overlay_estimator_test"
+  "overlay_estimator_test.pdb"
+  "overlay_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

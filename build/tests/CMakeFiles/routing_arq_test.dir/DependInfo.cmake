@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing_arq_test.cc" "tests/CMakeFiles/routing_arq_test.dir/routing_arq_test.cc.o" "gcc" "tests/CMakeFiles/routing_arq_test.dir/routing_arq_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ronpath_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ronpath_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fec/CMakeFiles/ronpath_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/ronpath_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ronpath_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/ronpath_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ronpath_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/ronpath_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/ronpath_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ronpath_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_hybrid_test.dir/routing_hybrid_test.cc.o"
+  "CMakeFiles/routing_hybrid_test.dir/routing_hybrid_test.cc.o.d"
+  "routing_hybrid_test"
+  "routing_hybrid_test.pdb"
+  "routing_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_multipath_test.dir/routing_multipath_test.cc.o"
+  "CMakeFiles/routing_multipath_test.dir/routing_multipath_test.cc.o.d"
+  "routing_multipath_test"
+  "routing_multipath_test.pdb"
+  "routing_multipath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_multipath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

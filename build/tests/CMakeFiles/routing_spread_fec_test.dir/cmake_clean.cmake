@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_spread_fec_test.dir/routing_spread_fec_test.cc.o"
+  "CMakeFiles/routing_spread_fec_test.dir/routing_spread_fec_test.cc.o.d"
+  "routing_spread_fec_test"
+  "routing_spread_fec_test.pdb"
+  "routing_spread_fec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_spread_fec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

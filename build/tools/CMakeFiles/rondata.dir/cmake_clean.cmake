@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rondata.dir/rondata.cc.o"
+  "CMakeFiles/rondata.dir/rondata.cc.o.d"
+  "rondata"
+  "rondata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rondata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

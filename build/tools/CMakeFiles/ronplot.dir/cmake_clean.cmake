@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ronplot.dir/ronplot.cc.o"
+  "CMakeFiles/ronplot.dir/ronplot.cc.o.d"
+  "ronplot"
+  "ronplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ronplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
