@@ -3,22 +3,29 @@
 // Every bench accepts:
 //   --hours H / --days D   measured duration (default: bench-specific)
 //   --seed S               RNG seed
+//   --trials N             independent realizations (default 1)
+//   --jobs J               worker threads for the trials (default 1)
 //   --csv PATH             also dump machine-readable series
 //   --quick                very short run (CI smoke)
 // and prints the paper table/figure it reproduces alongside the paper's
-// published values where applicable.
+// published values where applicable. With --trials > 1 the loss tables
+// carry mean±95%-CI cells (core/trials.h); with the default --trials 1
+// the output is unchanged from the historical single-run benches.
 
 #ifndef RONPATH_BENCH_COMMON_H_
 #define RONPATH_BENCH_COMMON_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 
 #include "core/experiment.h"
+#include "core/trials.h"
 #include "measure/report.h"
 #include "util/table.h"
 
@@ -27,8 +34,31 @@ namespace ronpath::bench {
 struct BenchArgs {
   Duration duration = Duration::hours(24);
   std::uint64_t seed = 42;
+  int trials = 1;
+  int jobs = 1;
   std::string csv_path;
   bool quick = false;
+
+  [[nodiscard]] bool multi_trial() const { return trials > 1; }
+
+  // Strict integer parsing: the whole token must be a number. atoll-style
+  // silent zeroes ("--hours x" running a 0-hour experiment) are rejected.
+  static std::int64_t parse_int(const char* flag, const char* text, std::int64_t min_value,
+                                std::int64_t max_value) {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0') {
+      std::fprintf(stderr, "%s: expected an integer, got \"%s\"\n", flag, text);
+      std::exit(2);
+    }
+    if (errno == ERANGE || v < min_value || v > max_value) {
+      std::fprintf(stderr, "%s: value %lld out of range [%lld, %lld]\n", flag, v,
+                   static_cast<long long>(min_value), static_cast<long long>(max_value));
+      std::exit(2);
+    }
+    return v;
+  }
 
   static BenchArgs parse(int argc, char** argv, Duration default_duration) {
     BenchArgs a;
@@ -43,18 +73,24 @@ struct BenchArgs {
         return argv[++i];
       };
       if (arg == "--hours") {
-        a.duration = Duration::hours(std::atoll(next()));
+        a.duration = Duration::hours(parse_int("--hours", next(), 1, 24 * 365));
       } else if (arg == "--days") {
-        a.duration = Duration::days(std::atoll(next()));
+        a.duration = Duration::days(parse_int("--days", next(), 1, 365));
       } else if (arg == "--seed") {
-        a.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        a.seed = static_cast<std::uint64_t>(
+            parse_int("--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
+      } else if (arg == "--trials") {
+        a.trials = static_cast<int>(parse_int("--trials", next(), 1, 100000));
+      } else if (arg == "--jobs") {
+        a.jobs = static_cast<int>(parse_int("--jobs", next(), 1, 1024));
       } else if (arg == "--csv") {
         a.csv_path = next();
       } else if (arg == "--quick") {
         a.quick = true;
         a.duration = Duration::hours(2);
       } else if (arg == "--help") {
-        std::printf("usage: %s [--hours H|--days D] [--seed S] [--csv PATH] [--quick]\n",
+        std::printf("usage: %s [--hours H|--days D] [--seed S] [--trials N] [--jobs J] "
+                    "[--csv PATH] [--quick]\n",
                     argv[0]);
         std::exit(0);
       } else {
@@ -68,15 +104,11 @@ struct BenchArgs {
 
 // Renders a loss table (Table 5 / Table 7 shape).
 inline void print_loss_table(const std::vector<LossTableRow>& rows, bool round_trip) {
-  TextTable t({"Type", "1lp", "2lp", "totlp", "clp", round_trip ? "RTT" : "lat"});
-  t.set_align(0, TextTable::Align::kLeft);
-  for (const auto& r : rows) {
-    t.add_row({r.name, TextTable::num(r.lp1), TextTable::opt_num(r.lp2.has_value(),
-                                                                 r.lp2.value_or(0)),
-               TextTable::num(r.totlp), TextTable::opt_num(r.clp.has_value(), r.clp.value_or(0)),
-               TextTable::num(r.lat_ms)});
-  }
-  t.print(std::cout);
+  std::cout << render_loss_table(rows, round_trip);
+}
+
+inline void print_loss_table_ci(const std::vector<LossTableRowCi>& rows, bool round_trip) {
+  std::cout << render_loss_table_ci(rows, round_trip);
 }
 
 inline void print_run_banner(const char* title, const ExperimentResult& res,
@@ -86,6 +118,47 @@ inline void print_run_banner(const char* title, const ExperimentResult& res,
               res.measured.to_string().c_str(), static_cast<unsigned long long>(args.seed),
               static_cast<long long>(res.probes), static_cast<long long>(res.overlay_probes),
               static_cast<unsigned long long>(res.events));
+}
+
+inline void print_trials_banner(const char* title, const TrialsResult& trials,
+                                const BenchArgs& args) {
+  std::printf("== %s ==\n", title);
+  std::int64_t probes = 0;
+  std::uint64_t events = 0;
+  for (const auto& t : trials.trials) {
+    probes += t.result.probes;
+    events += t.result.events;
+  }
+  std::printf("%zu trials x %s (base seed %llu, %d jobs): %lld probes, %llu events | "
+              "wall %.2fs, serial %.2fs, speedup %.2fx\n",
+              trials.trials.size(),
+              trials.trials.empty() ? "?" : trials.trials[0].result.measured.to_string().c_str(),
+              static_cast<unsigned long long>(args.seed), args.jobs,
+              static_cast<long long>(probes), static_cast<unsigned long long>(events),
+              trials.wall_seconds, trials.serial_seconds, trials.speedup());
+}
+
+// CSV rows for a cross-trial table, plus one "meta" row recording the
+// trial count, job count, and observed wall-clock speedup so bench
+// trajectories can track scaling over time.
+inline void csv_loss_table_ci(CsvWriter& csv, const char* dataset,
+                              const std::vector<LossTableRowCi>& rows) {
+  for (const auto& r : rows) {
+    csv.row({dataset, r.name, TextTable::num(r.lp1.mean), TextTable::num(r.lp1.ci95_half),
+             r.lp2 ? TextTable::num(r.lp2->mean) : "", r.lp2 ? TextTable::num(r.lp2->ci95_half) : "",
+             TextTable::num(r.totlp.mean), TextTable::num(r.totlp.ci95_half),
+             r.clp ? TextTable::num(r.clp->mean) : "", r.clp ? TextTable::num(r.clp->ci95_half) : "",
+             TextTable::num(r.lat_ms.mean), TextTable::num(r.lat_ms.ci95_half),
+             TextTable::num(r.samples_total)});
+  }
+}
+
+inline void csv_trials_meta(CsvWriter& csv, const BenchArgs& args, const TrialsResult& trials) {
+  csv.row({"meta", "trials", TextTable::num(static_cast<std::int64_t>(trials.trials.size()))});
+  csv.row({"meta", "jobs", TextTable::num(static_cast<std::int64_t>(args.jobs))});
+  csv.row({"meta", "wall_seconds", TextTable::num(trials.wall_seconds, 3)});
+  csv.row({"meta", "serial_seconds", TextTable::num(trials.serial_seconds, 3)});
+  csv.row({"meta", "speedup", TextTable::num(trials.speedup(), 3)});
 }
 
 }  // namespace ronpath::bench

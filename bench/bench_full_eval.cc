@@ -104,6 +104,68 @@ int main(int argc, char** argv) {
   cfg.duration = args.duration;
   cfg.seed = args.seed;
   if (!args.csv_path.empty()) cfg.record_path = args.csv_path + ".rond";
+
+  if (args.multi_trial()) {
+    // Multi-trial: Table 5 and Section 4.2 get cross-trial error bars;
+    // Table 6 and the figures are computed from all trials' records
+    // pooled into one merged aggregator (N independent realizations of
+    // the same 14-day process, exactly N times the windows).
+    TrialsResult trials = run_experiment_trials(cfg, args.trials, args.jobs);
+    const auto ct = make_cross_trial(trials, ron2003_report_rows(), PairScheme::kDirectRand);
+    bench::print_trials_banner("Full evaluation (multi-trial)", trials, args);
+
+    std::printf("\n== Table 5 (mean ± 95%% CI over %d trials) ==\n", args.trials);
+    bench::print_loss_table_ci(ct.rows, /*round_trip=*/false);
+
+    const auto& base = ct.base;
+    std::printf("\n== Section 4.2 ==\noverall direct loss %s%% | worst hour %s%% | "
+                "20-min windows <0.1%%: %s%%, <0.2%%: %s%%\n",
+                TextTable::num_ci(base.loss_percent.mean, base.loss_percent.ci95_half).c_str(),
+                TextTable::num_ci(base.worst_hour_loss_percent.mean,
+                                  base.worst_hour_loss_percent.ci95_half, 1).c_str(),
+                TextTable::num_ci(100.0 * base.frac_windows_below_01pct.mean,
+                                  100.0 * base.frac_windows_below_01pct.ci95_half, 0).c_str(),
+                TextTable::num_ci(100.0 * base.frac_windows_below_02pct.mean,
+                                  100.0 * base.frac_windows_below_02pct.ci95_half, 0).c_str());
+
+    Aggregator& merged = *trials.trials[0].result.agg;
+    for (std::size_t i = 1; i < trials.trials.size(); ++i) {
+      merged.merge(*trials.trials[i].result.agg);
+    }
+
+    std::printf("\n== Table 6 - hour-long high-loss periods (pooled over %d trials) ==\n",
+                args.trials);
+    print_table6(merged);
+
+    print_figure_quantiles(merged);
+
+    const auto& dr = merged.scheme_stats(PairScheme::kDirectRand);
+    DesignSpaceParams params;
+    params.independence_limit =
+        1.0 - dr.pair.conditional_loss_percent().value_or(50.0) / 100.0;
+    const DesignSpace ds(params);
+    int redundant_cheaper = 0;
+    const auto grid = ds.grid(21, 21);
+    for (const auto& pt : grid) {
+      if (pt.region == SchemeRegion::kEither && !pt.reactive_cheaper) ++redundant_cheaper;
+    }
+    std::printf("\n== Figure 6 ==\nindependence limit %.2f (= 1 - clp); redundant-cheaper cells "
+                "%d/441 of the grid\n",
+                params.independence_limit, redundant_cheaper);
+
+    if (!args.csv_path.empty()) {
+      std::ofstream os(args.csv_path);
+      CsvWriter csv(os);
+      csv.row({"dataset", "type", "1lp", "1lp_ci", "2lp", "2lp_ci", "totlp", "totlp_ci", "clp",
+               "clp_ci", "lat_ms", "lat_ms_ci", "samples"});
+      bench::csv_loss_table_ci(csv, "2003", ct.rows);
+      bench::csv_trials_meta(csv, args, trials);
+      std::printf("\nwrote %s (+ per-trial records to %s.rond.trial<i>)\n",
+                  args.csv_path.c_str(), args.csv_path.c_str());
+    }
+    return 0;
+  }
+
   const auto res = run_experiment(cfg);
   const Aggregator& agg = *res.agg;
 

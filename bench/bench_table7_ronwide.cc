@@ -6,6 +6,9 @@
 // 11.2, direct rand totlp 0.12 clp 39.2, direct lat totlp 0.11 clp 39.3,
 // direct loss totlp 0.11 clp 40.0, rand lat totlp 0.11 clp 9.3, rand loss
 // totlp 0.11 clp 9.9, lat loss totlp 0.10 clp 29.0.
+//
+// With --trials N --jobs J every cell becomes mean±95%-CI over seed-split
+// realizations.
 
 #include <fstream>
 #include <iostream>
@@ -22,6 +25,25 @@ int main(int argc, char** argv) {
   cfg.dataset = Dataset::kRonWide;
   cfg.duration = args.duration;
   cfg.seed = args.seed;
+
+  if (args.multi_trial()) {
+    const TrialsResult trials = run_experiment_trials(cfg, args.trials, args.jobs);
+    const auto ct = make_cross_trial(trials, ronwide_report_rows(), PairScheme::kDirect);
+    bench::print_trials_banner("Table 7 - expanded routing schemes (RONwide, RTT)", trials,
+                               args);
+    bench::print_loss_table_ci(ct.rows, /*round_trip=*/true);
+
+    if (!args.csv_path.empty()) {
+      std::ofstream os(args.csv_path);
+      CsvWriter csv(os);
+      csv.row({"dataset", "type", "1lp", "1lp_ci", "2lp", "2lp_ci", "totlp", "totlp_ci", "clp",
+               "clp_ci", "rtt_ms", "rtt_ms_ci", "samples"});
+      bench::csv_loss_table_ci(csv, "ronwide", ct.rows);
+      bench::csv_trials_meta(csv, args, trials);
+    }
+    return 0;
+  }
+
   const auto res = run_experiment(cfg);
   bench::print_run_banner("Table 7 - expanded routing schemes (RONwide, RTT)", res, args);
 

@@ -201,6 +201,41 @@ void Aggregator::finish(TimePoint end) {
   finished_ = true;
 }
 
+void Aggregator::merge(const Aggregator& other) {
+  assert(finished_ && other.finished_ && "merge requires both aggregators finished");
+  assert(n_ == other.n_ && "merging aggregators with different node counts");
+  assert(schemes_ == other.schemes_ && "merging aggregators with different scheme sets");
+  for (PairScheme s : schemes_) {
+    SchemeAgg& a = agg_for(s);
+    const SchemeAgg& b = other.agg_for(s);
+
+    a.stats.pair.merge(b.stats.pair);
+    a.stats.method_lat_ms.merge(b.stats.method_lat_ms);
+    a.stats.first_lat_ms.merge(b.stats.first_lat_ms);
+    a.stats.second_lat_ms.merge(b.stats.second_lat_ms);
+    a.stats.committed += b.stats.committed;
+    a.stats.filtered_host_failure += b.stats.filtered_host_failure;
+    for (std::size_t i = 0; i < a.stats.first_loss_by_cause.size(); ++i) {
+      a.stats.first_loss_by_cause[i] += b.stats.first_loss_by_cause[i];
+    }
+    a.stats.first_loss_host += b.stats.first_loss_host;
+
+    for (std::size_t p = 0; p < a.paths.size(); ++p) {
+      a.paths[p].stats.pair.merge(b.paths[p].stats.pair);
+      a.paths[p].stats.method_lat_ms.merge(b.paths[p].stats.method_lat_ms);
+      a.paths[p].stats.first_lat_ms.merge(b.paths[p].stats.first_lat_ms);
+    }
+
+    a.hist_small.merge(b.hist_small);
+    a.hist_large.merge(b.hist_large);
+    for (std::size_t i = 0; i < kHighLossThresholds; ++i) a.high_loss[i] += b.high_loss[i];
+    a.hour_windows += b.hour_windows;
+    a.global_small_series.merge(b.global_small_series);
+    if (b.worst.loss_rate > a.worst.loss_rate) a.worst = b.worst;
+    if (b.worst_first.loss_rate > a.worst_first.loss_rate) a.worst_first = b.worst_first;
+  }
+}
+
 const Aggregator::SchemeStats& Aggregator::scheme_stats(PairScheme scheme) const {
   return agg_for(scheme).stats;
 }

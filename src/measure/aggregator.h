@@ -57,6 +57,17 @@ class Aggregator {
   // Flushes all buffered records and closes open windows.
   void finish(TimePoint end);
 
+  // Folds another finished aggregator of identical shape (node count,
+  // scheme set, window configuration) into this one, which must also be
+  // finished. All committed statistics — pair tallies, latency moments,
+  // window histograms, high-loss counts, pooled window series, worst
+  // hours — combine as if both record streams had been fed to a single
+  // aggregator whose windows never straddled the two streams (which is
+  // exactly the case for independent trials: each trial's windows are
+  // closed by its own finish()). Liveness state is not merged; the
+  // host-failure filter has already been applied per stream.
+  void merge(const Aggregator& other);
+
   // ---- Results (valid after finish()) ----------------------------------
 
   struct SchemeStats {

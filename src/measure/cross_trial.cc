@@ -1,0 +1,38 @@
+#include "measure/cross_trial.h"
+
+#include <array>
+#include <cmath>
+
+namespace ronpath {
+
+double t_critical_95(std::int64_t n) {
+  if (n < 2) return 0.0;
+  // Two-sided 95% critical values for df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+  };
+  const std::int64_t df = n - 1;
+  if (df <= static_cast<std::int64_t>(kTable.size())) {
+    return kTable[static_cast<std::size_t>(df - 1)];
+  }
+  return 1.96;
+}
+
+MetricSummary summarize_metric(std::span<const double> per_trial_values) {
+  MetricSummary s;
+  s.n = static_cast<std::int64_t>(per_trial_values.size());
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double v : per_trial_values) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double m2 = 0.0;
+  for (double v : per_trial_values) m2 += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(m2 / static_cast<double>(s.n - 1));
+  s.ci95_half = t_critical_95(s.n) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  return s;
+}
+
+}  // namespace ronpath

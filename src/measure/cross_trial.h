@@ -1,0 +1,35 @@
+// Cross-trial statistics: turns N independent realizations of a metric
+// into mean, sample stddev, and a 95% confidence interval.
+//
+// The paper reports every table as a point estimate from one simulated
+// run; the multi-trial runner (core/trials.h) replays the experiment
+// under split seeds and this layer attaches error bars. Intervals use
+// the Student t distribution (two-sided, 95%), which matters at the
+// small trial counts (4-32) the benches actually use; beyond 30 degrees
+// of freedom the normal 1.96 is close enough and is used directly.
+
+#ifndef RONPATH_MEASURE_CROSS_TRIAL_H_
+#define RONPATH_MEASURE_CROSS_TRIAL_H_
+
+#include <cstdint>
+#include <span>
+
+namespace ronpath {
+
+// Two-sided 95% Student t critical value for n samples (n-1 degrees of
+// freedom); 0 for n < 2 (no interval can be formed).
+[[nodiscard]] double t_critical_95(std::int64_t n);
+
+// Summary of one metric observed once per trial.
+struct MetricSummary {
+  std::int64_t n = 0;      // trials contributing a value
+  double mean = 0.0;
+  double stddev = 0.0;     // sample stddev (n-1 denominator)
+  double ci95_half = 0.0;  // half-width of the 95% CI; 0 when n < 2
+};
+
+[[nodiscard]] MetricSummary summarize_metric(std::span<const double> per_trial_values);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MEASURE_CROSS_TRIAL_H_

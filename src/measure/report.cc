@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/table.h"
+
 namespace ronpath {
 namespace {
 
@@ -11,6 +13,19 @@ bool is_registered(const Aggregator& agg, PairScheme s) {
     if (r == s) return true;
   }
   return false;
+}
+
+// Gathers one metric across trials for row index r; `present` filters
+// trials where the metric is defined (e.g. clp with no first losses).
+template <typename Get, typename Present>
+MetricSummary row_metric(std::span<const std::vector<LossTableRow>> per_trial, std::size_t r,
+                         Get get, Present present) {
+  std::vector<double> values;
+  values.reserve(per_trial.size());
+  for (const auto& rows : per_trial) {
+    if (present(rows[r])) values.push_back(get(rows[r]));
+  }
+  return summarize_metric(values);
 }
 
 }  // namespace
@@ -52,6 +67,64 @@ std::vector<LossTableRow> make_loss_table(const Aggregator& agg,
     out.push_back(std::move(r));
   }
   return out;
+}
+
+std::string render_loss_table(const std::vector<LossTableRow>& rows, bool round_trip) {
+  TextTable t({"Type", "1lp", "2lp", "totlp", "clp", round_trip ? "RTT" : "lat"});
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const auto& r : rows) {
+    t.add_row({r.name, TextTable::num(r.lp1),
+               TextTable::opt_num(r.lp2.has_value(), r.lp2.value_or(0)), TextTable::num(r.totlp),
+               TextTable::opt_num(r.clp.has_value(), r.clp.value_or(0)),
+               TextTable::num(r.lat_ms)});
+  }
+  return t.to_string();
+}
+
+std::vector<LossTableRowCi> make_loss_table_ci(
+    std::span<const std::vector<LossTableRow>> per_trial) {
+  std::vector<LossTableRowCi> out;
+  if (per_trial.empty()) return out;
+  const std::size_t n_rows = per_trial.front().size();
+  for (const auto& rows : per_trial) {
+    assert(rows.size() == n_rows && "per-trial loss tables must share their row set");
+    (void)rows;
+  }
+  out.reserve(n_rows);
+  const auto always = [](const LossTableRow&) { return true; };
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const LossTableRow& proto = per_trial.front()[r];
+    LossTableRowCi row;
+    row.scheme = proto.scheme;
+    row.name = proto.name;
+    row.inferred = proto.inferred;
+    row.lp1 = row_metric(per_trial, r, [](const auto& x) { return x.lp1; }, always);
+    row.totlp = row_metric(per_trial, r, [](const auto& x) { return x.totlp; }, always);
+    row.lat_ms = row_metric(per_trial, r, [](const auto& x) { return x.lat_ms; }, always);
+    const auto lp2 = row_metric(per_trial, r, [](const auto& x) { return *x.lp2; },
+                                [](const auto& x) { return x.lp2.has_value(); });
+    if (lp2.n > 0) row.lp2 = lp2;
+    const auto clp = row_metric(per_trial, r, [](const auto& x) { return *x.clp; },
+                                [](const auto& x) { return x.clp.has_value(); });
+    if (clp.n > 0) row.clp = clp;
+    for (const auto& rows : per_trial) row.samples_total += rows[r].samples;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string render_loss_table_ci(const std::vector<LossTableRowCi>& rows, bool round_trip) {
+  TextTable t({"Type", "1lp", "2lp", "totlp", "clp", round_trip ? "RTT" : "lat", "trials"});
+  t.set_align(0, TextTable::Align::kLeft);
+  for (const auto& r : rows) {
+    t.add_row({r.name, TextTable::num_ci(r.lp1.mean, r.lp1.ci95_half),
+               r.lp2 ? TextTable::num_ci(r.lp2->mean, r.lp2->ci95_half) : "-",
+               TextTable::num_ci(r.totlp.mean, r.totlp.ci95_half),
+               r.clp ? TextTable::num_ci(r.clp->mean, r.clp->ci95_half) : "-",
+               TextTable::num_ci(r.lat_ms.mean, r.lat_ms.ci95_half),
+               TextTable::num(r.lp1.n)});
+  }
+  return t.to_string();
 }
 
 HighLossTable make_high_loss_table(const Aggregator& agg,
@@ -144,6 +217,21 @@ BaseStats make_base_stats(const Aggregator& agg, PairScheme scheme) {
     b.frac_windows_below_02pct = series.fraction_at_or_below(0.002);
   }
   return b;
+}
+
+BaseStatsCi make_base_stats_ci(std::span<const BaseStats> per_trial) {
+  BaseStatsCi ci;
+  std::vector<double> v(per_trial.size());
+  const auto field = [&](double BaseStats::* member) {
+    for (std::size_t i = 0; i < per_trial.size(); ++i) v[i] = per_trial[i].*member;
+    return summarize_metric(v);
+  };
+  ci.loss_percent = field(&BaseStats::loss_percent);
+  ci.mean_latency_ms = field(&BaseStats::mean_latency_ms);
+  ci.worst_hour_loss_percent = field(&BaseStats::worst_hour_loss_percent);
+  ci.frac_windows_below_01pct = field(&BaseStats::frac_windows_below_01pct);
+  ci.frac_windows_below_02pct = field(&BaseStats::frac_windows_below_02pct);
+  return ci;
 }
 
 }  // namespace ronpath

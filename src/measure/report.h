@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "measure/aggregator.h"
+#include "measure/cross_trial.h"
 #include "routing/schemes.h"
 
 namespace ronpath {
@@ -37,6 +38,34 @@ struct LossTableRow {
 // use their own stats; others use inference_source().
 [[nodiscard]] std::vector<LossTableRow> make_loss_table(const Aggregator& agg,
                                                         std::span<const PairScheme> rows);
+
+// Canonical text rendering of a loss table (the bench binaries print
+// exactly this, and the determinism tests compare it byte for byte).
+[[nodiscard]] std::string render_loss_table(const std::vector<LossTableRow>& rows,
+                                            bool round_trip);
+
+// One row of Table 5 / Table 7 with cross-trial error bars: each metric
+// summarizes the per-trial point estimates of `make_loss_table` rows.
+struct LossTableRowCi {
+  PairScheme scheme = PairScheme::kDirect;
+  std::string name;
+  bool inferred = false;
+  MetricSummary lp1;
+  std::optional<MetricSummary> lp2;  // present when any trial reported it
+  MetricSummary totlp;
+  std::optional<MetricSummary> clp;
+  MetricSummary lat_ms;
+  std::int64_t samples_total = 0;  // pairs summed over trials
+};
+
+// Collapses per-trial loss tables (same rows, same order — the output of
+// make_loss_table on each trial's aggregator) into mean +/- 95% CI rows.
+[[nodiscard]] std::vector<LossTableRowCi> make_loss_table_ci(
+    std::span<const std::vector<LossTableRow>> per_trial);
+
+// Text rendering with "mean +/- ci" cells, same layout as render_loss_table.
+[[nodiscard]] std::string render_loss_table_ci(const std::vector<LossTableRowCi>& rows,
+                                               bool round_trip);
 
 // Table 6: high-loss hour counts. Row i = threshold i*10 (loss% > t).
 struct HighLossTable {
@@ -86,6 +115,16 @@ struct BaseStats {
   double frac_windows_below_02pct = 0.0;
 };
 [[nodiscard]] BaseStats make_base_stats(const Aggregator& agg, PairScheme scheme);
+
+// Section 4.2 statistics across trials, one BaseStats per realization.
+struct BaseStatsCi {
+  MetricSummary loss_percent;
+  MetricSummary mean_latency_ms;
+  MetricSummary worst_hour_loss_percent;
+  MetricSummary frac_windows_below_01pct;
+  MetricSummary frac_windows_below_02pct;
+};
+[[nodiscard]] BaseStatsCi make_base_stats_ci(std::span<const BaseStats> per_trial);
 
 }  // namespace ronpath
 

@@ -64,6 +64,15 @@ void Histogram::add(double x) {
   }
 }
 
+void Histogram::merge(const Histogram& other) {
+  assert(lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size() &&
+         "merging histograms with different binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
 
@@ -86,6 +95,11 @@ double Histogram::fraction_below(double x) const {
 
 void EmpiricalCdf::add(double x) {
   samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::merge(const EmpiricalCdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
   sorted_ = false;
 }
 

@@ -50,6 +50,8 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  // Element-wise sum; both histograms must share lo/hi/bin count.
+  void merge(const Histogram& other);
 
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::int64_t bin(std::size_t i) const { return counts_[i]; }
@@ -76,6 +78,8 @@ class Histogram {
 class EmpiricalCdf {
  public:
   void add(double x);
+  // Appends the other collector's samples.
+  void merge(const EmpiricalCdf& other);
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   [[nodiscard]] std::size_t size() const { return samples_.size(); }

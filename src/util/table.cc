@@ -39,6 +39,13 @@ std::string TextTable::opt_num(bool present, double v, int precision) {
   return present ? num(v, precision) : std::string("-");
 }
 
+std::string TextTable::num_ci(double mean, double ci_half, int precision) {
+  if (ci_half == 0.0) return num(mean, precision);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f±%.*f", precision, mean, precision, ci_half);
+  return buf;
+}
+
 void TextTable::print(std::ostream& os) const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();

@@ -32,6 +32,9 @@ class TextTable {
   [[nodiscard]] static std::string num(std::int64_t v);
   // Renders "-" for missing values, matching the paper's tables.
   [[nodiscard]] static std::string opt_num(bool present, double v, int precision = 2);
+  // "mean±half" confidence cell; collapses to num(mean) when half is 0
+  // (single trial), so --trials 1 output matches the plain tables.
+  [[nodiscard]] static std::string num_ci(double mean, double ci_half, int precision = 2);
 
   void print(std::ostream& os) const;
   [[nodiscard]] std::string to_string() const;

@@ -1,0 +1,137 @@
+#include "util/thread_pool.h"
+
+#include <exception>
+#include <optional>
+
+namespace ronpath {
+namespace {
+
+// Identifies the current thread's worker slot inside its owning pool, so
+// submit() from a worker can use its own deque. One pool is active per
+// worker thread, so a pair of thread_locals suffices.
+thread_local const void* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  const std::size_t n = n_threads == 0 ? 1 : n_threads;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  if (tls_pool == this) {
+    target = tls_worker;
+  } else {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    target = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::take(std::size_t self) {
+  {
+    Worker& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      auto task = std::move(own.deque.back());
+      own.deque.pop_back();
+      return task;
+    }
+  }
+  // Steal oldest work from the first non-empty victim after self.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Worker& victim = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      auto task = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    std::function<void()> task = take(self);
+    if (!task) {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [this, self] {
+        if (stop_) return true;
+        for (const auto& q : queues_) {
+          std::lock_guard<std::mutex> ql(q->mutex);
+          if (!q->deque.empty()) return true;
+        }
+        return false;
+      });
+      if (stop_) return;
+      continue;
+    }
+    task();  // async() wraps in packaged_task, so exceptions land in futures
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::for_each_index(std::size_t n, std::size_t n_jobs,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n_jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(n_jobs < n ? n_jobs : n);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.async([&fn, i] { fn(i); }));
+  }
+  // Surface the lowest-index failure deterministically; later exceptions
+  // are swallowed only after every task has run to completion.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace ronpath

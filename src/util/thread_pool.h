@@ -1,0 +1,91 @@
+// Small work-stealing thread pool for embarrassingly parallel jobs.
+//
+// Each worker owns a deque: the owner pushes/pops at the back (LIFO, cache
+// friendly), idle workers steal from the front of other workers' deques
+// (FIFO, oldest work first). External submitters distribute round-robin.
+// Tasks are plain std::function<void()>; result and exception transport is
+// layered on top with std::packaged_task via async().
+//
+// The pool is deliberately minimal: it exists so the multi-trial experiment
+// runner (core/trials.h) can shard independent simulations across cores.
+// Determinism is the caller's job — tasks must not share mutable state, and
+// outputs must be stored by task index, never by completion order.
+
+#ifndef RONPATH_UTIL_THREAD_POOL_H_
+#define RONPATH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ronpath {
+
+class ThreadPool {
+ public:
+  // Spawns `n_threads` workers; 0 is clamped to 1. Oversubscription beyond
+  // the hardware is allowed (useful in tests), just wasteful.
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task. Safe to call from worker threads (the task lands on
+  // the calling worker's own deque).
+  void submit(std::function<void()> task);
+
+  // Enqueues a callable and returns a future carrying its result or its
+  // exception.
+  template <typename F>
+  [[nodiscard]] auto async(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    submit([task = std::move(task)]() { (*task)(); });
+    return fut;
+  }
+
+  // Blocks until every submitted task has finished. Must not be called
+  // from inside a pool task.
+  void wait_idle();
+
+  // Runs fn(0) ... fn(n-1) across at most `n_jobs` threads and rethrows
+  // the first task exception (by index) after all tasks finish.
+  // n_jobs <= 1 runs inline on the calling thread with no pool at all, so
+  // single-job callers pay nothing and remain trivially deterministic.
+  static void for_each_index(std::size_t n, std::size_t n_jobs,
+                             const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    std::mutex mutex;
+  };
+
+  void worker_loop(std::size_t self);
+  // Pops from own back, else steals from another front; empty when none.
+  [[nodiscard]] std::function<void()> take(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;  // queued + running, guarded by wake_mutex_
+  std::size_t next_queue_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_UTIL_THREAD_POOL_H_

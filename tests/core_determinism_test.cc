@@ -1,0 +1,102 @@
+// Determinism regression tests.
+//
+// The simulator promises: (1) the same ExperimentConfig and seed produce
+// byte-identical report output on every run, and (2) the multi-trial
+// runner's results depend only on (seed, trial index) — the number of
+// worker threads must not change a single bit of the cross-trial
+// summary. These tests are the contract the --trials/--jobs flags and
+// any future parallelism must keep.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/trials.h"
+#include "measure/report.h"
+#include "routing/schemes.h"
+
+namespace ronpath {
+namespace {
+
+ExperimentConfig short_config() {
+  ExperimentConfig cfg;
+  cfg.dataset = Dataset::kRonNarrow;  // 17 hosts, 3 schemes: fastest dataset
+  cfg.warmup = Duration::minutes(10);
+  cfg.duration = Duration::minutes(30);
+  cfg.seed = 1234;
+  return cfg;
+}
+
+std::string report_of(const ExperimentResult& res) {
+  return render_loss_table(make_loss_table(*res.agg, ronnarrow_probe_set()),
+                           /*round_trip=*/false);
+}
+
+TEST(Determinism, SameConfigSameSeedByteIdenticalReport) {
+  const ExperimentConfig cfg = short_config();
+  const ExperimentResult first = run_experiment(cfg);
+  const ExperimentResult second = run_experiment(cfg);
+  EXPECT_EQ(first.probes, second.probes);
+  EXPECT_EQ(first.overlay_probes, second.overlay_probes);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(report_of(first), report_of(second));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  ExperimentConfig cfg = short_config();
+  const ExperimentResult first = run_experiment(cfg);
+  cfg.seed = 5678;
+  const ExperimentResult second = run_experiment(cfg);
+  EXPECT_NE(report_of(first), report_of(second));
+}
+
+TEST(Determinism, TrialSeedsAreStableAndDistinct) {
+  // Trial 0 is the base seed itself (a single trial reproduces the
+  // historical single-run output); later trials fork disjoint streams.
+  EXPECT_EQ(trial_seed(42, 0), 42u);
+  EXPECT_EQ(trial_seed(42, 1), trial_seed(42, 1));
+  EXPECT_NE(trial_seed(42, 1), trial_seed(42, 2));
+  EXPECT_NE(trial_seed(42, 1), trial_seed(43, 1));
+}
+
+TEST(Determinism, JobCountDoesNotChangeTrialResults) {
+  const ExperimentConfig cfg = short_config();
+  constexpr int kTrials = 3;
+  const TrialsResult serial = run_experiment_trials(cfg, kTrials, /*n_jobs=*/1);
+  const TrialsResult parallel = run_experiment_trials(cfg, kTrials, /*n_jobs=*/4);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+
+  for (int i = 0; i < kTrials; ++i) {
+    const auto& s = serial.trials[static_cast<std::size_t>(i)];
+    const auto& p = parallel.trials[static_cast<std::size_t>(i)];
+    EXPECT_EQ(s.seed, p.seed) << "trial " << i;
+    EXPECT_EQ(s.result.probes, p.result.probes) << "trial " << i;
+    EXPECT_EQ(s.result.events, p.result.events) << "trial " << i;
+    EXPECT_EQ(report_of(s.result), report_of(p.result)) << "trial " << i;
+  }
+
+  // And the rendered cross-trial summary is byte-identical too.
+  const auto ct_serial =
+      make_cross_trial(serial, ronnarrow_probe_set(), PairScheme::kDirectRand);
+  const auto ct_parallel =
+      make_cross_trial(parallel, ronnarrow_probe_set(), PairScheme::kDirectRand);
+  EXPECT_EQ(render_loss_table_ci(ct_serial.rows, false),
+            render_loss_table_ci(ct_parallel.rows, false));
+  EXPECT_EQ(ct_serial.base.loss_percent.mean, ct_parallel.base.loss_percent.mean);
+  EXPECT_EQ(ct_serial.base.worst_hour_loss_percent.mean,
+            ct_parallel.base.worst_hour_loss_percent.mean);
+}
+
+TEST(Determinism, SingleTrialMatchesDirectRun) {
+  const ExperimentConfig cfg = short_config();
+  const ExperimentResult direct = run_experiment(cfg);
+  const TrialsResult one = run_experiment_trials(cfg, 1, 1);
+  ASSERT_EQ(one.trials.size(), 1u);
+  EXPECT_EQ(one.trials[0].seed, cfg.seed);
+  EXPECT_EQ(one.trials[0].result.probes, direct.probes);
+  EXPECT_EQ(report_of(one.trials[0].result), report_of(direct));
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,122 @@
+// Golden-value tolerance tests for the paper tables.
+//
+// Short quick-mode runs (2 simulated hours, seed 42 — exactly what the
+// bench binaries' --quick flag executes) are asserted against checked-in
+// reference values. The runs are deterministic, so the tolerances are not
+// statistical: they absorb only platform-level float noise. Any change to
+// the underlay, estimator, router, or aggregator that shifts behavior
+// moves these metrics by the order of their cross-seed spread (~±1 loss
+// percentage point on a 2-hour run), far outside the tolerance — so drift
+// fails CI here instead of silently shifting the reproduction.
+//
+// If a change intentionally alters behavior, rerun
+//   bench_table5_loss --quick   and   bench_table7_ronwide --quick
+// and update the constants below in the same commit.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/experiment.h"
+#include "measure/report.h"
+#include "routing/schemes.h"
+
+namespace ronpath {
+namespace {
+
+// Tolerances, in the units of each column.
+constexpr double kLossTol = 0.25;   // loss percentages (values ~0.3-4)
+constexpr double kClpTol = 10.0;    // conditional loss percentage
+constexpr double kLatTol = 6.0;     // ms
+constexpr double kProbesRelTol = 0.01;
+
+struct GoldenRow {
+  PairScheme scheme;
+  double lp1;
+  double totlp;
+  std::optional<double> clp;
+  double lat_ms;
+};
+
+const LossTableRow& find_row(const std::vector<LossTableRow>& rows, PairScheme s) {
+  for (const auto& r : rows) {
+    if (r.scheme == s) return r;
+  }
+  ADD_FAILURE() << "scheme missing from table";
+  static const LossTableRow kEmpty{};
+  return kEmpty;
+}
+
+void expect_rows(const std::vector<LossTableRow>& rows, const std::vector<GoldenRow>& golden) {
+  for (const auto& g : golden) {
+    const LossTableRow& r = find_row(rows, g.scheme);
+    EXPECT_NEAR(r.lp1, g.lp1, kLossTol) << r.name << " 1lp";
+    EXPECT_NEAR(r.totlp, g.totlp, kLossTol) << r.name << " totlp";
+    if (g.clp) {
+      ASSERT_TRUE(r.clp.has_value()) << r.name << " clp missing";
+      EXPECT_NEAR(*r.clp, *g.clp, kClpTol) << r.name << " clp";
+    }
+    EXPECT_NEAR(r.lat_ms, g.lat_ms, kLatTol) << r.name << " lat";
+  }
+}
+
+TEST(GoldenTables, Table5Ron2003Quick) {
+  ExperimentConfig cfg;
+  cfg.dataset = Dataset::kRon2003;
+  cfg.duration = Duration::hours(2);
+  cfg.seed = 42;
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_NEAR(static_cast<double>(res.probes), 319016.0, kProbesRelTol * 319016.0);
+
+  const auto rows = make_loss_table(*res.agg, ron2003_report_rows());
+  expect_rows(rows, {
+      {PairScheme::kDirect, 0.59, 0.59, std::nullopt, 55.68},
+      {PairScheme::kLat, 0.61, 0.61, std::nullopt, 46.69},
+      {PairScheme::kLoss, 0.57, 0.57, std::nullopt, 61.06},
+      {PairScheme::kDirectRand, 0.59, 0.34, 58.55, 52.73},
+      {PairScheme::kLatLoss, 0.61, 0.35, 56.79, 45.98},
+      {PairScheme::kDirectDirect, 0.64, 0.49, 76.08, 55.18},
+      {PairScheme::kDd10ms, 0.62, 0.44, 70.33, 55.77},
+      {PairScheme::kDd20ms, 0.56, 0.39, 69.37, 55.10},
+  });
+
+  // The qualitative Table 5 orderings the paper's conclusions rest on.
+  const auto& dd = find_row(rows, PairScheme::kDirectDirect);
+  const auto& dr = find_row(rows, PairScheme::kDirectRand);
+  EXPECT_GT(*dd.clp, *dr.clp) << "same-path clp must exceed random second path";
+  EXPECT_LT(dr.totlp, dr.lp1) << "two copies must beat one";
+}
+
+TEST(GoldenTables, Table7RonWideQuick) {
+  ExperimentConfig cfg;
+  cfg.dataset = Dataset::kRonWide;
+  cfg.duration = Duration::hours(2);
+  cfg.seed = 42;
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_NEAR(static_cast<double>(res.probes), 180379.0, kProbesRelTol * 180379.0);
+
+  const auto rows = make_loss_table(*res.agg, ronwide_report_rows());
+  expect_rows(rows, {
+      {PairScheme::kDirect, 1.61, 1.61, std::nullopt, 113.59},
+      {PairScheme::kRand, 3.80, 3.80, std::nullopt, 228.61},
+      {PairScheme::kLat, 1.50, 1.50, std::nullopt, 101.73},
+      {PairScheme::kLoss, 1.05, 1.05, std::nullopt, 131.15},
+      {PairScheme::kDirectDirect, 1.54, 1.15, 74.42, 111.98},
+      {PairScheme::kRandRand, 3.79, 0.87, 22.88, 170.37},
+      {PairScheme::kDirectRand, 1.65, 0.58, 35.33, 113.62},
+      {PairScheme::kLatLoss, 1.37, 0.64, 46.41, 102.35},
+  });
+
+  // Qualitative shape of Table 7.
+  const auto& rnd = find_row(rows, PairScheme::kRand);
+  const auto& dir = find_row(rows, PairScheme::kDirect);
+  const auto& rr = find_row(rows, PairScheme::kRandRand);
+  const auto& dd = find_row(rows, PairScheme::kDirectDirect);
+  EXPECT_GT(rnd.lp1, dir.lp1) << "random intermediates are lossier than direct";
+  EXPECT_GT(rnd.lat_ms, dir.lat_ms + 20) << "random detours pay latency";
+  EXPECT_LT(*rr.clp, *dd.clp) << "disjoint paths are closer to independent";
+}
+
+}  // namespace
+}  // namespace ronpath

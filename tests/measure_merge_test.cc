@@ -1,0 +1,248 @@
+// Merge-path tests: Histogram / EmpiricalCdf merge, the cross-trial
+// metric summaries, and the central equivalence that makes the
+// multi-trial runner sound: Aggregator::merge(a, b) must equal a single
+// aggregator fed both record streams.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "measure/aggregator.h"
+#include "measure/cross_trial.h"
+#include "measure/report.h"
+#include "util/stats.h"
+
+namespace ronpath {
+namespace {
+
+TimePoint at(double seconds) { return TimePoint::epoch() + Duration::from_seconds_f(seconds); }
+
+TEST(HistogramMerge, SumsBinsAndOverflow) {
+  Histogram a(0.0, 1.0, 10);
+  Histogram b(0.0, 1.0, 10);
+  a.add(0.05);
+  a.add(0.95);
+  a.add(-1.0);  // underflow
+  b.add(0.05);
+  b.add(2.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5);
+  EXPECT_EQ(a.bin(0), 2);
+  EXPECT_EQ(a.bin(9), 1);
+  EXPECT_EQ(a.underflow(), 1);
+  EXPECT_EQ(a.overflow(), 1);
+}
+
+TEST(EmpiricalCdfMerge, CombinesSamples) {
+  EmpiricalCdf a;
+  EmpiricalCdf b;
+  for (int i = 0; i < 50; ++i) a.add(static_cast<double>(i));
+  for (int i = 50; i < 100; ++i) b.add(static_cast<double>(i));
+  (void)b.median();  // force the other side sorted; merge must still work
+  a.merge(b);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 99.0);
+  EXPECT_NEAR(a.median(), 49.5, 1e-9);
+}
+
+TEST(CrossTrial, TCriticalValues) {
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 0.0);
+  EXPECT_DOUBLE_EQ(t_critical_95(2), 12.706);  // df = 1
+  EXPECT_DOUBLE_EQ(t_critical_95(5), 2.776);   // df = 4
+  EXPECT_DOUBLE_EQ(t_critical_95(31), 2.042);  // df = 30
+  EXPECT_DOUBLE_EQ(t_critical_95(1000), 1.96);
+}
+
+TEST(CrossTrial, SummarizeMetricKnownValues) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const MetricSummary s = summarize_metric(values);
+  EXPECT_EQ(s.n, 8);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev with n-1: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);
+  // t(df=7) = 2.365.
+  EXPECT_NEAR(s.ci95_half, 2.365 * s.stddev / std::sqrt(8.0), 1e-9);
+}
+
+TEST(CrossTrial, SingleTrialHasNoInterval) {
+  const std::vector<double> one = {3.5};
+  const MetricSummary s = summarize_metric(one);
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(CrossTrial, LossTableCiAggregatesRows) {
+  LossTableRow r1;
+  r1.scheme = PairScheme::kDirectRand;
+  r1.name = "direct rand";
+  r1.lp1 = 0.4;
+  r1.lp2 = 2.0;
+  r1.totlp = 0.2;
+  r1.clp = 50.0;
+  r1.lat_ms = 60.0;
+  r1.samples = 100;
+  LossTableRow r2 = r1;
+  r2.lp1 = 0.6;
+  r2.lp2 = 3.0;
+  r2.totlp = 0.4;
+  r2.clp.reset();  // this trial saw no first-copy losses
+  r2.lat_ms = 70.0;
+  r2.samples = 150;
+  const std::vector<std::vector<LossTableRow>> per_trial = {{r1}, {r2}};
+  const auto ci = make_loss_table_ci(per_trial);
+  ASSERT_EQ(ci.size(), 1u);
+  EXPECT_EQ(ci[0].name, "direct rand");
+  EXPECT_EQ(ci[0].lp1.n, 2);
+  EXPECT_DOUBLE_EQ(ci[0].lp1.mean, 0.5);
+  ASSERT_TRUE(ci[0].lp2.has_value());
+  EXPECT_DOUBLE_EQ(ci[0].lp2->mean, 2.5);
+  ASSERT_TRUE(ci[0].clp.has_value());
+  EXPECT_EQ(ci[0].clp->n, 1);  // only the trial that observed it
+  EXPECT_DOUBLE_EQ(ci[0].clp->mean, 50.0);
+  EXPECT_EQ(ci[0].samples_total, 250);
+}
+
+// ------------------------------------------------------------------------
+// Aggregator::merge equivalence.
+
+ProbeRecord make_record(PairScheme scheme, NodeId src, NodeId dst, TimePoint sent,
+                        bool first_lost, bool second_lost) {
+  ProbeRecord r;
+  r.scheme = scheme;
+  r.src = src;
+  r.dst = dst;
+  r.copy_count = 2;
+  r.copies[0].sent = sent;
+  r.copies[0].delivered = !first_lost;
+  r.copies[0].latency = Duration::millis(50);
+  r.copies[1].sent = sent;
+  r.copies[1].delivered = !second_lost;
+  r.copies[1].latency = Duration::millis(60);
+  return r;
+}
+
+// Deterministic pseudo-random stream of records covering hours
+// [hour_lo, hour_hi) on a 3-node mesh.
+std::vector<ProbeRecord> record_stream(int hour_lo, int hour_hi, unsigned salt) {
+  std::vector<ProbeRecord> out;
+  unsigned state = 12345u + salt;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int h = hour_lo; h < hour_hi; ++h) {
+    for (int i = 0; i < 240; ++i) {
+      const double t = h * 3600.0 + i * 15.0;
+      const NodeId src = static_cast<NodeId>(next() % 3);
+      NodeId dst = static_cast<NodeId>(next() % 3);
+      if (dst == src) dst = static_cast<NodeId>((src + 1) % 3);
+      const bool first_lost = next() % 100 < 5;
+      const bool second_lost = first_lost ? next() % 100 < 60 : next() % 100 < 2;
+      out.push_back(
+          make_record(PairScheme::kDirectRand, src, dst, at(t), first_lost, second_lost));
+    }
+  }
+  return out;
+}
+
+void feed(Aggregator& agg, const std::vector<ProbeRecord>& records) {
+  for (const auto& rec : records) {
+    for (NodeId n = 0; n < 3; ++n) agg.note_activity(n, rec.sent());
+    agg.add(rec);
+  }
+}
+
+TEST(AggregatorMerge, EqualsSingleAggregatorFedBothStreams) {
+  const std::vector<PairScheme> schemes = {PairScheme::kDirectRand};
+  const AggregatorConfig cfg;
+  // Two streams on disjoint hour ranges, as two trials' windows would be.
+  const auto stream_a = record_stream(0, 3, 1);
+  const auto stream_b = record_stream(3, 6, 2);
+
+  Aggregator a(3, schemes, cfg);
+  feed(a, stream_a);
+  a.finish(at(3 * 3600.0));
+
+  Aggregator b(3, schemes, cfg);
+  feed(b, stream_b);
+  b.finish(at(6 * 3600.0));
+
+  Aggregator single(3, schemes, cfg);
+  feed(single, stream_a);
+  feed(single, stream_b);
+  single.finish(at(6 * 3600.0));
+
+  a.merge(b);
+
+  const auto& ms = a.scheme_stats(PairScheme::kDirectRand);
+  const auto& ss = single.scheme_stats(PairScheme::kDirectRand);
+  EXPECT_EQ(ms.committed, ss.committed);
+  EXPECT_EQ(ms.pair.pairs(), ss.pair.pairs());
+  EXPECT_EQ(ms.pair.first_lost(), ss.pair.first_lost());
+  EXPECT_EQ(ms.pair.second_lost(), ss.pair.second_lost());
+  EXPECT_EQ(ms.pair.both_lost(), ss.pair.both_lost());
+  EXPECT_EQ(ms.method_lat_ms.count(), ss.method_lat_ms.count());
+  EXPECT_NEAR(ms.method_lat_ms.mean(), ss.method_lat_ms.mean(), 1e-9);
+  EXPECT_NEAR(ms.first_lat_ms.mean(), ss.first_lat_ms.mean(), 1e-9);
+
+  // Per-path stats.
+  for (NodeId s = 0; s < 3; ++s) {
+    for (NodeId d = 0; d < 3; ++d) {
+      if (s == d) continue;
+      const auto& mp = a.path_stats(PairScheme::kDirectRand, s, d);
+      const auto& sp = single.path_stats(PairScheme::kDirectRand, s, d);
+      EXPECT_EQ(mp.pair.pairs(), sp.pair.pairs());
+      EXPECT_EQ(mp.pair.both_lost(), sp.pair.both_lost());
+      EXPECT_NEAR(mp.method_lat_ms.mean(), sp.method_lat_ms.mean(), 1e-9);
+    }
+  }
+
+  // Window-derived state.
+  const auto& mh = a.window_hist(PairScheme::kDirectRand, /*hourly=*/true);
+  const auto& sh = single.window_hist(PairScheme::kDirectRand, /*hourly=*/true);
+  EXPECT_EQ(mh.total(), sh.total());
+  for (std::size_t i = 0; i < mh.bin_count(); ++i) EXPECT_EQ(mh.bin(i), sh.bin(i));
+  EXPECT_EQ(a.total_hour_windows(PairScheme::kDirectRand),
+            single.total_hour_windows(PairScheme::kDirectRand));
+  const auto& mc = a.high_loss_hours(PairScheme::kDirectRand);
+  const auto& sc = single.high_loss_hours(PairScheme::kDirectRand);
+  for (std::size_t i = 0; i < kHighLossThresholds; ++i) EXPECT_EQ(mc[i], sc[i]);
+
+  EXPECT_EQ(a.global_window_loss(PairScheme::kDirectRand).size(),
+            single.global_window_loss(PairScheme::kDirectRand).size());
+  EXPECT_NEAR(a.worst_hour(PairScheme::kDirectRand).loss_rate,
+              single.worst_hour(PairScheme::kDirectRand).loss_rate, 1e-12);
+  EXPECT_EQ(a.worst_hour(PairScheme::kDirectRand).start,
+            single.worst_hour(PairScheme::kDirectRand).start);
+}
+
+TEST(AggregatorMerge, PairAndLossCounterMergeMatchSequentialFeed) {
+  PairCounter merged;
+  PairCounter part1;
+  PairCounter part2;
+  PairCounter sequential;
+  auto feed_counter = [](PairCounter& c, int fl, int sl, int both, int none) {
+    for (int i = 0; i < fl; ++i) c.record(true, false);
+    for (int i = 0; i < sl; ++i) c.record(false, true);
+    for (int i = 0; i < both; ++i) c.record(true, true);
+    for (int i = 0; i < none; ++i) c.record(false, false);
+  };
+  feed_counter(part1, 3, 2, 1, 94);
+  feed_counter(part2, 5, 1, 2, 150);
+  feed_counter(sequential, 3, 2, 1, 94);
+  feed_counter(sequential, 5, 1, 2, 150);
+  merged.merge(part1);
+  merged.merge(part2);
+  EXPECT_EQ(merged.pairs(), sequential.pairs());
+  EXPECT_EQ(merged.first_lost(), sequential.first_lost());
+  EXPECT_EQ(merged.second_lost(), sequential.second_lost());
+  EXPECT_EQ(merged.both_lost(), sequential.both_lost());
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ronpath {
+namespace {
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&hits, i] { ++hits[static_cast<std::size_t>(i)]; });
+  }
+  pool.wait_idle();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, AsyncReturnsValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.async([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, AsyncPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitFromWorkerThread) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f = pool.async([&] {
+    // Lands on the calling worker's own deque.
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++ran; });
+  });
+  f.get();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolForEach, OutputsOrderedByIndexNotCompletion) {
+  constexpr std::size_t kN = 200;
+  std::vector<std::size_t> out(kN, 0);
+  ThreadPool::for_each_index(kN, 8, [&](std::size_t i) { out[i] = i + 1; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(ThreadPoolForEach, InlineWhenSingleJob) {
+  // jobs <= 1 must run on the calling thread, in index order.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  ThreadPool::for_each_index(5, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolForEach, ZeroTasksIsANoop) {
+  ThreadPool::for_each_index(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolForEach, OversubscribedJobsStillComplete) {
+  // Far more jobs than tasks or cores.
+  std::atomic<int> ran{0};
+  ThreadPool::for_each_index(8, 64, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolForEach, RethrowsLowestIndexExceptionAfterAllTasksRan) {
+  std::atomic<int> ran{0};
+  try {
+    ThreadPool::for_each_index(20, 4, [&](std::size_t i) {
+      ++ran;
+      if (i == 3) throw std::runtime_error("task 3");
+      if (i == 17) throw std::logic_error("task 17");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");  // lowest failing index wins
+  }
+  EXPECT_EQ(ran.load(), 20);  // the failure did not cancel other tasks
+}
+
+}  // namespace
+}  // namespace ronpath
