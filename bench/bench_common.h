@@ -19,13 +19,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/experiment.h"
 #include "core/trials.h"
+#include "fault/fault.h"
+#include "fault/scenarios.h"
 #include "measure/report.h"
 #include "util/table.h"
 
@@ -38,6 +42,10 @@ struct BenchArgs {
   int jobs = 1;
   std::string csv_path;
   bool quick = false;
+  // --fault-scenario: the argument as given (name or path) and the
+  // resolved, validated fault-DSL text (empty = no injection).
+  std::string fault_scenario;
+  std::string fault_dsl;
 
   [[nodiscard]] bool multi_trial() const { return trials > 1; }
 
@@ -58,6 +66,38 @@ struct BenchArgs {
       std::exit(2);
     }
     return v;
+  }
+
+  // Resolves a --fault-scenario argument: a canonical scenario name
+  // (fault/scenarios.h), else a path to a fault-DSL file. Strict like
+  // parse_int: unknown names, unreadable files and DSL errors exit 2.
+  static std::string load_fault_dsl(const char* arg) {
+    if (const Scenario* s = find_scenario(arg)) return std::string(s->dsl);
+    std::ifstream in(arg);
+    if (!in) {
+      std::fprintf(stderr, "--fault-scenario: \"%s\" is neither a canonical scenario nor a "
+                           "readable file; known scenarios:\n", arg);
+      for (const Scenario& s : canonical_scenarios()) {
+        std::fprintf(stderr, "  %s\n", std::string(s.name).c_str());
+      }
+      std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string parse_error;
+    if (!FaultSchedule::parse(text.str(), &parse_error)) {
+      std::fprintf(stderr, "--fault-scenario %s: %s\n", arg, parse_error.c_str());
+      std::exit(2);
+    }
+    return text.str();
+  }
+
+  // Applies the parsed --fault-scenario (if any) to an experiment:
+  // schedule injection plus the graceful-degradation control plane.
+  void apply_fault(ExperimentConfig& cfg) const {
+    if (fault_dsl.empty()) return;
+    cfg.fault_dsl = fault_dsl;
+    cfg.graceful_degradation = true;
   }
 
   static BenchArgs parse(int argc, char** argv, Duration default_duration) {
@@ -85,12 +125,15 @@ struct BenchArgs {
         a.jobs = static_cast<int>(parse_int("--jobs", next(), 1, 1024));
       } else if (arg == "--csv") {
         a.csv_path = next();
+      } else if (arg == "--fault-scenario") {
+        a.fault_scenario = next();
+        a.fault_dsl = load_fault_dsl(a.fault_scenario.c_str());
       } else if (arg == "--quick") {
         a.quick = true;
         a.duration = Duration::hours(2);
       } else if (arg == "--help") {
         std::printf("usage: %s [--hours H|--days D] [--seed S] [--trials N] [--jobs J] "
-                    "[--csv PATH] [--quick]\n",
+                    "[--csv PATH] [--fault-scenario NAME|FILE] [--quick]\n",
                     argv[0]);
         std::exit(0);
       } else {

@@ -103,6 +103,7 @@ int main(int argc, char** argv) {
   cfg.dataset = Dataset::kRon2003;
   cfg.duration = args.duration;
   cfg.seed = args.seed;
+  args.apply_fault(cfg);
   if (!args.csv_path.empty()) cfg.record_path = args.csv_path + ".rond";
 
   if (args.multi_trial()) {

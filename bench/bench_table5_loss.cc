@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   cfg.dataset = Dataset::kRon2003;
   cfg.duration = args.duration;
   cfg.seed = args.seed;
+  args.apply_fault(cfg);
 
   ExperimentConfig cfg2002 = cfg;
   cfg2002.dataset = Dataset::kRonNarrow;

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   cfg.dataset = Dataset::kRon2003;
   cfg.duration = args.duration;
   cfg.seed = args.seed;
+  args.apply_fault(cfg);
   const auto res = run_experiment(cfg);
   bench::print_run_banner("Table 6 - hour-long high-loss periods", res, args);
 

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cfg.dataset = Dataset::kRonWide;
   cfg.duration = args.duration;
   cfg.seed = args.seed;
+  args.apply_fault(cfg);
 
   if (args.multi_trial()) {
     const TrialsResult trials = run_experiment_trials(cfg, args.trials, args.jobs);

@@ -2,9 +2,12 @@
 
 #include <fstream>
 
+#include <stdexcept>
+
 #include "core/driver.h"
 #include "core/testbed.h"
 #include "event/scheduler.h"
+#include "fault/injector.h"
 #include "net/config.h"
 #include "overlay/overlay.h"
 #include "routing/schemes.h"
@@ -49,7 +52,21 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     overlay_cfg.host_failures_per_month = *cfg.host_failures_per_month;
   }
   overlay_cfg.use_ewma_loss = cfg.use_ewma_loss;
+  if (cfg.graceful_degradation) {
+    // Entries expire after five missed publications; flapping vias serve
+    // a doubling hold-down starting at two probe intervals.
+    overlay_cfg.router.entry_ttl = overlay_cfg.probe_interval * 5;
+    overlay_cfg.router.holddown_base = overlay_cfg.probe_interval * 2;
+  }
   OverlayNetwork overlay(net, sched, overlay_cfg, rng.fork("overlay"));
+  std::unique_ptr<FaultInjector> injector;
+  if (!cfg.fault_dsl.empty()) {
+    std::string parse_error;
+    const auto schedule = FaultSchedule::parse(cfg.fault_dsl, &parse_error);
+    if (!schedule) throw std::runtime_error("fault schedule: " + parse_error);
+    injector = std::make_unique<FaultInjector>(*schedule, topo, horizon);
+    overlay.set_fault_injector(injector.get());
+  }
   overlay.start();
 
   DriverConfig driver_cfg;

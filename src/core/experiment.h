@@ -56,6 +56,12 @@ struct ExperimentConfig {
   // When set, every probe record is streamed to this file (rondata
   // format; see tools/rondata.cc).
   std::string record_path;
+  // Optional scripted fault schedule (fault DSL text; see src/fault/),
+  // overlaid on the run via a FaultInjector. Invalid DSL throws.
+  std::string fault_dsl;
+  // Enables the router's staleness expiry + hold-down knobs (DESIGN.md,
+  // "Fault model"); off reproduces the trust-forever control plane.
+  bool graceful_degradation = false;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,266 @@
+#include "core/fault_matrix.h"
+
+#include <array>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/testbed.h"
+#include "core/trials.h"
+#include "event/scheduler.h"
+#include "fault/injector.h"
+#include "net/config.h"
+#include "overlay/overlay.h"
+#include "routing/hybrid.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace ronpath {
+namespace {
+
+constexpr std::array<FaultScheme, 4> kSchemes = {
+    FaultScheme::kDirect, FaultScheme::kReactive, FaultScheme::kMesh, FaultScheme::kHybrid};
+
+double pct(std::int64_t lost, std::int64_t sent) {
+  return sent > 0 ? 100.0 * static_cast<double>(lost) / static_cast<double>(sent) : 0.0;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultScheme scheme) {
+  switch (scheme) {
+    case FaultScheme::kDirect: return "direct";
+    case FaultScheme::kReactive: return "reactive";
+    case FaultScheme::kMesh: return "mesh";
+    case FaultScheme::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::span<const FaultScheme> all_fault_schemes() { return kSchemes; }
+
+FaultCell run_fault_cell(const Scenario& scenario, FaultScheme scheme,
+                         const FaultMatrixConfig& cfg, std::uint64_t seed) {
+  Topology topo = testbed_2003();
+  assert(cfg.node_count >= 2);
+  if (cfg.node_count < topo.size()) {
+    std::vector<Site> subset(topo.sites().begin(),
+                             topo.sites().begin() + static_cast<long>(cfg.node_count));
+    topo = Topology(std::move(subset));
+  }
+
+  const Duration run_span = cfg.warmup + cfg.measured;
+  NetConfig net_cfg = NetConfig::profile_2003(run_span);
+  // Only the scripted fault may perturb the run: organic incidents and
+  // host failures would smear the failover/recovery measurements.
+  net_cfg.incidents.clear();
+
+  std::string parse_error;
+  const auto schedule = FaultSchedule::parse(scenario.dsl, &parse_error);
+  if (!schedule) {
+    throw std::runtime_error("scenario '" + std::string(scenario.name) + "': " + parse_error);
+  }
+  const FaultInjector injector(*schedule, topo, run_span + Duration::hours(1));
+
+  Rng rng(seed);
+  Scheduler sched;
+  Network net(topo, net_cfg, run_span + Duration::hours(1), rng.fork("net"));
+
+  OverlayConfig ocfg;
+  ocfg.router.forward_delay = net_cfg.forward_delay;
+  ocfg.host_failures_per_month = 0.0;
+  if (cfg.graceful_degradation) {
+    // Entries expire after five missed publications; flapping vias serve
+    // a doubling hold-down starting at two probe intervals.
+    ocfg.router.entry_ttl = ocfg.probe_interval * 5;
+    ocfg.router.holddown_base = ocfg.probe_interval * 2;
+  }
+  OverlayNetwork overlay(net, sched, ocfg, rng.fork("overlay"));
+  overlay.set_fault_injector(&injector);
+  overlay.start();
+
+  HybridConfig hcfg;
+  hcfg.mode = scheme == FaultScheme::kMesh ? HybridMode::kAlwaysDuplicate : HybridMode::kAdaptive;
+  HybridSender sender(overlay, hcfg, rng.fork("hybrid"));
+
+  const NodeId src = 0;
+  const NodeId dst = 1;
+  const TimePoint measure_start = TimePoint::epoch() + cfg.warmup;
+  const TimePoint end = measure_start + cfg.measured;
+  sched.run_until(measure_start);
+
+  std::vector<bool> delivered;
+  delivered.reserve(
+      static_cast<std::size_t>(cfg.measured.count_nanos() / cfg.send_interval.count_nanos()) + 1);
+  for (TimePoint t = measure_start; t < end; t += cfg.send_interval) {
+    sched.run_until(t);
+    bool ok = false;
+    switch (scheme) {
+      case FaultScheme::kDirect:
+        ok = overlay.send(overlay.route(src, dst, RouteTag::kDirect), t).delivered();
+        break;
+      case FaultScheme::kReactive:
+        ok = overlay.send(overlay.route(src, dst, RouteTag::kLoss), t).delivered();
+        break;
+      case FaultScheme::kMesh:
+      case FaultScheme::kHybrid:
+        ok = sender.send(src, dst, t).delivered();
+        break;
+    }
+    delivered.push_back(ok);
+  }
+  sched.run_until(end);
+
+  const TimePoint fault_start = scenario.fault_start;
+  const TimePoint fault_end = scenario.fault_start + scenario.fault_duration;
+  const auto time_of = [&](std::size_t i) {
+    return measure_start + cfg.send_interval * static_cast<std::int64_t>(i);
+  };
+  const std::size_t n = delivered.size();
+  const auto streak_ok = [&](std::size_t j) {
+    if (j + static_cast<std::size_t>(cfg.stable_streak) > n) return false;
+    for (int k = 0; k < cfg.stable_streak; ++k) {
+      if (!delivered[j + static_cast<std::size_t>(k)]) return false;
+    }
+    return true;
+  };
+
+  FaultCell cell;
+  std::int64_t sent_pre = 0, lost_pre = 0, sent_fault = 0, lost_fault = 0, sent_post = 0,
+               lost_post = 0;
+  std::size_t first_fault_loss = n;  // n = none
+  std::size_t first_post = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimePoint t = time_of(i);
+    const bool lost = !delivered[i];
+    if (t < fault_start) {
+      ++sent_pre;
+      lost_pre += lost;
+    } else if (t < fault_end) {
+      ++sent_fault;
+      lost_fault += lost;
+      if (lost && first_fault_loss == n) first_fault_loss = i;
+    } else {
+      if (first_post == n) first_post = i;
+      ++sent_post;
+      lost_post += lost;
+    }
+  }
+  cell.loss_pre_pct = pct(lost_pre, sent_pre);
+  cell.loss_fault_pct = pct(lost_fault, sent_fault);
+  cell.loss_post_pct = pct(lost_post, sent_post);
+
+  if (first_fault_loss == n) {
+    // The scheme rode the fault out without a single loss.
+    cell.failover_measured = sent_fault > 0;
+    cell.failover_s = 0.0;
+  } else {
+    for (std::size_t j = first_fault_loss; j < n; ++j) {
+      if (streak_ok(j)) {
+        cell.failover_measured = true;
+        cell.failover_s = (time_of(j) - fault_start).to_seconds_f();
+        break;
+      }
+    }
+  }
+  for (std::size_t j = first_post; j < n; ++j) {
+    if (streak_ok(j)) {
+      cell.recovery_measured = true;
+      cell.recovery_s = (time_of(j) - fault_end).to_seconds_f();
+      break;
+    }
+  }
+
+  cell.overhead = (scheme == FaultScheme::kMesh || scheme == FaultScheme::kHybrid)
+                      ? sender.overhead_factor()
+                      : 1.0;
+  cell.route_switches = overlay.router(src).loss_switches(dst);
+  cell.injected_drops = net.stats().dropped_injected;
+  return cell;
+}
+
+FaultMatrixResult run_fault_matrix(const FaultMatrixConfig& cfg,
+                                   std::span<const Scenario> scenarios, int n_trials,
+                                   int n_jobs) {
+  FaultMatrixResult result;
+  result.cfg = cfg;
+  result.n_trials = n_trials;
+  const std::size_t n_cells = scenarios.size() * kSchemes.size();
+  result.cells.resize(n_cells);
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    result.cells[c].scenario = std::string(scenarios[c / kSchemes.size()].name);
+    result.cells[c].scheme = kSchemes[c % kSchemes.size()];
+    result.cells[c].trials.resize(static_cast<std::size_t>(n_trials));
+  }
+
+  const std::size_t total = n_cells * static_cast<std::size_t>(n_trials);
+  ThreadPool::for_each_index(total, static_cast<std::size_t>(n_jobs), [&](std::size_t task) {
+    const std::size_t c = task / static_cast<std::size_t>(n_trials);
+    const int trial = static_cast<int>(task % static_cast<std::size_t>(n_trials));
+    const Scenario& scenario = scenarios[c / kSchemes.size()];
+    result.cells[c].trials[static_cast<std::size_t>(trial)] = run_fault_cell(
+        scenario, kSchemes[c % kSchemes.size()], cfg, trial_seed(cfg.seed, trial));
+  });
+
+  for (auto& cell : result.cells) {
+    std::vector<double> pre, fault, post, failover, recovery, overhead;
+    for (const FaultCell& t : cell.trials) {
+      pre.push_back(t.loss_pre_pct);
+      fault.push_back(t.loss_fault_pct);
+      post.push_back(t.loss_post_pct);
+      if (t.failover_measured) failover.push_back(t.failover_s);
+      if (t.recovery_measured) recovery.push_back(t.recovery_s);
+      overhead.push_back(t.overhead);
+    }
+    cell.loss_pre_pct = summarize_metric(pre);
+    cell.loss_fault_pct = summarize_metric(fault);
+    cell.loss_post_pct = summarize_metric(post);
+    cell.failover_s = summarize_metric(failover);
+    cell.recovery_s = summarize_metric(recovery);
+    cell.overhead = summarize_metric(overhead);
+    cell.route_switches = cell.trials[0].route_switches;
+    cell.injected_drops = cell.trials[0].injected_drops;
+  }
+  return result;
+}
+
+std::string format_fault_matrix(const FaultMatrixResult& result,
+                                std::span<const Scenario> scenarios) {
+  std::ostringstream os;
+  const FaultMatrixConfig& cfg = result.cfg;
+  os << "== Fault matrix: scheme x scenario ==\n";
+  os << "nodes " << cfg.node_count << " | seed " << cfg.seed << " | warmup "
+     << cfg.warmup.to_string() << " | measured " << cfg.measured.to_string() << " | send every "
+     << cfg.send_interval.to_string() << " | degradation "
+     << (cfg.graceful_degradation ? "on" : "off") << " | trials " << result.n_trials << "\n";
+
+  std::size_t c = 0;
+  for (const Scenario& scenario : scenarios) {
+    os << "\n-- " << scenario.name << (scenario.routable ? " (routable)" : " (unroutable)")
+       << ": " << scenario.summary << "\n";
+    // Echo the schedule so the report is reproducible by itself.
+    std::istringstream dsl{std::string(scenario.dsl)};
+    for (std::string line; std::getline(dsl, line);) {
+      if (!line.empty()) os << "     " << line << "\n";
+    }
+    TextTable t({"scheme", "loss pre", "loss fault", "loss post", "failover", "recovery",
+                 "overhead", "switches", "injected"});
+    for (std::size_t s = 0; s < all_fault_schemes().size(); ++s, ++c) {
+      const FaultCellSummary& cell = result.cells[c];
+      const auto dur_cell = [](const MetricSummary& m) {
+        return m.n > 0 ? TextTable::num_ci(m.mean, m.ci95_half, 1) + "s" : std::string("-");
+      };
+      t.add_row({std::string(to_string(cell.scheme)),
+                 TextTable::num_ci(cell.loss_pre_pct.mean, cell.loss_pre_pct.ci95_half) + "%",
+                 TextTable::num_ci(cell.loss_fault_pct.mean, cell.loss_fault_pct.ci95_half) + "%",
+                 TextTable::num_ci(cell.loss_post_pct.mean, cell.loss_post_pct.ci95_half) + "%",
+                 dur_cell(cell.failover_s), dur_cell(cell.recovery_s),
+                 TextTable::num_ci(cell.overhead.mean, cell.overhead.ci95_half),
+                 TextTable::num(cell.route_switches), TextTable::num(cell.injected_drops)});
+    }
+    os << t.to_string();
+  }
+  return os.str();
+}
+
+}  // namespace ronpath

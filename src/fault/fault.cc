@@ -1,0 +1,361 @@
+#include "fault/fault.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace ronpath {
+namespace {
+
+// ---------------------------------------------------------------- lexing
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    std::size_t j = i;
+    while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j])) &&
+           line[j] != '#') {
+      ++j;
+    }
+    out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+// Duration literal: NUMBER followed by ms|s|m|h (e.g. "45s", "1.5h").
+std::optional<Duration> parse_duration_token(std::string_view tok) {
+  std::size_t unit_at = tok.size();
+  while (unit_at > 0 && !std::isdigit(static_cast<unsigned char>(tok[unit_at - 1])) &&
+         tok[unit_at - 1] != '.') {
+    --unit_at;
+  }
+  const std::string_view num = tok.substr(0, unit_at);
+  const std::string_view unit = tok.substr(unit_at);
+  if (num.empty()) return std::nullopt;
+  double v = 0.0;
+  const auto [end, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+  if (ec != std::errc() || end != num.data() + num.size() || v < 0.0) return std::nullopt;
+  if (unit == "ms") return Duration::from_millis_f(v);
+  if (unit == "s") return Duration::from_seconds_f(v);
+  if (unit == "m") return Duration::from_seconds_f(v * 60.0);
+  if (unit == "h") return Duration::from_seconds_f(v * 3600.0);
+  return std::nullopt;
+}
+
+std::optional<NodeId> parse_id(std::string_view tok) {
+  unsigned v = 0;
+  const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || end != tok.data() + tok.size() || v >= kInvalidNode) {
+    return std::nullopt;
+  }
+  return static_cast<NodeId>(v);
+}
+
+std::optional<std::vector<NodeId>> parse_id_list(std::string_view tok) {
+  std::vector<NodeId> ids;
+  std::size_t pos = 0;
+  while (pos <= tok.size()) {
+    const std::size_t comma = tok.find(',', pos);
+    const std::string_view part =
+        tok.substr(pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos);
+    const auto id = parse_id(part);
+    if (!id) return std::nullopt;
+    ids.push_back(*id);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  if (ids.empty()) return std::nullopt;
+  return ids;
+}
+
+// "3->9" core-link token.
+std::optional<std::pair<NodeId, NodeId>> parse_link(std::string_view tok) {
+  const std::size_t arrow = tok.find("->");
+  if (arrow == std::string_view::npos) return std::nullopt;
+  const auto a = parse_id(tok.substr(0, arrow));
+  const auto b = parse_id(tok.substr(arrow + 2));
+  if (!a || !b || *a == *b) return std::nullopt;
+  return std::make_pair(*a, *b);
+}
+
+std::string duration_dsl(Duration d) {
+  const std::int64_t ns = d.count_nanos();
+  char buf[32];
+  if (ns % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(d.count_seconds()));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(d.count_millis()));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kComponentBlackout: return "blackout";
+    case FaultKind::kProbeBlackhole: return "probe-blackhole";
+    case FaultKind::kLsaLoss: return "lsa-loss";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- builders
+
+FaultSchedule& FaultSchedule::down_site(NodeId site, TimePoint at, Duration dur,
+                                        FaultScope scope) {
+  return down_sites({site}, at, dur, scope);
+}
+
+FaultSchedule& FaultSchedule::down_sites(std::vector<NodeId> sites, TimePoint at, Duration dur,
+                                         FaultScope scope) {
+  FaultSpec s;
+  s.kind = FaultKind::kComponentBlackout;
+  s.scope = scope;
+  s.sites = std::move(sites);
+  s.start = at;
+  s.duration = dur;
+  add(std::move(s));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::down_link(NodeId src, NodeId dst, TimePoint at, Duration dur) {
+  FaultSpec s;
+  s.kind = FaultKind::kComponentBlackout;
+  s.scope = FaultScope::kLink;
+  s.link_src = src;
+  s.link_dst = dst;
+  s.start = at;
+  s.duration = dur;
+  add(std::move(s));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::flap_link(NodeId src, NodeId dst, Duration period, Duration dur) {
+  FaultSpec s;
+  s.kind = FaultKind::kComponentBlackout;
+  s.scope = FaultScope::kLink;
+  s.link_src = src;
+  s.link_dst = dst;
+  s.start = TimePoint::epoch() + period;
+  s.duration = dur;
+  s.period = period;
+  add(std::move(s));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::blackhole_probes(NodeId node, TimePoint at, Duration dur) {
+  FaultSpec s;
+  s.kind = FaultKind::kProbeBlackhole;
+  s.scope = FaultScope::kNode;
+  s.sites = {node};
+  s.start = at;
+  s.duration = dur;
+  add(std::move(s));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::lsa_loss(NodeId node, TimePoint at, Duration dur) {
+  FaultSpec s;
+  s.kind = FaultKind::kLsaLoss;
+  s.scope = FaultScope::kNode;
+  s.sites = {node};
+  s.start = at;
+  s.duration = dur;
+  add(std::move(s));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash(NodeId node, TimePoint at, Duration dur) {
+  FaultSpec s;
+  s.kind = FaultKind::kCrash;
+  s.scope = FaultScope::kNode;
+  s.sites = {node};
+  s.start = at;
+  s.duration = dur;
+  add(std::move(s));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash_churn(NodeId node, Duration period, Duration dur) {
+  FaultSpec s;
+  s.kind = FaultKind::kCrash;
+  s.scope = FaultScope::kNode;
+  s.sites = {node};
+  s.start = TimePoint::epoch() + period;
+  s.duration = dur;
+  s.period = period;
+  add(std::move(s));
+  return *this;
+}
+
+// -------------------------------------------------------------- parsing
+
+std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text, std::string* error) {
+  FaultSchedule schedule;
+  int line_no = 0;
+  auto fail = [&](const std::string& msg) -> std::optional<FaultSchedule> {
+    if (error) *error = "line " + std::to_string(line_no) + ": " + msg;
+    return std::nullopt;
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    std::size_t i = 0;
+    auto next = [&]() -> std::optional<std::string_view> {
+      if (i >= tok.size()) return std::nullopt;
+      return tok[i++];
+    };
+
+    FaultSpec spec;
+
+    // 'at TIME' or 'every DUR'.
+    const auto head = *next();
+    const auto when_tok = next();
+    if (!when_tok) return fail("expected a time after '" + std::string(head) + "'");
+    const auto when = parse_duration_token(*when_tok);
+    if (!when) return fail("bad time \"" + std::string(*when_tok) + "\" (want e.g. 120s, 5m)");
+    if (head == "at") {
+      spec.start = TimePoint::epoch() + *when;
+    } else if (head == "every") {
+      if (when->is_zero()) return fail("'every' period must be positive");
+      spec.start = TimePoint::epoch() + *when;
+      spec.period = *when;
+    } else {
+      return fail("expected 'at' or 'every', got \"" + std::string(head) + "\"");
+    }
+
+    // Action verb.
+    const auto verb_tok = next();
+    if (!verb_tok) return fail("expected an action after the time");
+    const std::string_view verb = *verb_tok;
+    if (verb == "down" || verb == "flap") {
+      if (verb == "flap" && !spec.periodic()) {
+        return fail("'flap' needs 'every' (use 'down' for a one-shot)");
+      }
+      spec.kind = FaultKind::kComponentBlackout;
+      const auto target = next();
+      if (!target) return fail("expected 'site', 'sites' or 'link' after '" + std::string(verb) + "'");
+      if (*target == "site" || *target == "sites") {
+        const auto ids_tok = next();
+        if (!ids_tok) return fail("expected site id(s)");
+        const auto ids = parse_id_list(*ids_tok);
+        if (!ids) return fail("bad site id list \"" + std::string(*ids_tok) + "\"");
+        spec.sites = *ids;
+        spec.scope = FaultScope::kSiteAll;
+        if (i < tok.size() && tok[i] != "for") {
+          const auto scope = *next();
+          if (scope == "access") {
+            spec.scope = FaultScope::kSiteAccess;
+          } else if (scope == "provider") {
+            spec.scope = FaultScope::kSiteProvider;
+          } else {
+            return fail("bad scope \"" + std::string(scope) + "\" (want access|provider)");
+          }
+        }
+      } else if (*target == "link") {
+        const auto link_tok = next();
+        if (!link_tok) return fail("expected a link like 3->9");
+        const auto link = parse_link(*link_tok);
+        if (!link) return fail("bad link \"" + std::string(*link_tok) + "\" (want e.g. 3->9)");
+        spec.scope = FaultScope::kLink;
+        spec.link_src = link->first;
+        spec.link_dst = link->second;
+      } else {
+        return fail("bad target \"" + std::string(*target) + "\" (want site|sites|link)");
+      }
+    } else if (verb == "blackhole" || verb == "lsa-loss" || verb == "crash") {
+      spec.kind = verb == "blackhole" ? FaultKind::kProbeBlackhole
+                  : verb == "lsa-loss" ? FaultKind::kLsaLoss
+                                       : FaultKind::kCrash;
+      spec.scope = FaultScope::kNode;
+      if (verb == "blackhole") {
+        const auto probes = next();
+        if (!probes || *probes != "probes") return fail("expected 'probes' after 'blackhole'");
+      }
+      const auto node_kw = next();
+      if (!node_kw || *node_kw != "node") return fail("expected 'node <id>'");
+      const auto id_tok = next();
+      if (!id_tok) return fail("expected a node id");
+      const auto id = parse_id(*id_tok);
+      if (!id) return fail("bad node id \"" + std::string(*id_tok) + "\"");
+      spec.sites = {*id};
+    } else {
+      return fail("unknown action \"" + std::string(verb) +
+                  "\" (want down|flap|blackhole|lsa-loss|crash)");
+    }
+
+    // 'for DUR'.
+    const auto for_kw = next();
+    if (!for_kw || *for_kw != "for") return fail("expected 'for <duration>'");
+    const auto dur_tok = next();
+    if (!dur_tok) return fail("expected a duration after 'for'");
+    const auto dur = parse_duration_token(*dur_tok);
+    if (!dur || dur->is_zero()) {
+      return fail("bad duration \"" + std::string(*dur_tok) + "\"");
+    }
+    spec.duration = *dur;
+    if (spec.periodic() && spec.duration >= spec.period) {
+      return fail("fault duration must be shorter than its 'every' period");
+    }
+    if (i != tok.size()) return fail("trailing junk \"" + std::string(tok[i]) + "\"");
+
+    schedule.add(std::move(spec));
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::to_string() const {
+  std::string out;
+  for (const auto& f : faults_) {
+    if (f.periodic()) {
+      out += "every " + duration_dsl(f.period) + " ";
+    } else {
+      out += "at " + duration_dsl(f.start.since_epoch()) + " ";
+    }
+    switch (f.kind) {
+      case FaultKind::kComponentBlackout: {
+        if (f.scope == FaultScope::kLink) {
+          out += (f.periodic() ? "flap link " : "down link ") + std::to_string(f.link_src) +
+                 "->" + std::to_string(f.link_dst);
+        } else {
+          out += f.sites.size() == 1 ? "down site " : "down sites ";
+          for (std::size_t i = 0; i < f.sites.size(); ++i) {
+            if (i) out += ",";
+            out += std::to_string(f.sites[i]);
+          }
+          if (f.scope == FaultScope::kSiteAccess) out += " access";
+          if (f.scope == FaultScope::kSiteProvider) out += " provider";
+        }
+        break;
+      }
+      case FaultKind::kProbeBlackhole:
+        out += "blackhole probes node " + std::to_string(f.sites.front());
+        break;
+      case FaultKind::kLsaLoss:
+        out += "lsa-loss node " + std::to_string(f.sites.front());
+        break;
+      case FaultKind::kCrash:
+        out += "crash node " + std::to_string(f.sites.front());
+        break;
+    }
+    out += " for " + duration_dsl(f.duration) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ronpath

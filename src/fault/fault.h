@@ -1,0 +1,141 @@
+// Scripted fault schedules for the simulated underlay and overlay
+// control plane.
+//
+// The organic failure model (net/loss_process.h) samples outages from
+// calibrated stochastic processes; it cannot produce a *controlled,
+// repeatable* failure scenario. A FaultSchedule is the complement: an
+// explicit, deterministic timeline of faults that the FaultInjector
+// (fault/injector.h) overlays onto a run. Schedules are pure data - no
+// RNG, no wall clock - so (seed, schedule) fully determines a run;
+// schedules are part of the seed-stable state.
+//
+// Fault taxonomy (see DESIGN.md, "Fault model"):
+//   component blackout  - site access / provider components or a core
+//                         segment drop every packet (DropCause::kInjected);
+//                         multi-site form models regionally correlated
+//                         failures at the network edge (Section 2.4).
+//   probe blackhole     - the overlay's control probes with an affected
+//                         endpoint die while data packets still deliver,
+//                         poisoning the estimator state.
+//   LSA loss            - a node's link-state advertisements are lost;
+//                         its rows in the shared table go stale.
+//   crash-restart       - the node's host is down (stops probing,
+//                         responding and forwarding), then restarts.
+//   flapping            - any of the above on a periodic timer; the
+//                         canonical use is a flapping core link.
+//
+// Schedules are built programmatically or parsed from a line-oriented
+// text DSL:
+//
+//   # one-shot faults
+//   at 120s down site 7 access for 45s
+//   at 120s down site 7 provider for 45s
+//   at 2m down sites 1,2,3 for 90s
+//   at 10m down link 3->9 for 1m
+//   at 10m blackhole probes node 3 for 5m
+//   at 10m lsa-loss node 2 for 5m
+//   at 10m crash node 4 for 30s
+//   # periodic faults (first occurrence at the period mark)
+//   every 300s flap link 3->9 for 10s
+//   every 240s crash node 4 for 30s
+//
+// Grammar:
+//   line    := 'at' TIME action 'for' DUR
+//            | 'every' DUR action 'for' DUR
+//   action  := ('down'|'flap') target
+//            | 'blackhole' 'probes' 'node' ID
+//            | 'lsa-loss' 'node' ID
+//            | 'crash' 'node' ID
+//   target  := 'site' ID ['access'|'provider']
+//            | 'sites' ID(,ID)* ['access'|'provider']
+//            | 'link' ID'->'ID
+//   TIME/DUR:= NUMBER('ms'|'s'|'m'|'h')
+// Comments run from '#' to end of line. Parsing is strict: any
+// unrecognized token fails with a line-numbered error.
+
+#ifndef RONPATH_FAULT_FAULT_H_
+#define RONPATH_FAULT_FAULT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+enum class FaultKind : std::uint8_t {
+  kComponentBlackout,  // underlay components drop every packet
+  kProbeBlackhole,     // control probes die, data delivers
+  kLsaLoss,            // link-state advertisements suppressed
+  kCrash,              // host down (crash), back up at window end (restart)
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+// Which components of the target site(s) a blackout covers.
+enum class FaultScope : std::uint8_t {
+  kSiteAll,       // access up/down + provider in/out
+  kSiteAccess,    // access up/down only
+  kSiteProvider,  // provider in/out only
+  kLink,          // one core segment (ordered pair)
+  kNode,          // whole-node faults (blackhole / lsa-loss / crash)
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kComponentBlackout;
+  FaultScope scope = FaultScope::kNode;
+  // Target site/node ids (one or more for regional correlation).
+  std::vector<NodeId> sites;
+  // Core segment endpoints, meaningful only for kLink scope.
+  NodeId link_src = kInvalidNode;
+  NodeId link_dst = kInvalidNode;
+  // First activation and per-activation length.
+  TimePoint start;
+  Duration duration = Duration::zero();
+  // Repetition period; zero = one-shot. Periodic faults repeat from
+  // `start` every `period` until the injector's horizon.
+  Duration period = Duration::zero();
+
+  [[nodiscard]] bool periodic() const { return period > Duration::zero(); }
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  void add(FaultSpec spec) { faults_.push_back(std::move(spec)); }
+  [[nodiscard]] const std::vector<FaultSpec>& faults() const { return faults_; }
+  [[nodiscard]] bool empty() const { return faults_.empty(); }
+
+  // Convenience builders mirroring the DSL verbs.
+  FaultSchedule& down_site(NodeId site, TimePoint at, Duration dur,
+                           FaultScope scope = FaultScope::kSiteAll);
+  FaultSchedule& down_sites(std::vector<NodeId> sites, TimePoint at, Duration dur,
+                            FaultScope scope = FaultScope::kSiteAll);
+  FaultSchedule& down_link(NodeId src, NodeId dst, TimePoint at, Duration dur);
+  FaultSchedule& flap_link(NodeId src, NodeId dst, Duration period, Duration dur);
+  FaultSchedule& blackhole_probes(NodeId node, TimePoint at, Duration dur);
+  FaultSchedule& lsa_loss(NodeId node, TimePoint at, Duration dur);
+  FaultSchedule& crash(NodeId node, TimePoint at, Duration dur);
+  FaultSchedule& crash_churn(NodeId node, Duration period, Duration dur);
+
+  // Parses the text DSL described in the header comment. On failure
+  // returns nullopt and, when `error` is non-null, a line-numbered
+  // message.
+  [[nodiscard]] static std::optional<FaultSchedule> parse(std::string_view text,
+                                                          std::string* error = nullptr);
+
+  // Canonical rendering, one DSL line per fault (reparseable; used by
+  // reports so a scenario is self-describing).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FaultSpec> faults_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_FAULT_FAULT_H_

@@ -1,0 +1,67 @@
+// Compiles a FaultSchedule against a concrete topology into O(log n)
+// time-indexed queries, and implements the net-layer FaultHook.
+//
+// Compilation expands every spec - including periodic ones, up to the
+// horizon - into per-component and per-node sorted, merged activation
+// windows. Queries are pure binary searches over immutable data, so the
+// injector is safe to share by const reference and its answers are a
+// deterministic function of (schedule, topology, horizon) alone.
+//
+// Integration points:
+//   Network::set_fault_hook        - component blackouts + probe blackhole
+//                                    (DropCause::kInjected)
+//   OverlayNetwork::set_fault_injector - LSA suppression, crash-restart
+//                                    (and forwards the hook to the network)
+
+#ifndef RONPATH_FAULT_INJECTOR_H_
+#define RONPATH_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault.h"
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace ronpath {
+
+class FaultInjector final : public FaultHook {
+ public:
+  // Throws std::runtime_error when a spec references a site/node id
+  // outside the topology. `horizon` bounds periodic expansion (use the
+  // run span plus slack, as with Network's own pregeneration).
+  FaultInjector(const FaultSchedule& schedule, const Topology& topology, Duration horizon);
+
+  // FaultHook (consulted by Network::transmit).
+  [[nodiscard]] bool component_down(std::size_t component, TimePoint t) const override;
+  [[nodiscard]] bool probe_blackhole(NodeId node, TimePoint t) const override;
+
+  // Control-plane queries (consulted by OverlayNetwork).
+  [[nodiscard]] bool lsa_suppressed(NodeId node, TimePoint t) const;
+  [[nodiscard]] bool node_crashed(NodeId node, TimePoint t) const;
+
+  // Introspection for tests and reports.
+  [[nodiscard]] std::size_t faulted_component_count() const;
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  struct Window {
+    TimePoint start;
+    TimePoint end;
+  };
+  using Windows = std::vector<Window>;
+
+  static void add_window(Windows& w, TimePoint start, Duration dur);
+  static void finalize(std::vector<Windows>& table);
+  [[nodiscard]] static bool covered(const Windows& w, TimePoint t);
+
+  FaultSchedule schedule_;
+  std::vector<Windows> component_windows_;  // [component index]
+  std::vector<Windows> blackhole_windows_;  // [node]
+  std::vector<Windows> lsa_windows_;        // [node]
+  std::vector<Windows> crash_windows_;      // [node]
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_FAULT_INJECTOR_H_

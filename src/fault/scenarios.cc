@@ -1,0 +1,78 @@
+#include "fault/scenarios.h"
+
+#include <array>
+
+namespace ronpath {
+namespace {
+
+// Times below must stay consistent with kFaultStart / kFaultDuration
+// (40 min = 2400 s, 5 min = 300 s).
+constexpr std::array<Scenario, 8> kScenarios = {{
+    {
+        "single-site-blackout",
+        "direct transit src<->dst dies; every via stays clean (reactive wins)",
+        "at 2400s down link 0->1 for 300s\n"
+        "at 2400s down link 1->0 for 300s\n",
+        kFaultStart, kFaultDuration, /*routable=*/true,
+    },
+    {
+        "access-blackout",
+        "destination access link dies; no overlay path can help (Section 2.4)",
+        "at 2400s down site 1 access for 300s\n",
+        kFaultStart, kFaultDuration, /*routable=*/false,
+    },
+    {
+        "provider-blackout",
+        "destination transit provider dies; shared by all paths, unroutable",
+        "at 2400s down site 1 provider for 300s\n",
+        kFaultStart, kFaultDuration, /*routable=*/false,
+    },
+    {
+        "regional-blackout",
+        "correlated provider blackout at three sites incl. the destination",
+        "at 2400s down sites 1,2,3 provider for 300s\n",
+        kFaultStart, kFaultDuration, /*routable=*/false,
+    },
+    {
+        "probe-blackhole",
+        "all control probes at the source die; data still delivers - the "
+        "estimator is poisoned and the router must fall back to direct",
+        "at 2400s blackhole probes node 0 for 300s\n",
+        kFaultStart, kFaultDuration, /*routable=*/true,
+    },
+    {
+        "lsa-staleness",
+        "source's link-state advertisements are lost; its rows go stale and "
+        "must expire to unknown instead of being trusted forever",
+        "at 2400s lsa-loss node 0 for 300s\n",
+        kFaultStart, kFaultDuration, /*routable=*/true,
+    },
+    {
+        "link-flap",
+        "direct transit flaps 15 s down every 2 min; hold-down must bound "
+        "route-switch churn",
+        "every 120s flap link 0->1 for 15s\n"
+        "every 120s flap link 1->0 for 15s\n",
+        TimePoint::epoch() + Duration::minutes(30), Duration::minutes(25), /*routable=*/true,
+    },
+    {
+        "crash-churn",
+        "a candidate via crash-restarts every 4 min; routing must avoid the "
+        "churning forwarder",
+        "every 240s crash node 2 for 30s\n",
+        TimePoint::epoch() + Duration::minutes(30), Duration::minutes(25), /*routable=*/true,
+    },
+}};
+
+}  // namespace
+
+std::span<const Scenario> canonical_scenarios() { return kScenarios; }
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario& s : kScenarios) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace ronpath

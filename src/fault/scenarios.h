@@ -1,0 +1,52 @@
+// Canonical fault scenario suite.
+//
+// Every scenario is a named, self-contained DSL schedule written against
+// the shared fault-matrix timeline (warm-up, fault window, recovery
+// tail; see core/fault_matrix.h). Names are stable identifiers: benches
+// accept them via --fault-scenario, the golden tests pin per-scenario
+// failover behaviour, and reports echo the DSL so results are
+// reproducible from the printed output alone.
+//
+// The canonical timeline (all scenarios, except where noted):
+//   0 .. 30 min    probing warm-up (control plane converges)
+//   30 .. 55 min   measured data window
+//   40 .. 45 min   fault active  (kFaultStart / kFaultDuration)
+// Node roles: 0 = source, 1 = destination, 2.. = candidate vias. The ids
+// are valid in every testbed profile (both have >= 12 sites).
+
+#ifndef RONPATH_FAULT_SCENARIOS_H_
+#define RONPATH_FAULT_SCENARIOS_H_
+
+#include <span>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace ronpath {
+
+// Shared timeline constants referenced by the scenario DSL text.
+inline constexpr TimePoint kFaultStart = TimePoint::epoch() + Duration::minutes(40);
+inline constexpr Duration kFaultDuration = Duration::minutes(5);
+
+struct Scenario {
+  std::string_view name;
+  std::string_view summary;
+  std::string_view dsl;
+  // The window reported as "during the fault". For periodic scenarios
+  // (flap, crash churn) this is the whole measured window.
+  TimePoint fault_start = kFaultStart;
+  Duration fault_duration = kFaultDuration;
+  // Whether reactive routing can in principle route around the fault
+  // (false for faults on components shared by every path, Section 2.4).
+  bool routable = true;
+};
+
+// All canonical scenarios, in reporting order.
+[[nodiscard]] std::span<const Scenario> canonical_scenarios();
+
+// Lookup by name; nullptr when unknown.
+[[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_FAULT_SCENARIOS_H_

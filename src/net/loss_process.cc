@@ -64,10 +64,17 @@ void LazyIntervalProcess::generate_until(TimePoint t) {
 
 void LazyIntervalProcess::prune_before(TimePoint t) {
   while (!intervals_.empty() && intervals_.front().end <= t) intervals_.pop_front();
+  pruned_before_ = std::max(pruned_before_, t);
 }
 
 double LazyIntervalProcess::value_at(TimePoint t) const {
-  assert(t <= cursor_);
+  assert(t <= cursor_ && "query beyond generated timeline");
+  assert(t >= pruned_before_ && "query into pruned history");
+  // Release-mode clamp: answer from the nearest retained state rather
+  // than fabricating "no interval" for a time we no longer (or do not
+  // yet) know about.
+  if (t > cursor_) t = cursor_;
+  if (t < pruned_before_) t = pruned_before_;
   const StateInterval* iv = covering(intervals_, t);
   return iv ? iv->value : 0.0;
 }
@@ -91,11 +98,11 @@ ComponentProcess::ComponentProcess(const ComponentParams& params, double site_lo
       static_boosts_(std::move(static_boosts)),
       episodes_(params.episodes_per_day > 0.0
                     ? Duration::from_seconds_f(86'400.0 / params.episodes_per_day)
-                    : Duration::days(400'000),  // effectively never
+                    : Duration::days(36'500),  // ~100 years: never within any run, no int64 overflow
                 params.episode_mean, episode_boost_value(params), rng.fork("episodes")),
       outages_(params.outages_per_month > 0.0
                    ? Duration::from_seconds_f(30.0 * 86'400.0 / params.outages_per_month)
-                   : Duration::days(400'000),
+                   : Duration::days(36'500),
                params.outage_mean, 1.0, rng.fork("outages")),
       burst_rng_(rng.fork("bursts")) {
   assert(std::is_sorted(static_boosts_.begin(), static_boosts_.end(),
@@ -191,6 +198,7 @@ double ComponentProcess::burst_drop_at(TimePoint t) const {
 
 ComponentSample ComponentProcess::sample(TimePoint t) {
   assert(t + kQuerySafety >= max_query_ && "query too far in the past");
+  if (t + kQuerySafety < max_query_) t = max_query_ - kQuerySafety;  // release clamp
   generate_until(t);
   if (t > max_query_) {
     max_query_ = t;

@@ -53,7 +53,11 @@ class LazyIntervalProcess {
   void prune_before(TimePoint t);
 
   // Value of the interval covering t, or 0.0 if none. generate_until(t)
-  // must have been called with a time >= t.
+  // must have been called with a time >= t, and t must not precede the
+  // pruned history (prune_before watermark). Violations assert in debug
+  // builds; release builds clamp t into the valid [pruned, generated]
+  // range so a badly out-of-order query degrades to the nearest known
+  // state instead of silently reporting "no interval".
   [[nodiscard]] double value_at(TimePoint t) const;
   [[nodiscard]] bool active_at(TimePoint t) const { return value_at(t) != 0.0; }
 
@@ -71,8 +75,9 @@ class LazyIntervalProcess {
   Duration mean_duration_;
   double value_;
   Rng rng_;
-  TimePoint cursor_;        // timeline generated up to here
-  TimePoint next_arrival_;  // first arrival at or beyond cursor_
+  TimePoint cursor_;         // timeline generated up to here
+  TimePoint next_arrival_;   // first arrival at or beyond cursor_
+  TimePoint pruned_before_;  // history strictly before here is gone
   std::deque<StateInterval> intervals_;
 };
 

@@ -22,6 +22,7 @@ std::string_view to_string(DropCause cause) {
     case DropCause::kRandom: return "random";
     case DropCause::kBurst: return "burst";
     case DropCause::kOutage: return "outage";
+    case DropCause::kInjected: return "injected";
   }
   return "?";
 }
@@ -156,12 +157,41 @@ Duration Network::hop_delay(std::size_t component, const ComponentSample& s, Tim
   return d;
 }
 
-TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time) {
+TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time, TrafficClass cls) {
+  // Roughly-monotone query contract (loss_process.h): out-of-order sends
+  // beyond kQuerySafety would read component state whose history has been
+  // pruned. Assert in debug; clamp forward gracefully in release.
+  assert(send_time + kQuerySafety >= max_send_ && "transmit query too far in the past");
+  if (send_time + kQuerySafety < max_send_) send_time = max_send_ - kQuerySafety;
+  if (send_time > max_send_) max_send_ = send_time;
+
   ++stats_.transmitted;
   const auto hops = topo_.hops(path);
+
+  // Scripted probe blackhole: control probes with an affected endpoint
+  // die here; data packets pass through untouched.
+  if (fault_ && cls == TrafficClass::kProbe &&
+      (fault_->probe_blackhole(path.src, send_time) ||
+       fault_->probe_blackhole(path.dst, send_time))) {
+    ++stats_.dropped_injected;
+    TransmitResult r;
+    r.delivered = false;
+    r.cause = DropCause::kInjected;
+    r.drop_component = hops.empty() ? 0 : hops.front().component;
+    return r;
+  }
+
   TimePoint t = send_time;
   for (std::size_t hi = 0; hi < hops.size(); ++hi) {
     const std::size_t ci = hops[hi].component;
+    if (fault_ && fault_->component_down(ci, t)) {
+      ++stats_.dropped_injected;
+      TransmitResult r;
+      r.delivered = false;
+      r.cause = DropCause::kInjected;
+      r.drop_component = ci;
+      return r;
+    }
     const ComponentSample s = components_[ci]->sample(t);
     if (pkt_rng_.bernoulli(s.drop_prob)) {
       TransmitResult r;
@@ -172,7 +202,8 @@ TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time) {
         case DropCause::kRandom: ++stats_.dropped_random; break;
         case DropCause::kBurst: ++stats_.dropped_burst; break;
         case DropCause::kOutage: ++stats_.dropped_outage; break;
-        case DropCause::kNone: break;
+        case DropCause::kNone:
+        case DropCause::kInjected: break;
       }
       return r;
     }

@@ -28,13 +28,37 @@
 namespace ronpath {
 
 enum class DropCause : std::uint8_t {
-  kNone = 0,    // delivered
-  kRandom = 1,  // independent per-packet loss
-  kBurst = 2,   // loss burst (queue overflow)
-  kOutage = 3,  // total component outage
+  kNone = 0,      // delivered
+  kRandom = 1,    // independent per-packet loss
+  kBurst = 2,     // loss burst (queue overflow)
+  kOutage = 3,    // total component outage
+  kInjected = 4,  // scripted fault (see fault/injector.h)
 };
 
 [[nodiscard]] std::string_view to_string(DropCause cause);
+
+// Class of traffic a transmit() call carries. Control probes are the
+// overlay's 15 s path-quality probes; everything else (application data,
+// measurement probes) is data. Scripted probe-blackhole faults kill
+// control probes while leaving the data plane intact, poisoning the
+// estimator state without an underlying path failure.
+enum class TrafficClass : std::uint8_t {
+  kData = 0,
+  kProbe = 1,
+};
+
+// Injection interface for scripted faults. The concrete implementation
+// lives in fault/injector.h (the fault library depends on net, not the
+// other way around). All queries must be deterministic pure functions of
+// (fault schedule, time): the injector is part of the seed-stable state.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  // Packets traversing `component` at time t are forcibly dropped.
+  [[nodiscard]] virtual bool component_down(std::size_t component, TimePoint t) const = 0;
+  // Control probes with `node` as an endpoint are blackholed at time t.
+  [[nodiscard]] virtual bool probe_blackhole(NodeId node, TimePoint t) const = 0;
+};
 
 struct TransmitResult {
   bool delivered = false;
@@ -56,8 +80,17 @@ class Network {
   [[nodiscard]] const NetConfig& config() const { return config_; }
 
   // Sends one packet along `path` at `send_time`. Queries must be roughly
-  // monotone in time (see loss_process.h).
-  TransmitResult transmit(const PathSpec& path, TimePoint send_time);
+  // monotone in time (see loss_process.h): a debug build asserts when a
+  // send lags the furthest send by more than kQuerySafety; a release
+  // build clamps the query forward to the safety watermark instead of
+  // silently reading pruned (wrong) component state.
+  TransmitResult transmit(const PathSpec& path, TimePoint send_time,
+                          TrafficClass cls = TrafficClass::kData);
+
+  // Installs (or clears, with nullptr) the scripted fault injector. The
+  // hook must outlive the network or be cleared before destruction.
+  void set_fault_hook(const FaultHook* hook) { fault_ = hook; }
+  [[nodiscard]] const FaultHook* fault_hook() const { return fault_; }
 
   // Deterministic latency floor of a path (propagation + fixed delays +
   // forwarding, no jitter/queueing/incidents). Used by tests and by
@@ -74,6 +107,7 @@ class Network {
     std::int64_t dropped_random = 0;
     std::int64_t dropped_burst = 0;
     std::int64_t dropped_outage = 0;
+    std::int64_t dropped_injected = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -98,6 +132,8 @@ class Network {
   std::vector<double> core_stretch_;  // per core component index offset
   Rng pkt_rng_;
   Stats stats_;
+  const FaultHook* fault_ = nullptr;
+  TimePoint max_send_;  // furthest send_time seen (monotonicity watermark)
 };
 
 }  // namespace ronpath

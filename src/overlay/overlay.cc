@@ -28,7 +28,8 @@ OverlayNetwork::OverlayNetwork(Network& net, Scheduler& sched, OverlayConfig cfg
   for (NodeId i = 0; i < n_; ++i) {
     const Duration gap = per_month > 0.0
                              ? Duration::from_seconds_f(30.0 * 86'400.0 / per_month)
-                             : Duration::days(400'000);
+                             // ~100 years: never within any run, no int64 overflow.
+                             : Duration::days(36'500);
     host_failures_.emplace_back(gap, cfg_.host_failure_mean, 1.0,
                                 rng_.fork("host-failure").fork(i));
   }
@@ -54,9 +55,15 @@ std::array<std::int64_t, 6> OverlayNetwork::loss_run_counts() const {
 }
 
 bool OverlayNetwork::node_up(NodeId node, TimePoint t) {
+  if (fault_ && fault_->node_crashed(node, t)) return false;
   auto& proc = host_failures_[node];
   proc.generate_until(t + Duration::minutes(1));
   return !proc.active_at(t);
+}
+
+void OverlayNetwork::set_fault_injector(const FaultInjector* injector) {
+  fault_ = injector;
+  net_.set_fault_hook(injector);
 }
 
 void OverlayNetwork::start() {
@@ -85,13 +92,13 @@ void OverlayNetwork::probe_once(NodeId src, NodeId dst) {
 
   // Request leg.
   const PathSpec fwd{src, dst, kDirectVia};
-  const TransmitResult req = net_.transmit(fwd, now);
+  const TransmitResult req = net_.transmit(fwd, now, TrafficClass::kProbe);
   bool lost = true;
   Duration rtt = Duration::zero();
   if (req.delivered && node_up(dst, now + req.latency)) {
     // Response leg, sent when the request arrives.
     const PathSpec rev{dst, src, kDirectVia};
-    const TransmitResult resp = net_.transmit(rev, now + req.latency);
+    const TransmitResult resp = net_.transmit(rev, now + req.latency, TrafficClass::kProbe);
     if (resp.delivered) {
       rtt = req.latency + resp.latency;
       lost = rtt > cfg_.probe_timeout;
@@ -111,10 +118,11 @@ void OverlayNetwork::send_followup(NodeId src, NodeId dst, int remaining) {
   LinkEstimator& est = *links_[link_index(src, dst)];
   bool lost = true;
   if (node_up(src, now)) {
-    const TransmitResult req = net_.transmit(PathSpec{src, dst, kDirectVia}, now);
+    const TransmitResult req =
+        net_.transmit(PathSpec{src, dst, kDirectVia}, now, TrafficClass::kProbe);
     if (req.delivered && node_up(dst, now + req.latency)) {
       const TransmitResult resp = net_.transmit(PathSpec{dst, src, kDirectVia},
-                                                now + req.latency);
+                                                now + req.latency, TrafficClass::kProbe);
       lost = !resp.delivered || (req.latency + resp.latency) > cfg_.probe_timeout;
     }
   }
@@ -127,6 +135,9 @@ void OverlayNetwork::send_followup(NodeId src, NodeId dst, int remaining) {
 }
 
 void OverlayNetwork::publish(NodeId src, NodeId dst) {
+  // Suppressed advertisements simply never reach the table; the old entry
+  // stays and (with entry_ttl set) ages out to "unknown".
+  if (fault_ && fault_->lsa_suppressed(src, sched_.now())) return;
   const LinkEstimator& est = *links_[link_index(src, dst)];
   LinkMetrics m;
   m.loss = est.loss();
@@ -150,9 +161,9 @@ PathSpec OverlayNetwork::route(NodeId src, NodeId dst, RouteTag tag) {
       return PathSpec{src, dst, candidates[pick]};
     }
     case RouteTag::kLat:
-      return routers_[src]->best_lat_path(dst).path;
+      return routers_[src]->best_lat_path(dst, sched_.now()).path;
     case RouteTag::kLoss:
-      return routers_[src]->best_loss_path(dst).path;
+      return routers_[src]->best_loss_path(dst, sched_.now()).path;
   }
   return PathSpec{src, dst, kDirectVia};
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "event/scheduler.h"
+#include "fault/injector.h"
 #include "net/network.h"
 #include "overlay/estimator.h"
 #include "overlay/link_state.h"
@@ -76,6 +77,13 @@ class OverlayNetwork {
   // Begins the probing processes (idempotent).
   void start();
 
+  // Attaches a fault injector (nullptr detaches). Component blackouts and
+  // probe blackholes act in the underlay via Network's FaultHook; LSA
+  // suppression (publication stops, entries go stale) and crash-restart
+  // churn (node down for probing/forwarding/delivery) act here.
+  void set_fault_injector(const FaultInjector* injector);
+  [[nodiscard]] const FaultInjector* fault_injector() const { return fault_; }
+
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] const OverlayConfig& config() const { return cfg_; }
   [[nodiscard]] LinkStateTable& table() { return table_; }
@@ -118,6 +126,7 @@ class OverlayNetwork {
   std::vector<std::unique_ptr<LinkEstimator>> links_;  // n*n, diagonal unused
   std::vector<std::unique_ptr<PeriodicTask>> probe_tasks_;
   std::vector<LazyIntervalProcess> host_failures_;
+  const FaultInjector* fault_ = nullptr;
   std::int64_t probes_sent_ = 0;
   bool started_ = false;
 };

@@ -5,50 +5,70 @@
 namespace ronpath {
 namespace {
 
-double link_loss(const LinkMetrics& m) {
+double link_loss(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
+  // Expired entries degrade to "unknown", not to their last value: a
+  // stale "0.1% loss" (or a stale down flag) is exactly the garbage the
+  // degradation policy exists to stop routing on.
+  if (entry_expired(m, cfg, now)) return cfg.unknown_loss;
   // Down links lose everything for selection purposes.
   if (m.down) return 1.0;
   return m.loss;
 }
 
-Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg) {
+Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
+  if (entry_expired(m, cfg, now)) return Duration::max();
   if (m.down) return cfg.down_penalty;
   return m.latency;  // Duration::max() when never measured
 }
 
-Duration saturating_add(Duration a, Duration b) {
-  if (a == Duration::max() || b == Duration::max()) return Duration::max();
-  return a + b;
-}
-
 }  // namespace
 
-double path_loss_estimate(const LinkStateTable& table, const PathSpec& path) {
-  if (path.is_direct()) return link_loss(table.get(path.src, path.dst));
+bool entry_expired(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
+  if (cfg.entry_ttl <= Duration::zero()) return false;
+  if (m.samples == 0) return true;  // never published: unknown, not optimistic
+  return now - m.published > cfg.entry_ttl;
+}
+
+double path_loss_estimate(const LinkStateTable& table, const PathSpec& path,
+                          const RouterConfig& cfg, TimePoint now) {
+  if (path.is_direct()) return link_loss(table.get(path.src, path.dst), cfg, now);
   if (path.is_two_hop()) {
-    const double l1 = link_loss(table.get(path.src, path.via));
-    const double l2 = link_loss(table.get(path.via, path.via2));
-    const double l3 = link_loss(table.get(path.via2, path.dst));
+    const double l1 = link_loss(table.get(path.src, path.via), cfg, now);
+    const double l2 = link_loss(table.get(path.via, path.via2), cfg, now);
+    const double l3 = link_loss(table.get(path.via2, path.dst), cfg, now);
     return 1.0 - (1.0 - l1) * (1.0 - l2) * (1.0 - l3);
   }
-  const double l1 = link_loss(table.get(path.src, path.via));
-  const double l2 = link_loss(table.get(path.via, path.dst));
+  const double l1 = link_loss(table.get(path.src, path.via), cfg, now);
+  const double l2 = link_loss(table.get(path.via, path.dst), cfg, now);
   return 1.0 - (1.0 - l1) * (1.0 - l2);
+}
+
+double path_loss_estimate(const LinkStateTable& table, const PathSpec& path) {
+  // Trust-forever view (no staleness policy).
+  return path_loss_estimate(table, path, RouterConfig{}, TimePoint::epoch());
+}
+
+Duration path_latency_estimate(const LinkStateTable& table, const PathSpec& path,
+                               const RouterConfig& cfg, TimePoint now) {
+  using D = Duration;
+  if (path.is_direct()) return link_latency(table.get(path.src, path.dst), cfg, now);
+  if (path.is_two_hop()) {
+    const Duration d1 = link_latency(table.get(path.src, path.via), cfg, now);
+    const Duration d2 = link_latency(table.get(path.via, path.via2), cfg, now);
+    const Duration d3 = link_latency(table.get(path.via2, path.dst), cfg, now);
+    return D::saturating_add(D::saturating_add(D::saturating_add(d1, d2), d3),
+                             cfg.forward_delay + cfg.forward_delay);
+  }
+  const Duration d1 = link_latency(table.get(path.src, path.via), cfg, now);
+  const Duration d2 = link_latency(table.get(path.via, path.dst), cfg, now);
+  return D::saturating_add(D::saturating_add(d1, d2), cfg.forward_delay);
 }
 
 Duration path_latency_estimate(const LinkStateTable& table, const PathSpec& path,
                                const RouterConfig& cfg) {
-  if (path.is_direct()) return link_latency(table.get(path.src, path.dst), cfg);
-  if (path.is_two_hop()) {
-    const Duration d1 = link_latency(table.get(path.src, path.via), cfg);
-    const Duration d2 = link_latency(table.get(path.via, path.via2), cfg);
-    const Duration d3 = link_latency(table.get(path.via2, path.dst), cfg);
-    return saturating_add(saturating_add(saturating_add(d1, d2), d3),
-                          cfg.forward_delay + cfg.forward_delay);
-  }
-  const Duration d1 = link_latency(table.get(path.src, path.via), cfg);
-  const Duration d2 = link_latency(table.get(path.via, path.dst), cfg);
-  return saturating_add(saturating_add(d1, d2), cfg.forward_delay);
+  RouterConfig trusting = cfg;
+  trusting.entry_ttl = Duration::zero();
+  return path_latency_estimate(table, path, trusting, TimePoint::epoch());
 }
 
 bool path_down(const LinkStateTable& table, const PathSpec& path) {
@@ -62,7 +82,8 @@ bool path_down(const LinkStateTable& table, const PathSpec& path) {
 
 Router::Router(NodeId self, const LinkStateTable& table, RouterConfig cfg)
     : self_(self), table_(table), cfg_(cfg),
-      loss_incumbent_(table.size()), lat_incumbent_(table.size()) {}
+      loss_incumbent_(table.size()), lat_incumbent_(table.size()),
+      loss_switches_(table.size(), 0), lat_switches_(table.size(), 0) {}
 
 std::vector<NodeId> Router::live_intermediates(NodeId dst) const {
   std::vector<NodeId> out;
@@ -75,39 +96,116 @@ std::vector<NodeId> Router::live_intermediates(NodeId dst) const {
   return out;
 }
 
-PathChoice Router::evaluate_loss(NodeId dst, Incumbent& inc) const {
+bool Router::view_degraded(TimePoint now) const {
+  if (cfg_.entry_ttl <= Duration::zero()) return false;
+  std::size_t expired = 0;
+  std::size_t total = 0;
+  for (NodeId v = 0; v < table_.size(); ++v) {
+    if (v == self_) continue;
+    ++total;
+    if (entry_expired(table_.get(self_, v), cfg_, now)) ++expired;
+  }
+  return total > 0 &&
+         static_cast<double>(expired) > cfg_.degraded_view_threshold * static_cast<double>(total);
+}
+
+std::size_t Router::holddown_index(NodeId dst, NodeId via) const {
+  // via slot n encodes the direct path (never filtered, still tracked).
+  const std::size_t n = table_.size();
+  const std::size_t slot = via == kDirectVia ? n : via;
+  return static_cast<std::size_t>(dst) * (n + 1) + slot;
+}
+
+bool Router::held_down(NodeId dst, NodeId via, TimePoint now) const {
+  if (cfg_.holddown_base <= Duration::zero() || holddown_.empty()) return false;
+  return holddown_[holddown_index(dst, via)].until > now;
+}
+
+void Router::register_down(NodeId dst, const PathSpec& path, TimePoint now) {
+  if (cfg_.holddown_base <= Duration::zero()) return;
+  if (holddown_.empty()) holddown_.resize(table_.size() * (table_.size() + 1));
+  Holddown& h = holddown_[holddown_index(dst, path.via)];
+  if (h.strikes > 0 && now - h.last_down > cfg_.holddown_reset) h.strikes = 0;
+  h.last_down = now;
+  if (now < h.until) return;  // already serving a hold-down; don't escalate per query
+  h.strikes = std::min(h.strikes + 1, 20);
+  Duration ban = cfg_.holddown_base;
+  for (int i = 1; i < h.strikes && ban < cfg_.holddown_max; ++i) {
+    ban = Duration::saturating_add(ban, ban);
+  }
+  if (ban > cfg_.holddown_max) ban = cfg_.holddown_max;
+  h.until = now + ban;
+}
+
+void Router::count_switch(std::vector<std::int64_t>& counters, NodeId dst, const Incumbent& inc,
+                          const PathSpec& chosen) {
+  if (inc.path && *inc.path != chosen) ++counters[dst];
+}
+
+PathChoice Router::evaluate_loss(NodeId dst, Incumbent& inc, TimePoint now) {
   const PathSpec direct{self_, dst, kDirectVia};
-  PathChoice best{direct, path_loss_estimate(table_, direct), Duration::zero()};
+
+  // Degraded view: the node's own probing state is mostly stale; the
+  // composed estimates below would be fiction. Fall back to direct.
+  if (view_degraded(now)) {
+    count_switch(loss_switches_, dst, inc, direct);
+    inc.path = direct;
+    return PathChoice{direct, path_loss_estimate(table_, direct, cfg_, now),
+                      path_latency_estimate(table_, direct, cfg_, now)};
+  }
+
+  // Hold-down bookkeeping: an incumbent whose link went down both loses
+  // incumbency and serves a ban before re-selection.
+  if (inc.path && !inc.path->is_direct() && path_down(table_, *inc.path)) {
+    register_down(dst, *inc.path, now);
+  }
+
+  PathChoice best{direct, path_loss_estimate(table_, direct, cfg_, now), Duration::zero()};
   for (NodeId v : live_intermediates(dst)) {
+    if (held_down(dst, v, now)) continue;
     const PathSpec p{self_, dst, v};
-    const double l = path_loss_estimate(table_, p) + cfg_.indirect_loss_penalty;
+    const double l = path_loss_estimate(table_, p, cfg_, now) + cfg_.indirect_loss_penalty;
     if (l < best.loss) best = PathChoice{p, l, Duration::zero()};
   }
 
   // Hysteresis: keep the incumbent while it is close to the best.
-  if (inc.path) {
-    const double inc_loss = path_loss_estimate(table_, *inc.path);
+  if (inc.path && !held_down(dst, inc.path->via, now)) {
+    const double inc_loss = path_loss_estimate(table_, *inc.path, cfg_, now);
     if (!path_down(table_, *inc.path) && inc_loss <= best.loss + cfg_.loss_abs_margin) {
       best = PathChoice{*inc.path, inc_loss, Duration::zero()};
     }
   }
+  count_switch(loss_switches_, dst, inc, best.path);
   inc.path = best.path;
-  best.latency = path_latency_estimate(table_, best.path, cfg_);
+  best.latency = path_latency_estimate(table_, best.path, cfg_, now);
   return best;
 }
 
-PathChoice Router::evaluate_lat(NodeId dst, Incumbent& inc) const {
+PathChoice Router::evaluate_lat(NodeId dst, Incumbent& inc, TimePoint now) {
   const PathSpec direct{self_, dst, kDirectVia};
-  PathChoice best{direct, 0.0, path_latency_estimate(table_, direct, cfg_)};
+
+  if (view_degraded(now)) {
+    count_switch(lat_switches_, dst, inc, direct);
+    inc.path = direct;
+    return PathChoice{direct, path_loss_estimate(table_, direct, cfg_, now),
+                      path_latency_estimate(table_, direct, cfg_, now)};
+  }
+
+  if (inc.path && !inc.path->is_direct() && path_down(table_, *inc.path)) {
+    register_down(dst, *inc.path, now);
+  }
+
+  PathChoice best{direct, 0.0, path_latency_estimate(table_, direct, cfg_, now)};
   for (NodeId v : live_intermediates(dst)) {
+    if (held_down(dst, v, now)) continue;
     const PathSpec p{self_, dst, v};
-    Duration d = path_latency_estimate(table_, p, cfg_);
+    Duration d = path_latency_estimate(table_, p, cfg_, now);
     if (d != Duration::max()) d += cfg_.indirect_lat_penalty;
     if (d < best.latency) best = PathChoice{p, 0.0, d};
   }
 
-  if (inc.path && best.latency != Duration::max()) {
-    const Duration inc_lat = path_latency_estimate(table_, *inc.path, cfg_);
+  if (inc.path && best.latency != Duration::max() && !held_down(dst, inc.path->via, now)) {
+    const Duration inc_lat = path_latency_estimate(table_, *inc.path, cfg_, now);
     if (!path_down(table_, *inc.path) && inc_lat != Duration::max()) {
       const auto margin_ns = static_cast<std::int64_t>(
           static_cast<double>(inc_lat.count_nanos()) * cfg_.lat_rel_margin);
@@ -117,8 +215,9 @@ PathChoice Router::evaluate_lat(NodeId dst, Incumbent& inc) const {
       }
     }
   }
+  count_switch(lat_switches_, dst, inc, best.path);
   inc.path = best.path;
-  best.loss = path_loss_estimate(table_, best.path);
+  best.loss = path_loss_estimate(table_, best.path, cfg_, now);
   return best;
 }
 
@@ -143,14 +242,14 @@ PathChoice Router::best_loss_path_two_hop(NodeId dst) const {
   return best;
 }
 
-PathChoice Router::best_loss_path(NodeId dst) {
+PathChoice Router::best_loss_path(NodeId dst, TimePoint now) {
   assert(dst < table_.size() && dst != self_);
-  return evaluate_loss(dst, loss_incumbent_[dst]);
+  return evaluate_loss(dst, loss_incumbent_[dst], now);
 }
 
-PathChoice Router::best_lat_path(NodeId dst) {
+PathChoice Router::best_lat_path(NodeId dst, TimePoint now) {
   assert(dst < table_.size() && dst != self_);
-  return evaluate_lat(dst, lat_incumbent_[dst]);
+  return evaluate_lat(dst, lat_incumbent_[dst], now);
 }
 
 }  // namespace ronpath

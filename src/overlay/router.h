@@ -12,6 +12,16 @@
 // Selection applies hysteresis so estimate noise does not flap routes:
 // the incumbent path is kept unless the challenger improves on it by an
 // absolute and a relative margin.
+//
+// Graceful degradation (all knobs off by default; see DESIGN.md "Fault
+// model"): when entry_ttl is set, link-state entries older than the TTL
+// expire to "unknown" (pessimistic loss, unusable latency) instead of
+// being trusted forever; when the fraction of the source's own outgoing
+// entries that have expired crosses degraded_view_threshold the router
+// falls back to the direct path rather than routing on garbage; and when
+// holddown_base is set, a selected path whose link goes down enters an
+// exponentially growing hold-down before it can be re-selected, bounding
+// flap amplification.
 
 #ifndef RONPATH_OVERLAY_ROUTER_H_
 #define RONPATH_OVERLAY_ROUTER_H_
@@ -43,6 +53,26 @@ struct RouterConfig {
   Duration down_penalty = Duration::seconds(10);
   // Extra per-hop forwarding latency assumed for indirect paths.
   Duration forward_delay = Duration::micros(300);
+
+  // --- graceful degradation (off by default; historical behavior) ---
+  // Entries older than this (or never published) count as unknown
+  // rather than being trusted forever. Zero disables expiry. Callers
+  // normally set this to a few probe intervals so entries only expire
+  // when publication actually stops (LSA loss, crash, blackhole).
+  Duration entry_ttl = Duration::zero();
+  // Loss assumed for expired/unknown entries: pessimistic enough that
+  // unknown paths never beat a measured one, short of "down".
+  double unknown_loss = 0.35;
+  // When more than this fraction of the source's own outgoing entries
+  // are expired, route() falls back to the direct path outright.
+  double degraded_view_threshold = 0.5;
+  // Exponential hold-down for flapping paths: first down event bans the
+  // via for holddown_base, doubling per repeat up to holddown_max.
+  // Strikes decay after holddown_reset without a down event. Zero
+  // disables hold-down.
+  Duration holddown_base = Duration::zero();
+  Duration holddown_max = Duration::minutes(5);
+  Duration holddown_reset = Duration::minutes(10);
 };
 
 struct PathChoice {
@@ -53,12 +83,22 @@ struct PathChoice {
 
 // Stateless evaluation helpers -------------------------------------------
 
+// True when an entry should be treated as unknown under the config's
+// staleness policy at time `now` (always false with entry_ttl == 0).
+[[nodiscard]] bool entry_expired(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now);
+
 // Composed one-way loss estimate of a path under the table's current view.
-// Handles direct, one-hop and two-hop paths.
+// Handles direct, one-hop and two-hop paths. The `now`-aware overload
+// applies the staleness policy; the two-argument form trusts entries
+// forever (historical behavior).
 [[nodiscard]] double path_loss_estimate(const LinkStateTable& table, const PathSpec& path);
+[[nodiscard]] double path_loss_estimate(const LinkStateTable& table, const PathSpec& path,
+                                        const RouterConfig& cfg, TimePoint now);
 // Composed one-way latency estimate; Duration::max() when unknown.
 [[nodiscard]] Duration path_latency_estimate(const LinkStateTable& table, const PathSpec& path,
                                              const RouterConfig& cfg);
+[[nodiscard]] Duration path_latency_estimate(const LinkStateTable& table, const PathSpec& path,
+                                             const RouterConfig& cfg, TimePoint now);
 // True if any link of the path is flagged down.
 [[nodiscard]] bool path_down(const LinkStateTable& table, const PathSpec& path);
 
@@ -69,8 +109,26 @@ class Router {
   Router(NodeId self, const LinkStateTable& table, RouterConfig cfg);
 
   // Best path choices under each objective; re-evaluated on demand.
-  [[nodiscard]] PathChoice best_loss_path(NodeId dst);
-  [[nodiscard]] PathChoice best_lat_path(NodeId dst);
+  // `now` drives the staleness and hold-down policies; with those knobs
+  // at their defaults it is unused and the historical single-argument
+  // call sites behave identically.
+  [[nodiscard]] PathChoice best_loss_path(NodeId dst, TimePoint now = TimePoint::epoch());
+  [[nodiscard]] PathChoice best_lat_path(NodeId dst, TimePoint now = TimePoint::epoch());
+
+  // True when the degradation policy says this node's view is too stale
+  // to route indirectly (fraction of expired own entries exceeds
+  // degraded_view_threshold). Always false with entry_ttl == 0.
+  [[nodiscard]] bool view_degraded(TimePoint now) const;
+
+  // Route-change counters per destination, split by objective. A switch
+  // is any evaluation whose selected path differs from the incumbent;
+  // flap-amplification tests bound these.
+  [[nodiscard]] std::int64_t loss_switches(NodeId dst) const { return loss_switches_[dst]; }
+  [[nodiscard]] std::int64_t lat_switches(NodeId dst) const { return lat_switches_[dst]; }
+
+  // True while `via` is serving an exponential hold-down for routes to
+  // `dst` (always false with holddown_base == 0).
+  [[nodiscard]] bool held_down(NodeId dst, NodeId via, TimePoint now) const;
 
   // Scaling extension: best loss path allowing up to two intermediates
   // (the paper's one-intermediate router generalized). O(N^2) per call
@@ -85,15 +143,28 @@ class Router {
   struct Incumbent {
     std::optional<PathSpec> path;
   };
+  struct Holddown {
+    TimePoint until;      // banned before this instant
+    TimePoint last_down;  // last down event (drives strike decay)
+    int strikes = 0;
+  };
 
-  [[nodiscard]] PathChoice evaluate_loss(NodeId dst, Incumbent& inc) const;
-  [[nodiscard]] PathChoice evaluate_lat(NodeId dst, Incumbent& inc) const;
+  [[nodiscard]] PathChoice evaluate_loss(NodeId dst, Incumbent& inc, TimePoint now);
+  [[nodiscard]] PathChoice evaluate_lat(NodeId dst, Incumbent& inc, TimePoint now);
+  // Registers a down event on the incumbent's via, escalating hold-down.
+  void register_down(NodeId dst, const PathSpec& path, TimePoint now);
+  void count_switch(std::vector<std::int64_t>& counters, NodeId dst, const Incumbent& inc,
+                    const PathSpec& chosen);
+  [[nodiscard]] std::size_t holddown_index(NodeId dst, NodeId via) const;
 
   NodeId self_;
   const LinkStateTable& table_;
   RouterConfig cfg_;
   std::vector<Incumbent> loss_incumbent_;  // per destination
   std::vector<Incumbent> lat_incumbent_;
+  std::vector<std::int64_t> loss_switches_;  // per destination
+  std::vector<std::int64_t> lat_switches_;
+  std::vector<Holddown> holddown_;  // (dst, via) keyed; lazily sized
 };
 
 }  // namespace ronpath

@@ -45,6 +45,22 @@ class Duration {
   [[nodiscard]] static constexpr Duration max() {
     return Duration(std::numeric_limits<std::int64_t>::max());
   }
+  [[nodiscard]] static constexpr Duration min() {
+    return Duration(std::numeric_limits<std::int64_t>::min());
+  }
+
+  // Sentinel-safe addition: Duration::max() means "unknown / unreachable"
+  // throughout the router, and adding a penalty to it must not wrap into a
+  // small (wrongly attractive) value. max() absorbs everything; any other
+  // overflow saturates toward the corresponding extreme.
+  [[nodiscard]] static constexpr Duration saturating_add(Duration a, Duration b) {
+    if (a == max() || b == max()) return max();
+    std::int64_t r = 0;
+    if (__builtin_add_overflow(a.ns_, b.ns_, &r)) {
+      return a.ns_ > 0 ? max() : min();
+    }
+    return Duration(r);
+  }
 
   [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
   [[nodiscard]] constexpr std::int64_t count_micros() const { return ns_ / 1'000; }

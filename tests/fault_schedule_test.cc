@@ -1,0 +1,168 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace ronpath {
+namespace {
+
+TimePoint at_s(std::int64_t s) { return TimePoint::epoch() + Duration::seconds(s); }
+
+TEST(FaultDsl, ParsesEveryVerb) {
+  const auto sched = FaultSchedule::parse(
+      "# canonical examples\n"
+      "at 120s down site 7 access for 45s\n"
+      "at 2m down sites 1,2,3 for 90s\n"
+      "at 10m down link 3->9 for 1m\n"
+      "at 10m blackhole probes node 3 for 5m\n"
+      "at 10m lsa-loss node 2 for 5m\n"
+      "at 10m crash node 4 for 30s\n"
+      "every 300s flap link 3->9 for 10s\n"
+      "every 240s crash node 4 for 30s\n");
+  ASSERT_TRUE(sched.has_value());
+  ASSERT_EQ(sched->faults().size(), 8u);
+
+  const auto& f0 = sched->faults()[0];
+  EXPECT_EQ(f0.kind, FaultKind::kComponentBlackout);
+  EXPECT_EQ(f0.scope, FaultScope::kSiteAccess);
+  EXPECT_EQ(f0.sites, std::vector<NodeId>{7});
+  EXPECT_EQ(f0.start, at_s(120));
+  EXPECT_EQ(f0.duration, Duration::seconds(45));
+  EXPECT_FALSE(f0.periodic());
+
+  const auto& f1 = sched->faults()[1];
+  EXPECT_EQ(f1.scope, FaultScope::kSiteAll);
+  EXPECT_EQ(f1.sites, (std::vector<NodeId>{1, 2, 3}));
+
+  const auto& f2 = sched->faults()[2];
+  EXPECT_EQ(f2.scope, FaultScope::kLink);
+  EXPECT_EQ(f2.link_src, 3u);
+  EXPECT_EQ(f2.link_dst, 9u);
+
+  EXPECT_EQ(sched->faults()[3].kind, FaultKind::kProbeBlackhole);
+  EXPECT_EQ(sched->faults()[4].kind, FaultKind::kLsaLoss);
+  EXPECT_EQ(sched->faults()[5].kind, FaultKind::kCrash);
+
+  const auto& flap = sched->faults()[6];
+  EXPECT_TRUE(flap.periodic());
+  EXPECT_EQ(flap.period, Duration::seconds(300));
+  EXPECT_EQ(flap.start, at_s(300));  // first occurrence at the period mark
+  EXPECT_EQ(flap.duration, Duration::seconds(10));
+}
+
+TEST(FaultDsl, AcceptsCommentsBlanksAndUnits) {
+  const auto sched = FaultSchedule::parse(
+      "\n"
+      "  # full-line comment\n"
+      "at 500ms down link 0->1 for 250ms  # trailing comment\n"
+      "at 1.5h down site 2 provider for 0.5m\n");
+  ASSERT_TRUE(sched.has_value());
+  ASSERT_EQ(sched->faults().size(), 2u);
+  EXPECT_EQ(sched->faults()[0].start, TimePoint::epoch() + Duration::millis(500));
+  EXPECT_EQ(sched->faults()[0].duration, Duration::millis(250));
+  EXPECT_EQ(sched->faults()[1].start, TimePoint::epoch() + Duration::minutes(90));
+  EXPECT_EQ(sched->faults()[1].duration, Duration::seconds(30));
+  EXPECT_EQ(sched->faults()[1].scope, FaultScope::kSiteProvider);
+}
+
+TEST(FaultDsl, EmptyInputIsAnEmptySchedule) {
+  const auto sched = FaultSchedule::parse("# nothing but comments\n\n");
+  ASSERT_TRUE(sched.has_value());
+  EXPECT_TRUE(sched->empty());
+}
+
+struct BadCase {
+  const char* dsl;
+  const char* why;
+};
+
+TEST(FaultDsl, RejectsMalformedLinesWithLineNumbers) {
+  const BadCase cases[] = {
+      {"down site 1 for 10s\n", "missing at/every head"},
+      {"at 10s nuke site 1 for 10s\n", "unknown verb"},
+      {"at 10s down site 1 for 10s extra\n", "trailing junk"},
+      {"at 10x down site 1 for 10s\n", "bad time unit"},
+      {"at 10s down site 1\n", "missing for clause"},
+      {"at 10s down site 1 for 0s\n", "zero duration"},
+      {"at 10s down link 3-9 for 10s\n", "bad link syntax"},
+      {"at 10s down link 3->3 for 10s\n", "self link"},
+      {"at 10s down site 1 core for 10s\n", "bad scope word"},
+      {"at 10s down sites 1,,2 for 10s\n", "bad id list"},
+      {"at 10s flap link 0->1 for 5s\n", "flap without every"},
+      {"every 10s flap link 0->1 for 10s\n", "duration >= period"},
+      {"every 0s flap link 0->1 for 1s\n", "zero period"},
+      {"at 10s blackhole node 3 for 10s\n", "blackhole without probes"},
+      {"at 10s crash node x for 10s\n", "bad node id"},
+  };
+  for (const BadCase& c : cases) {
+    std::string error;
+    EXPECT_FALSE(FaultSchedule::parse(c.dsl, &error).has_value()) << c.why;
+    EXPECT_NE(error.find("line 1"), std::string::npos) << c.why << ": " << error;
+  }
+}
+
+TEST(FaultDsl, ErrorNamesTheFailingLine) {
+  std::string error;
+  const auto sched = FaultSchedule::parse(
+      "at 10s down site 1 for 10s\n"
+      "# fine so far\n"
+      "at 20s down planet 1 for 10s\n",
+      &error);
+  EXPECT_FALSE(sched.has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST(FaultDsl, BuildersMatchParsedForms) {
+  FaultSchedule built;
+  built.down_site(7, at_s(120), Duration::seconds(45), FaultScope::kSiteAccess)
+      .down_link(3, 9, at_s(600), Duration::minutes(1))
+      .blackhole_probes(3, at_s(600), Duration::minutes(5))
+      .lsa_loss(2, at_s(600), Duration::minutes(5))
+      .crash(4, at_s(600), Duration::seconds(30))
+      .flap_link(3, 9, Duration::seconds(300), Duration::seconds(10))
+      .crash_churn(4, Duration::seconds(240), Duration::seconds(30));
+
+  const auto parsed = FaultSchedule::parse(
+      "at 120s down site 7 access for 45s\n"
+      "at 600s down link 3->9 for 60s\n"
+      "at 600s blackhole probes node 3 for 300s\n"
+      "at 600s lsa-loss node 2 for 300s\n"
+      "at 600s crash node 4 for 30s\n"
+      "every 300s flap link 3->9 for 10s\n"
+      "every 240s crash node 4 for 30s\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(built.faults().size(), parsed->faults().size());
+  for (std::size_t i = 0; i < built.faults().size(); ++i) {
+    const auto& a = built.faults()[i];
+    const auto& b = parsed->faults()[i];
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.scope, b.scope) << i;
+    EXPECT_EQ(a.sites, b.sites) << i;
+    EXPECT_EQ(a.link_src, b.link_src) << i;
+    EXPECT_EQ(a.link_dst, b.link_dst) << i;
+    EXPECT_EQ(a.start, b.start) << i;
+    EXPECT_EQ(a.duration, b.duration) << i;
+    EXPECT_EQ(a.period, b.period) << i;
+  }
+}
+
+TEST(FaultDsl, ToStringRoundTrips) {
+  const char* program =
+      "at 120s down site 7 access for 45s\n"
+      "at 120s down sites 1,2,3 provider for 90s\n"
+      "at 600s down link 3->9 for 60s\n"
+      "at 600s blackhole probes node 3 for 300s\n"
+      "at 600s lsa-loss node 2 for 300s\n"
+      "every 300s flap link 3->9 for 10s\n"
+      "every 240s crash node 4 for 30s\n";
+  const auto first = FaultSchedule::parse(program);
+  ASSERT_TRUE(first.has_value());
+  const std::string rendered = first->to_string();
+  const auto second = FaultSchedule::parse(rendered);
+  ASSERT_TRUE(second.has_value()) << rendered;
+  // Round-trip fixpoint: rendering the reparse is identical.
+  EXPECT_EQ(second->to_string(), rendered);
+  EXPECT_EQ(second->faults().size(), first->faults().size());
+}
+
+}  // namespace
+}  // namespace ronpath

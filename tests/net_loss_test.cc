@@ -267,6 +267,52 @@ TEST(ComponentProcess, QueueDelayMeanSetDuringBurst) {
   EXPECT_TRUE(checked);
 }
 
+// The roughly-monotone query contract: debug builds assert on queries
+// outside the retained [pruned, generated] window; release builds clamp
+// to the nearest retained state instead of fabricating "no interval".
+#ifdef NDEBUG
+TEST(LazyIntervalProcess, ReleaseClampsQueriesOutsideRetainedWindow) {
+  LazyIntervalProcess p(Duration::minutes(5), Duration::minutes(1), 2.0, Rng(31));
+  const TimePoint generated = TimePoint::epoch() + Duration::hours(2);
+  const TimePoint pruned = TimePoint::epoch() + Duration::hours(1);
+  p.generate_until(generated);
+  p.prune_before(pruned);
+  EXPECT_DOUBLE_EQ(p.value_at(generated + Duration::hours(10)), p.value_at(generated));
+  EXPECT_DOUBLE_EQ(p.value_at(TimePoint::epoch()), p.value_at(pruned));
+}
+
+TEST(ComponentProcess, ReleaseClampsFarPastSamples) {
+  ComponentParams p = quiet_params();
+  p.bursts_per_hour = 400.0;
+  ComponentProcess cp(p, 0.0, {}, Rng(37));
+  const TimePoint newest = TimePoint::epoch() + Duration::seconds(1000);
+  (void)cp.sample(newest);
+  const ComponentSample ref = cp.sample(newest - kQuerySafety);
+  const ComponentSample clamped = cp.sample(TimePoint::epoch());
+  EXPECT_EQ(clamped.burst, ref.burst);
+  EXPECT_DOUBLE_EQ(clamped.drop_prob, ref.drop_prob);
+}
+#else
+TEST(LazyIntervalProcessDeathTest, DebugAssertsOnContractViolation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  LazyIntervalProcess p(Duration::minutes(5), Duration::minutes(1), 2.0, Rng(31));
+  p.generate_until(TimePoint::epoch() + Duration::hours(2));
+  p.prune_before(TimePoint::epoch() + Duration::hours(1));
+  EXPECT_DEATH((void)p.value_at(TimePoint::epoch() + Duration::hours(3)),
+               "beyond generated timeline");
+  EXPECT_DEATH((void)p.value_at(TimePoint::epoch()), "pruned history");
+}
+
+TEST(ComponentProcessDeathTest, DebugAssertsOnFarPastSample) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ComponentParams p = quiet_params();
+  p.bursts_per_hour = 100.0;
+  ComponentProcess cp(p, 0.0, {}, Rng(37));
+  (void)cp.sample(TimePoint::epoch() + Duration::seconds(1000));
+  EXPECT_DEATH((void)cp.sample(TimePoint::epoch()), "too far in the past");
+}
+#endif
+
 TEST(ComponentProcess, ToleratesSlightlyOutOfOrderQueries) {
   ComponentParams p = quiet_params();
   p.bursts_per_hour = 100.0;

@@ -205,7 +205,36 @@ TEST(DropCause, Names) {
   EXPECT_EQ(to_string(DropCause::kRandom), "random");
   EXPECT_EQ(to_string(DropCause::kBurst), "burst");
   EXPECT_EQ(to_string(DropCause::kOutage), "outage");
+  EXPECT_EQ(to_string(DropCause::kInjected), "injected");
 }
+
+// transmit() promises the roughly-monotone query contract of
+// loss_process.h: sends may lag the newest send by up to kQuerySafety.
+#ifdef NDEBUG
+TEST(Network, FarPastTransmitClampsInsteadOfCrashing) {
+  Network net = make_net(23);
+  (void)net.transmit(PathSpec{0, 1, kDirectVia}, TimePoint::epoch() + Duration::hours(1));
+  // A query a full hour out of order would read pruned component history;
+  // release builds clamp it to the retained window and answer normally.
+  int ok = 0;
+  for (int i = 0; i < 200; ++i) {
+    ok += net.transmit(PathSpec{0, 1, kDirectVia}, TimePoint::epoch() + Duration::seconds(i))
+                  .delivered
+              ? 1
+              : 0;
+  }
+  EXPECT_GT(ok, 150);
+  EXPECT_EQ(net.stats().transmitted, 201);
+}
+#else
+TEST(NetworkDeathTest, FarPastTransmitAssertsInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Network net = make_net(23);
+  (void)net.transmit(PathSpec{0, 1, kDirectVia}, TimePoint::epoch() + Duration::hours(1));
+  EXPECT_DEATH((void)net.transmit(PathSpec{0, 1, kDirectVia}, TimePoint::epoch()),
+               "too far in the past");
+}
+#endif
 
 }  // namespace
 }  // namespace ronpath

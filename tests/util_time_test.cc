@@ -100,6 +100,30 @@ TEST(TimePoint, SecondsSinceEpochF) {
   EXPECT_DOUBLE_EQ(t.seconds_since_epoch_f(), 2.5);
 }
 
+TEST(Duration, SaturatingAddOrdinaryValues) {
+  EXPECT_EQ(Duration::saturating_add(Duration::millis(300), Duration::millis(200)),
+            Duration::millis(500));
+  EXPECT_EQ(Duration::saturating_add(Duration::seconds(1), -Duration::millis(250)),
+            Duration::millis(750));
+  EXPECT_EQ(Duration::saturating_add(Duration::zero(), Duration::zero()), Duration::zero());
+}
+
+TEST(Duration, SaturatingAddMaxIsAbsorbing) {
+  // max() is the router's "unknown latency" sentinel: adding anything to
+  // it — including large negatives — must stay unknown, never wrap into
+  // an attractive finite value.
+  EXPECT_EQ(Duration::saturating_add(Duration::max(), Duration::nanos(1)), Duration::max());
+  EXPECT_EQ(Duration::saturating_add(Duration::nanos(1), Duration::max()), Duration::max());
+  EXPECT_EQ(Duration::saturating_add(Duration::max(), -Duration::days(1)), Duration::max());
+  EXPECT_EQ(Duration::saturating_add(Duration::max(), Duration::max()), Duration::max());
+}
+
+TEST(Duration, SaturatingAddClampsOverflow) {
+  const Duration near_max = Duration::max() - Duration::nanos(1);
+  EXPECT_EQ(Duration::saturating_add(near_max, Duration::days(1)), Duration::max());
+  EXPECT_EQ(Duration::saturating_add(Duration::min(), -Duration::days(1)), Duration::min());
+}
+
 // Duration arithmetic must be exact over the full 14-day run range.
 TEST(Duration, FourteenDayRangeExact) {
   const Duration run = Duration::days(14);
