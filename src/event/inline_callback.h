@@ -1,0 +1,114 @@
+// Move-only type-erased void() callable with small-buffer storage.
+//
+// std::function costs a heap allocation for any capture larger than its
+// (implementation-defined, ~16 byte) inline buffer, which made every
+// scheduled event allocate on the hot path. This trims the abstraction to
+// exactly what the scheduler needs - construct from a callable, move,
+// invoke once, destroy - with a 48-byte inline buffer that fits every
+// simulator callback; larger callables fall back to the heap instead of
+// failing to compile.
+
+#ifndef RONPATH_EVENT_INLINE_CALLBACK_H_
+#define RONPATH_EVENT_INLINE_CALLBACK_H_
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ronpath {
+
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() {
+    assert(vt_ != nullptr && "invoking an empty InlineCallback");
+    vt_->invoke(buf_);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-constructs into dst from src and destroys src's value.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable = {
+      [](void* p) { (**reinterpret_cast<Fn**>(p))(); },
+      [](void* dst, void* src) { *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src); },
+      [](void* p) { delete *reinterpret_cast<Fn**>(p); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_EVENT_INLINE_CALLBACK_H_

@@ -1,22 +1,45 @@
 #include "event/scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace ronpath {
 
 void EventHandle::cancel() {
-  if (alive_) *alive_ = false;
+  const auto pool = pool_.lock();
+  if (!pool) return;  // scheduler gone: nothing left to cancel
+  if (slot_ >= pool->slots.size()) return;
+  internal::EventSlot& sl = pool->slots[slot_];
+  if (sl.gen != gen_) return;  // already fired, cancelled, or slot reused
+  ++sl.gen;       // queue entry becomes a tombstone; slot freed when it pops
+  sl.cb.reset();  // release captures eagerly
 }
 
-bool EventHandle::pending() const { return alive_ && *alive_; }
+bool EventHandle::pending() const {
+  const auto pool = pool_.lock();
+  if (!pool) return false;
+  return slot_ < pool->slots.size() && pool->slots[slot_].gen == gen_;
+}
+
+Scheduler::Scheduler() : pool_(std::make_shared<internal::SlotPool>()) {}
 
 EventHandle Scheduler::schedule_at(TimePoint at, Callback cb) {
   assert(at >= now_ && "cannot schedule into the past");
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{at, next_seq_++, std::move(cb), alive});
-  ++live_events_;
-  return EventHandle(std::move(alive));
+  internal::SlotPool& pool = *pool_;
+  std::uint32_t slot;
+  if (!pool.free_list.empty()) {
+    slot = pool.free_list.back();
+    pool.free_list.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool.slots.size());
+    pool.slots.emplace_back();
+  }
+  internal::EventSlot& sl = pool.slots[slot];
+  sl.cb = std::move(cb);
+  heap_.push_back(Entry{at, next_seq_++, sl.gen, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(pool_, slot, sl.gen);
 }
 
 EventHandle Scheduler::schedule_after(Duration delay, Callback cb) {
@@ -24,21 +47,8 @@ EventHandle Scheduler::schedule_after(Duration delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
-void Scheduler::dispatch(Event& ev) {
-  --live_events_;
-  if (!*ev.alive) return;  // cancelled
-  *ev.alive = false;
-  ++dispatched_;
-  ev.cb();
-}
-
 void Scheduler::run_until(TimePoint until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.at;
-    dispatch(ev);
-  }
+  while (!heap_.empty() && heap_.front().at <= until) step();
   if (now_ < until) now_ = until;
 }
 
@@ -48,11 +58,23 @@ void Scheduler::run_all() {
 }
 
 bool Scheduler::step() {
-  if (queue_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry ev = heap_.back();
+  heap_.pop_back();
   now_ = ev.at;
-  dispatch(ev);
+  internal::EventSlot& sl = pool_->slots[ev.slot];
+  if (sl.gen == ev.gen) {
+    ++sl.gen;
+    Callback cb = std::move(sl.cb);
+    pool_->free_list.push_back(ev.slot);
+    ++dispatched_;
+    // `sl` may dangle past this point: the callback can schedule events
+    // and grow the slot vector.
+    cb();
+  } else {
+    pool_->free_list.push_back(ev.slot);  // cancelled tombstone
+  }
   return true;
 }
 

@@ -8,6 +8,15 @@
 // Determinism: events at identical timestamps fire in scheduling order
 // (FIFO via a monotonically increasing sequence number), so a run is a pure
 // function of (seed, configuration).
+//
+// Hot path: schedule_after performs zero heap allocations. Callbacks live
+// in a recycled slot pool (InlineCallback small-buffer storage, heap only
+// for oversized captures), heap entries are small PODs, and cancellation
+// is a per-slot generation bump instead of a per-event shared_ptr<bool>.
+// Handles stay safe after the event fires, after cancel, and even after
+// the Scheduler itself is destroyed: they hold a weak reference to the
+// slot pool plus the generation they armed, so a stale cancel simply
+// misses.
 
 #ifndef RONPATH_EVENT_SCHEDULER_H_
 #define RONPATH_EVENT_SCHEDULER_H_
@@ -15,17 +24,32 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "event/inline_callback.h"
 #include "util/time.h"
 
 namespace ronpath {
 
 class Scheduler;
 
+namespace internal {
+
+struct EventSlot {
+  std::uint64_t gen = 0;  // bumped on fire and on cancel
+  InlineCallback cb;
+};
+
+struct SlotPool {
+  std::vector<EventSlot> slots;
+  std::vector<std::uint32_t> free_list;
+};
+
+}  // namespace internal
+
 // Cancellable reference to a scheduled event. Default-constructed handles
-// are inert; cancel() on an already-fired event is a harmless no-op.
+// are inert; cancel() on an already-fired event is a harmless no-op, and
+// a handle may safely outlive the Scheduler it came from.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -35,15 +59,19 @@ class EventHandle {
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(std::weak_ptr<internal::SlotPool> pool, std::uint32_t slot, std::uint64_t gen)
+      : pool_(std::move(pool)), slot_(slot), gen_(gen) {}
+
+  std::weak_ptr<internal::SlotPool> pool_;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -58,33 +86,34 @@ class Scheduler {
   void run_until(TimePoint until);
   // Runs every pending event (only safe if the event graph quiesces).
   void run_all();
-  // Fires at most one event; returns false if the queue was empty.
+  // Pops at most one queue entry (fired or cancelled tombstone); returns
+  // false if the queue was empty.
   bool step();
 
-  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  // Queue entries still pending, including cancelled-but-unpopped ones
+  // (cancellation is lazy).
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t dispatched_events() const { return dispatched_; }
 
  private:
-  struct Event {
+  struct Entry {
     TimePoint at;
     std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<bool> alive;
+    std::uint64_t gen;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  void dispatch(Event& ev);
-
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
-  std::size_t live_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Entry> heap_;  // std::push_heap/pop_heap min-heap via Later
+  std::shared_ptr<internal::SlotPool> pool_;
 };
 
 // Repeating task: reschedules itself with a fixed or caller-computed period

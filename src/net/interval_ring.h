@@ -1,0 +1,125 @@
+// Flat ring buffer of StateIntervals.
+//
+// The lazy timeline processes append intervals at the back as simulated
+// time advances and prune expired intervals from the front as the
+// roughly-monotone query watermark moves. std::deque serves that access
+// pattern but pays a chunk-map pointer chase on every element access -
+// painful in value_at, which runs on every packet. This ring keeps the
+// live window contiguous in one power-of-two vector: push_back and
+// pop_front are O(1) amortized, operator[] is a mask and an add, and the
+// random-access iterators make the binary-search fallback as cheap as on
+// a flat array.
+//
+// Indexing is relative to the current front (index 0 == oldest retained
+// interval), matching how the timeline cursors address it.
+
+#ifndef RONPATH_NET_INTERVAL_RING_H_
+#define RONPATH_NET_INTERVAL_RING_H_
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
+namespace ronpath {
+
+template <typename T>
+class Ring {
+ public:
+  using value_type = T;
+
+  class const_iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator() = default;
+    const_iterator(const Ring* ring, std::size_t pos) : ring_(ring), pos_(pos) {}
+
+    reference operator*() const { return (*ring_)[pos_]; }
+    pointer operator->() const { return &(*ring_)[pos_]; }
+    reference operator[](difference_type n) const {
+      return (*ring_)[pos_ + static_cast<std::size_t>(n)];
+    }
+
+    const_iterator& operator++() { ++pos_; return *this; }
+    const_iterator operator++(int) { auto c = *this; ++pos_; return c; }
+    const_iterator& operator--() { --pos_; return *this; }
+    const_iterator operator--(int) { auto c = *this; --pos_; return c; }
+    const_iterator& operator+=(difference_type n) {
+      pos_ = static_cast<std::size_t>(static_cast<difference_type>(pos_) + n);
+      return *this;
+    }
+    const_iterator& operator-=(difference_type n) { return *this += -n; }
+    friend const_iterator operator+(const_iterator it, difference_type n) { return it += n; }
+    friend const_iterator operator+(difference_type n, const_iterator it) { return it += n; }
+    friend const_iterator operator-(const_iterator it, difference_type n) { return it -= n; }
+    friend difference_type operator-(const_iterator a, const_iterator b) {
+      return static_cast<difference_type>(a.pos_) - static_cast<difference_type>(b.pos_);
+    }
+    friend bool operator==(const_iterator a, const_iterator b) { return a.pos_ == b.pos_; }
+    friend auto operator<=>(const_iterator a, const_iterator b) { return a.pos_ <=> b.pos_; }
+
+   private:
+    const Ring* ring_ = nullptr;
+    std::size_t pos_ = 0;
+  };
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] const T& back() const { return (*this)[count_ - 1]; }
+  [[nodiscard]] T& back() { return (*this)[count_ - 1]; }
+
+  [[nodiscard]] const_iterator begin() const { return const_iterator(this, 0); }
+  [[nodiscard]] const_iterator end() const { return const_iterator(this, count_); }
+
+  void push_back(const T& v) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask_] = v;
+    ++count_;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) next[i] = (*this)[i];
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;  // capacity always a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_NET_INTERVAL_RING_H_

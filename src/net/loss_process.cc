@@ -8,12 +8,30 @@ namespace ronpath {
 namespace {
 
 // Binary search over merged, disjoint, start-sorted intervals.
-const StateInterval* covering(const std::deque<StateInterval>& ivs, TimePoint t) {
+const StateInterval* covering(const Ring<StateInterval>& ivs, TimePoint t) {
   auto it = std::upper_bound(ivs.begin(), ivs.end(), t,
                              [](TimePoint v, const StateInterval& iv) { return v < iv.start; });
   if (it == ivs.begin()) return nullptr;
   --it;
   return (it->end > t) ? &*it : nullptr;
+}
+
+// Cursor seek shared by the timeline lookups: first index with end > t,
+// starting from hint `i`. Forward motion is a linear scan (amortized O(1)
+// under the roughly-monotone contract); a backward jump falls back to
+// binary search over the prefix, so arbitrary backjumps stay correct,
+// just slower.
+std::size_t seek_ring(const Ring<StateInterval>& ivs, TimePoint t, std::size_t i) {
+  const std::size_t n = ivs.size();
+  if (i > n) i = n;
+  while (i < n && ivs[i].end <= t) ++i;
+  if (i > 0 && ivs[i - 1].end > t) {
+    i = static_cast<std::size_t>(
+        std::partition_point(ivs.begin(), ivs.begin() + static_cast<std::ptrdiff_t>(i),
+                             [t](const StateInterval& iv) { return iv.end <= t; }) -
+        ivs.begin());
+  }
+  return i;
 }
 
 double episode_boost_value(const ComponentParams& p) {
@@ -29,6 +47,32 @@ double diurnal_factor(TimePoint t, double lon_deg, double amplitude) {
   if (local < 0.0) local += 24.0;
   // Peak near 16:00 local, trough near 04:00.
   return 1.0 + amplitude * std::sin(2.0 * M_PI * (local - 10.0) / 24.0);
+}
+
+std::vector<BoostSegment> flatten_boosts(const std::vector<StateInterval>& boosts) {
+  std::vector<TimePoint> bounds;
+  bounds.reserve(boosts.size() * 2);
+  for (const auto& iv : boosts) {
+    bounds.push_back(iv.start);
+    bounds.push_back(iv.end);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  std::vector<BoostSegment> segs;
+  segs.reserve(bounds.size());
+  // The covering set is constant between boundaries, so evaluating the
+  // reference product at each boundary yields the segment's exact value.
+  for (TimePoint b : bounds) segs.push_back({b, boost_at_reference(boosts, b)});
+  return segs;
+}
+
+double boost_at_reference(const std::vector<StateInterval>& boosts, TimePoint t) {
+  double boost = 1.0;
+  for (const auto& iv : boosts) {
+    if (iv.start > t) break;
+    if (iv.end > t) boost *= iv.value;
+  }
+  return boost;
 }
 
 // --------------------------------------------------------- LazyIntervalProcess
@@ -63,11 +107,14 @@ void LazyIntervalProcess::generate_until(TimePoint t) {
 }
 
 void LazyIntervalProcess::prune_before(TimePoint t) {
-  while (!intervals_.empty() && intervals_.front().end <= t) intervals_.pop_front();
+  while (!intervals_.empty() && intervals_.front().end <= t) {
+    intervals_.pop_front();
+    ++popped_;
+  }
   pruned_before_ = std::max(pruned_before_, t);
 }
 
-double LazyIntervalProcess::value_at(TimePoint t) const {
+TimePoint LazyIntervalProcess::checked(TimePoint t) const {
   assert(t <= cursor_ && "query beyond generated timeline");
   assert(t >= pruned_before_ && "query into pruned history");
   // Release-mode clamp: answer from the nearest retained state rather
@@ -75,18 +122,68 @@ double LazyIntervalProcess::value_at(TimePoint t) const {
   // yet) know about.
   if (t > cursor_) t = cursor_;
   if (t < pruned_before_) t = pruned_before_;
+  return t;
+}
+
+std::size_t LazyIntervalProcess::seek(TimePoint t, std::size_t i) const {
+  return seek_ring(intervals_, t, i);
+}
+
+double LazyIntervalProcess::value_at(TimePoint t, TimelineCursor& cursor) const {
+  t = checked(t);
+  std::size_t i =
+      cursor.idx > popped_ ? static_cast<std::size_t>(cursor.idx - popped_) : 0;
+  i = seek(t, i);
+  cursor.idx = popped_ + i;
+  // seek() guarantees intervals_[i].end > t, so covered iff start <= t.
+  if (i < intervals_.size() && intervals_[i].start <= t) return intervals_[i].value;
+  return 0.0;
+}
+
+double LazyIntervalProcess::value_at_reference(TimePoint t) const {
+  t = checked(t);
   const StateInterval* iv = covering(intervals_, t);
   return iv ? iv->value : 0.0;
 }
 
 void LazyIntervalProcess::collect_edges(TimePoint from, TimePoint to,
                                         std::vector<TimePoint>& out) const {
-  for (const auto& iv : intervals_) {
-    if (iv.end <= from) continue;
+  auto it = std::partition_point(intervals_.begin(), intervals_.end(),
+                                 [from](const StateInterval& iv) { return iv.end <= from; });
+  for (; it != intervals_.end(); ++it) {
+    const StateInterval& iv = *it;
     if (iv.start >= to) break;
     if (iv.start > from && iv.start < to) out.push_back(iv.start);
     if (iv.end > from && iv.end < to) out.push_back(iv.end);
   }
+}
+
+TimePoint LazyIntervalProcess::next_edge_after(TimePoint t, TimelineCursor& cursor) const {
+  std::size_t i =
+      cursor.idx > popped_ ? static_cast<std::size_t>(cursor.idx - popped_) : 0;
+  i = seek(t, i);
+  cursor.idx = popped_ + i;
+  if (i >= intervals_.size()) return cursor_;
+  const StateInterval& iv = intervals_[i];
+  // seek() guarantees iv.end > t; the first edge after t is iv's start if
+  // t precedes the interval, else its end.
+  return iv.start > t ? iv.start : iv.end;
+}
+
+bool LazyIntervalProcess::has_edge_in(TimePoint from, TimePoint to,
+                                      TimelineCursor& cursor) const {
+  std::size_t i =
+      cursor.idx > popped_ ? static_cast<std::size_t>(cursor.idx - popped_) : 0;
+  i = seek(from, i);
+  cursor.idx = popped_ + i;
+  if (i >= intervals_.size()) return false;
+  // Intervals are merged and disjoint, so only the first one with
+  // end > from can contribute an edge inside (from, to): if it covers the
+  // whole window, the next interval starts at or beyond `to`.
+  const StateInterval& iv = intervals_[i];
+  if (iv.start >= to) return false;
+  if (iv.start > from) return true;
+  return iv.end < to;
 }
 
 // ------------------------------------------------------------ ComponentProcess
@@ -109,20 +206,45 @@ ComponentProcess::ComponentProcess(const ComponentParams& params, double site_lo
                         [](const StateInterval& a, const StateInterval& b) {
                           return a.start < b.start;
                         }));
-}
-
-double ComponentProcess::static_boost_at(TimePoint t) const {
-  double boost = 1.0;
+  boost_segments_ = flatten_boosts(static_boosts_);
+  static_edges_.reserve(static_boosts_.size() * 2);
   for (const auto& iv : static_boosts_) {
-    if (iv.start > t) break;
-    if (iv.end > t) boost *= iv.value;
+    static_edges_.push_back(iv.start);
+    static_edges_.push_back(iv.end);
   }
-  return boost;
+  std::sort(static_edges_.begin(), static_edges_.end());
+  base_rate_per_sec_ = params_.bursts_per_hour / 3600.0;
+  rate_upper_factor_ = base_rate_per_sec_ * (1.0 + params_.diurnal_amplitude);
+  ln_burst_median_ = std::log(params_.burst_median.to_seconds_f());
+  ln_short_burst_median_ = std::log(params_.short_burst_median.to_seconds_f());
 }
 
-double ComponentProcess::rate_per_sec_at(TimePoint t) const {
+double ComponentProcess::static_boost_at(TimePoint t) {
+  const auto& segs = boost_segments_;
+  if (segs.empty() || t < segs.front().start) {
+    boost_seg_idx_ = 0;
+    return 1.0;
+  }
+  std::size_t i = boost_seg_idx_;
+  if (i >= segs.size()) i = segs.size() - 1;
+  if (segs[i].start > t) {
+    // Backward jump: binary search for the last segment starting at or
+    // before t (one exists: t >= segs.front().start).
+    i = static_cast<std::size_t>(
+            std::upper_bound(segs.begin(), segs.end(), t,
+                             [](TimePoint v, const BoostSegment& s) { return v < s.start; }) -
+            segs.begin()) -
+        1;
+  } else {
+    while (i + 1 < segs.size() && segs[i + 1].start <= t) ++i;
+  }
+  boost_seg_idx_ = i;
+  return segs[i].value;
+}
+
+double ComponentProcess::rate_per_sec_at(TimePoint t) {
   const double episode_boost = [&] {
-    const double v = episodes_.value_at(t);
+    const double v = episodes_.value_at(t, episode_gen_cursor_);
     return v > 0.0 ? v : 1.0;
   }();
   return params_.bursts_per_hour / 3600.0 *
@@ -140,6 +262,80 @@ void ComponentProcess::push_burst(StateInterval iv) {
   bursts_.push_back(iv);
 }
 
+void ComponentProcess::generate_segment(TimePoint from, TimePoint to) {
+  if (to <= from) return;
+
+  // rate < 0 means "exact rate not yet evaluated". For amplitude < 1 the
+  // diurnal factor is strictly positive, so the exact rate is zero iff
+  // base * episode_boost * static_boost is (all factors are non-negative
+  // and orders of magnitude away from underflow), and we can both skip
+  // zero-rate segments and bound the rate from above without touching the
+  // sin. For amplitude >= 1 the diurnal term itself can zero or negate
+  // the rate, so evaluate it exactly up front as the reference does.
+  double rate = -1.0;
+  double rate_upper = 0.0;
+  if (params_.diurnal_amplitude < 1.0) {
+    // The episode*static product is piecewise constant, so cache it with
+    // an exact validity horizon (the next episode or static edge) and
+    // recompute only when generation crosses an edge. `from` is monotone
+    // across calls, and both factor lookups return the identical doubles
+    // anywhere inside the cached segment, so the cached products are
+    // bit-identical to recomputing them here.
+    if (from >= ebsb_valid_until_) {
+      const double v = episodes_.value_at(from, episode_gen_cursor_);
+      const double eb = v > 0.0 ? v : 1.0;
+      const double sb = static_boost_at(from);
+      cached_rate_zero_ = base_rate_per_sec_ * eb * sb == 0.0;
+      cached_rate_upper_ = rate_upper_factor_ * eb * sb;
+      TimePoint next_change = episodes_.next_edge_after(from, episode_gen_cursor_);
+      while (static_edge_idx_ < static_edges_.size() &&
+             static_edges_[static_edge_idx_] <= from) {
+        ++static_edge_idx_;
+      }
+      if (static_edge_idx_ < static_edges_.size()) {
+        next_change = std::min(next_change, static_edges_[static_edge_idx_]);
+      }
+      ebsb_valid_until_ = next_change;
+    }
+    if (cached_rate_zero_) return;  // exact rate is 0: no draws
+    rate_upper = cached_rate_upper_;
+  } else {
+    rate = rate_per_sec_at(from);
+    if (rate <= 0.0) return;
+  }
+
+  TimePoint s = from;
+  for (;;) {
+    // Replicates Rng::exponential's guarded uniform draw so the stream
+    // stays aligned even on iterations that never take the log below.
+    double u = burst_rng_.next_double();
+    while (u <= 0.0) u = burst_rng_.next_double();
+
+    if (rate < 0.0) {
+      // No-arrival proof from the raw draw: the next gap clears the
+      // segment iff u <= e^(-gap*rate), and e^(-x) >= 1-x, so
+      // u < 1 - gap*rate_upper (minus a margin that swamps every rounding
+      // error in the chain) guarantees it for any rate <= rate_upper. The
+      // reference would discard the drawn arrival time too, so skipping
+      // the log -- and the sin inside the exact rate -- changes no
+      // observable state. Ambiguous draws (probability ~gap*rate) fall
+      // through to the exact evaluation.
+      const double x_upper = (to - s).to_seconds_f() * rate_upper;
+      if (u < 1.0 - x_upper - 1e-9) return;
+      rate = rate_per_sec_at(from);
+      if (rate <= 0.0) return;  // unreachable (base > 0, amplitude < 1); defensive
+    }
+    const double mean = 1.0 / rate;
+    s += Duration::from_seconds_f(-mean * std::log(u));
+    if (s >= to) return;
+    const bool micro = burst_rng_.bernoulli(params_.short_burst_fraction);
+    const double dur_s =
+        micro ? burst_rng_.lognormal(ln_short_burst_median_, params_.short_burst_sigma)
+              : burst_rng_.lognormal(ln_burst_median_, params_.burst_sigma);
+    push_burst({s, s + Duration::from_seconds_f(dur_s), params_.burst_drop_prob});
+  }
+}
+
 void ComponentProcess::generate_until(TimePoint t) {
   const TimePoint target = t + kGenLookahead;
   if (burst_cursor_ >= target) return;
@@ -149,54 +345,75 @@ void ComponentProcess::generate_until(TimePoint t) {
 
   // Piecewise-constant-rate boundaries: hourly diurnal steps plus episode
   // and static-boost edges. Between boundaries the rate is constant and
-  // arrivals are exact exponential gaps (memorylessness lets us restart the
-  // draw at each boundary).
-  std::vector<TimePoint> edges;
-  episodes_.collect_edges(burst_cursor_, target, edges);
+  // arrivals are exact exponential gaps (memorylessness lets us restart
+  // the draw at each boundary). The common generation window contains no
+  // boundary at all -- detect that with O(1) cursor checks and run the
+  // single segment directly, skipping the edge buffer and sort.
+  if (next_hour_edge_ <= burst_cursor_) {
+    const Duration hour = Duration::hours(1);
+    next_hour_edge_ =
+        TimePoint::epoch() + hour * (burst_cursor_.since_epoch() / hour + 1);
+  }
+  while (static_edge_idx_ < static_edges_.size() &&
+         static_edges_[static_edge_idx_] <= burst_cursor_) {
+    ++static_edge_idx_;
+  }
+
+  // `target <= ebsb_valid_until_` certifies no episode edge in the window
+  // without touching the episode timeline: the cached horizon is a lower
+  // bound on the next episode edge, and intervals generated since can only
+  // start beyond it (next_edge_after's contract).
+  if (next_hour_edge_ >= target &&
+      (static_edge_idx_ >= static_edges_.size() ||
+       static_edges_[static_edge_idx_] >= target) &&
+      (target <= ebsb_valid_until_ ||
+       !episodes_.has_edge_in(burst_cursor_, target, episode_gen_cursor_))) {
+    generate_segment(burst_cursor_, target);
+    burst_cursor_ = target;
+    return;
+  }
+
+  edges_scratch_.clear();
+  episodes_.collect_edges(burst_cursor_, target, edges_scratch_);
   for (const auto& iv : static_boosts_) {
-    if (iv.start > burst_cursor_ && iv.start < target) edges.push_back(iv.start);
-    if (iv.end > burst_cursor_ && iv.end < target) edges.push_back(iv.end);
+    if (iv.start > burst_cursor_ && iv.start < target) edges_scratch_.push_back(iv.start);
+    if (iv.end > burst_cursor_ && iv.end < target) edges_scratch_.push_back(iv.end);
   }
   const Duration hour = Duration::hours(1);
   for (TimePoint h = TimePoint::epoch() +
                      hour * (burst_cursor_.since_epoch() / hour + 1);
        h < target; h += hour) {
-    edges.push_back(h);
+    edges_scratch_.push_back(h);
   }
-  edges.push_back(target);
-  std::sort(edges.begin(), edges.end());
+  edges_scratch_.push_back(target);
+  std::sort(edges_scratch_.begin(), edges_scratch_.end());
 
   TimePoint cursor = burst_cursor_;
-  const double ln_long = std::log(params_.burst_median.to_seconds_f());
-  const double ln_short = std::log(params_.short_burst_median.to_seconds_f());
-  for (TimePoint edge : edges) {
+  for (TimePoint edge : edges_scratch_) {
     if (edge <= cursor) continue;
-    // Rate sampled just inside the segment (diurnal drift within an hour is
-    // negligible at these rates).
-    const double rate = rate_per_sec_at(cursor);
-    if (rate > 0.0) {
-      TimePoint s = cursor;
-      for (;;) {
-        s += Duration::from_seconds_f(burst_rng_.exponential(1.0 / rate));
-        if (s >= edge) break;
-        const bool micro = burst_rng_.bernoulli(params_.short_burst_fraction);
-        const double dur_s =
-            micro ? burst_rng_.lognormal(ln_short, params_.short_burst_sigma)
-                  : burst_rng_.lognormal(ln_long, params_.burst_sigma);
-        push_burst({s, s + Duration::from_seconds_f(dur_s), params_.burst_drop_prob});
-      }
-    }
+    generate_segment(cursor, edge);
     cursor = edge;
   }
   burst_cursor_ = target;
 }
 
 double ComponentProcess::burst_drop_at(TimePoint t) const {
+  std::size_t i = burst_query_cursor_.idx > bursts_popped_
+                      ? static_cast<std::size_t>(burst_query_cursor_.idx - bursts_popped_)
+                      : 0;
+  i = seek_ring(bursts_, t, i);
+  burst_query_cursor_.idx = bursts_popped_ + i;
+  if (i < bursts_.size() && bursts_[i].start <= t) return bursts_[i].value;
+  return 0.0;
+}
+
+double ComponentProcess::burst_drop_at_reference(TimePoint t) const {
   const StateInterval* iv = covering(bursts_, t);
   return iv ? iv->value : 0.0;
 }
 
-ComponentSample ComponentProcess::sample(TimePoint t) {
+template <bool kReference>
+ComponentSample ComponentProcess::sample_impl(TimePoint t) {
   assert(t + kQuerySafety >= max_query_ && "query too far in the past");
   if (t + kQuerySafety < max_query_) t = max_query_ - kQuerySafety;  // release clamp
   generate_until(t);
@@ -204,20 +421,26 @@ ComponentSample ComponentProcess::sample(TimePoint t) {
     max_query_ = t;
     const TimePoint watermark = max_query_ - kQuerySafety;
     if (!bursts_.empty() && bursts_.front().end + Duration::minutes(5) < watermark) {
-      while (!bursts_.empty() && bursts_.front().end <= watermark) bursts_.pop_front();
+      while (!bursts_.empty() && bursts_.front().end <= watermark) {
+        bursts_.pop_front();
+        ++bursts_popped_;
+      }
       episodes_.prune_before(watermark);
       outages_.prune_before(watermark);
     }
   }
 
   ComponentSample s;
-  if (outages_.active_at(t)) {
+  const double outage_v = kReference ? outages_.value_at_reference(t) : outages_.value_at(t);
+  if (outage_v != 0.0) {
     s.outage = true;
     s.drop_prob = 1.0;
     return s;
   }
-  s.episode = episodes_.value_at(t) > 0.0;
-  const double burst_drop = burst_drop_at(t);
+  const double episode_v =
+      kReference ? episodes_.value_at_reference(t) : episodes_.value_at(t);
+  s.episode = episode_v > 0.0;
+  const double burst_drop = kReference ? burst_drop_at_reference(t) : burst_drop_at(t);
   if (burst_drop > 0.0) {
     s.burst = true;
     s.drop_prob = burst_drop;
@@ -227,6 +450,12 @@ ComponentSample ComponentProcess::sample(TimePoint t) {
     if (s.episode) s.queue_delay_mean = params_.episode_queue_mean;
   }
   return s;
+}
+
+ComponentSample ComponentProcess::sample(TimePoint t) { return sample_impl<false>(t); }
+
+ComponentSample ComponentProcess::sample_reference(TimePoint t) {
+  return sample_impl<true>(t);
 }
 
 }  // namespace ronpath

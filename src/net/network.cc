@@ -42,7 +42,10 @@ Network::Network(Topology topology, NetConfig config, Duration horizon, Rng rng)
   const auto& pe = config_.provider_events;
   if (pe.events_per_site_day > 0.0) {
     const Duration mean_gap = Duration::from_seconds_f(86'400.0 / pe.events_per_site_day);
+    const double expected_events =
+        horizon.to_seconds_f() / 86'400.0 * pe.events_per_site_day;
     for (NodeId s = 0; s < n; ++s) {
+      site_events[s].reserve(static_cast<std::size_t>(expected_events * 1.5) + 8);
       Rng er = rng.fork("provider-events").fork(s);
       TimePoint t = TimePoint::epoch() + er.exponential_duration(mean_gap);
       std::uint64_t seq = 0;
@@ -85,9 +88,11 @@ Network::Network(Topology topology, NetConfig config, Duration horizon, Rng rng)
       // Provider events from either endpoint hit this segment w.p.
       // cross_fraction, decided deterministically per (site, event, segment).
       const double event_boost = derived_boost(params, pe.event_loss_rate);
+      boosts.reserve(site_events[id.a].size() + site_events[id.b].size());
       for (NodeId endpoint : {id.a, id.b}) {
+        const Rng endpoint_rng = hit_rng_root.fork(endpoint);
         for (const auto& ev : site_events[endpoint]) {
-          Rng hit = hit_rng_root.fork(endpoint).fork(ev.seq).fork(ci);
+          Rng hit = endpoint_rng.fork(ev.seq).fork(ci);
           if (hit.next_double() < pe.cross_fraction) {
             boosts.push_back({ev.start, ev.end, event_boost});
           }
@@ -125,9 +130,25 @@ Network::Network(Topology topology, NetConfig config, Duration horizon, Rng rng)
     }
 
     const NodeId param_site = id.a;
-    components_.push_back(std::make_unique<ComponentProcess>(
-        params, topo_.site(param_site).lon_deg, sorted(std::move(boosts)),
-        rng.fork("component").fork(ci)));
+    components_.emplace_back(params, topo_.site(param_site).lon_deg,
+                             sorted(std::move(boosts)), rng.fork("component").fork(ci));
+  }
+
+  // Resolve the per-hop constants the packet loop reads on every traversal.
+  hop_meta_.resize(n_components);
+  for (std::size_t ci = 0; ci < n_components; ++ci) {
+    const ComponentParams& p = components_[ci].params();
+    HopMeta& m = hop_meta_[ci];
+    m.fixed_delay = p.fixed_delay;
+    m.ln_jitter_median = std::log(p.jitter_median.to_seconds_f());
+    m.jitter_sigma = p.jitter_sigma;
+    m.is_core = ci >= kSiteCompCount * n;
+    m.has_additions = !latency_additions_[ci].empty();
+    if (m.is_core) {
+      const ComponentId id = topo_.component(ci);
+      m.stretched_prop = Duration::from_seconds_f(
+          topo_.propagation(id.a, id.b).to_seconds_f() * core_stretch(id.a, id.b));
+    }
   }
 }
 
@@ -135,24 +156,21 @@ double Network::core_stretch(NodeId src, NodeId dst) const {
   return core_stretch_[topo_.core_index(src, dst) - kSiteCompCount * topo_.size()];
 }
 
-Duration Network::hop_delay(std::size_t component, const ComponentSample& s, TimePoint t,
-                            bool is_core, NodeId core_src, NodeId core_dst) {
-  const ComponentParams& p = components_[component]->params();
-  Duration d = p.fixed_delay;
-  if (is_core) {
-    d += Duration::from_seconds_f(topo_.propagation(core_src, core_dst).to_seconds_f() *
-                                  core_stretch(core_src, core_dst));
-  }
+Duration Network::hop_delay(std::size_t component, const ComponentSample& s, TimePoint t) {
+  const HopMeta& m = hop_meta_[component];
+  Duration d = m.fixed_delay;
+  if (m.is_core) d += m.stretched_prop;
   // Per-packet jitter.
-  d += Duration::from_seconds_f(
-      pkt_rng_.lognormal(std::log(p.jitter_median.to_seconds_f()), p.jitter_sigma));
+  d += Duration::from_seconds_f(pkt_rng_.lognormal(m.ln_jitter_median, m.jitter_sigma));
   // Congestion queueing.
   if (s.queue_delay_mean > Duration::zero()) {
     d += pkt_rng_.exponential_duration(s.queue_delay_mean);
   }
   // Incident latency additions.
-  for (const auto& add : latency_additions_[component]) {
-    if (t >= add.start && t < add.end) d += add.added;
+  if (m.has_additions) {
+    for (const auto& add : latency_additions_[component]) {
+      if (t >= add.start && t < add.end) d += add.added;
+    }
   }
   return d;
 }
@@ -166,7 +184,8 @@ TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time, Traf
   if (send_time > max_send_) max_send_ = send_time;
 
   ++stats_.transmitted;
-  const auto hops = topo_.hops(path);
+  Topology::Hop hops[Topology::kMaxHops];
+  const std::size_t n_hops = topo_.hops_into(path, hops);
 
   // Scripted probe blackhole: control probes with an affected endpoint
   // die here; data packets pass through untouched.
@@ -177,12 +196,12 @@ TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time, Traf
     TransmitResult r;
     r.delivered = false;
     r.cause = DropCause::kInjected;
-    r.drop_component = hops.empty() ? 0 : hops.front().component;
+    r.drop_component = n_hops == 0 ? 0 : hops[0].component;
     return r;
   }
 
   TimePoint t = send_time;
-  for (std::size_t hi = 0; hi < hops.size(); ++hi) {
+  for (std::size_t hi = 0; hi < n_hops; ++hi) {
     const std::size_t ci = hops[hi].component;
     if (fault_ && fault_->component_down(ci, t)) {
       ++stats_.dropped_injected;
@@ -192,7 +211,7 @@ TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time, Traf
       r.drop_component = ci;
       return r;
     }
-    const ComponentSample s = components_[ci]->sample(t);
+    const ComponentSample s = components_[ci].sample(t);
     if (pkt_rng_.bernoulli(s.drop_prob)) {
       TransmitResult r;
       r.delivered = false;
@@ -207,9 +226,7 @@ TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time, Traf
       }
       return r;
     }
-    const ComponentId id = topo_.component(ci);
-    const bool is_core = id.kind == ComponentId::Kind::kCore;
-    t += hop_delay(ci, s, t, is_core, id.a, id.b);
+    t += hop_delay(ci, s, t);
     // Application-level forwarding turn-around at each intermediate.
     if (hops[hi].forward_after) t += config_.forward_delay;
   }

@@ -112,7 +112,7 @@ class Network {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
   // Test hook: the process driving a component's loss state.
-  [[nodiscard]] ComponentProcess& component(std::size_t index) { return *components_[index]; }
+  [[nodiscard]] ComponentProcess& component(std::size_t index) { return components_[index]; }
 
  private:
   struct LatencyAddition {
@@ -121,13 +121,26 @@ class Network {
     Duration added;
   };
 
+  // Per-component constants read on every hop, precomputed once so the
+  // packet loop never recomputes great-circle trig, stretch lookups, or
+  // log(jitter_median). Values are bit-identical to evaluating the source
+  // expressions in place.
+  struct HopMeta {
+    Duration fixed_delay;
+    Duration stretched_prop;  // core only: propagation * stretch, resolved
+    double ln_jitter_median = 0.0;
+    double jitter_sigma = 0.0;
+    bool is_core = false;
+    bool has_additions = false;
+  };
+
   [[nodiscard]] Duration hop_delay(std::size_t component, const ComponentSample& s,
-                                   TimePoint t, bool is_core, NodeId core_src,
-                                   NodeId core_dst);
+                                   TimePoint t);
 
   Topology topo_;
   NetConfig config_;
-  std::vector<std::unique_ptr<ComponentProcess>> components_;
+  std::vector<ComponentProcess> components_;
+  std::vector<HopMeta> hop_meta_;
   std::vector<std::vector<LatencyAddition>> latency_additions_;
   std::vector<double> core_stretch_;  // per core component index offset
   Rng pkt_rng_;

@@ -97,48 +97,54 @@ ComponentId Topology::component(std::size_t index) const {
                      static_cast<NodeId>(col)};
 }
 
-std::vector<Topology::Hop> Topology::hops(const PathSpec& path) const {
+std::size_t Topology::hops_into(const PathSpec& path, Hop* out) const {
   assert(path.src < sites_.size() && path.dst < sites_.size());
   assert(path.src != path.dst);
-  std::vector<Hop> out;
+  Hop* w = out;
   auto egress = [&](NodeId site) {
-    out.push_back({site_index(site, SiteComp::kUp), site, false});
-    out.push_back({site_index(site, SiteComp::kProvOut), site, false});
+    *w++ = {site_index(site, SiteComp::kUp), site, false};
+    *w++ = {site_index(site, SiteComp::kProvOut), site, false};
   };
   // `forwarder`: this ingress terminates at an intermediate that must
   // turn the packet around at application level.
   auto ingress = [&](NodeId site, bool forwarder) {
-    out.push_back({site_index(site, SiteComp::kProvIn), site, false});
-    out.push_back({site_index(site, SiteComp::kDown), site, forwarder});
+    *w++ = {site_index(site, SiteComp::kProvIn), site, false};
+    *w++ = {site_index(site, SiteComp::kDown), site, forwarder};
   };
 
   if (path.is_direct()) {
-    out.reserve(5);
     egress(path.src);
-    out.push_back({core_index(path.src, path.dst), path.src, false});
+    *w++ = {core_index(path.src, path.dst), path.src, false};
     ingress(path.dst, false);
-    return out;
+    return static_cast<std::size_t>(w - out);
   }
 
   assert(path.via < sites_.size());
   assert(path.via != path.src && path.via != path.dst);
-  std::vector<NodeId> waypoints = {path.src, path.via};
+  NodeId waypoints[4] = {path.src, path.via, path.dst, path.dst};
+  std::size_t n_waypoints = 3;
   if (path.is_two_hop()) {
     assert(path.via2 < sites_.size());
     assert(path.via2 != path.src && path.via2 != path.dst && path.via2 != path.via);
-    waypoints.push_back(path.via2);
+    waypoints[2] = path.via2;
+    waypoints[3] = path.dst;
+    n_waypoints = 4;
   }
-  waypoints.push_back(path.dst);
 
-  out.reserve(5 * waypoints.size());
-  for (std::size_t leg = 0; leg + 1 < waypoints.size(); ++leg) {
+  for (std::size_t leg = 0; leg + 1 < n_waypoints; ++leg) {
     const NodeId from = waypoints[leg];
     const NodeId to = waypoints[leg + 1];
     egress(from);
-    out.push_back({core_index(from, to), from, false});
-    ingress(to, /*forwarder=*/leg + 2 < waypoints.size());
+    *w++ = {core_index(from, to), from, false};
+    ingress(to, /*forwarder=*/leg + 2 < n_waypoints);
   }
-  return out;
+  return static_cast<std::size_t>(w - out);
+}
+
+std::vector<Topology::Hop> Topology::hops(const PathSpec& path) const {
+  Hop buf[kMaxHops];
+  const std::size_t n = hops_into(path, buf);
+  return std::vector<Hop>(buf, buf + n);
 }
 
 }  // namespace ronpath

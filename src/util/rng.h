@@ -13,6 +13,7 @@
 #define RONPATH_UTIL_RNG_H_
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <string_view>
 
@@ -30,19 +31,48 @@ class Rng {
   [[nodiscard]] Rng fork(std::string_view tag) const;
   [[nodiscard]] Rng fork(std::uint64_t tag) const;
 
-  // Uniform draws ------------------------------------------------------
-  [[nodiscard]] std::uint64_t next_u64();
+  // Uniform draws. Defined inline: these run several times per simulated
+  // packet and are a handful of ALU ops each. --------------------------
+  [[nodiscard]] std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
   // Unbiased integer in [0, bound); bound must be > 0.
-  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound);
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      const unsigned __int128 m = static_cast<unsigned __int128>(r) * bound;
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
   // Double in [0, 1).
-  [[nodiscard]] double next_double();
+  [[nodiscard]] double next_double() {
+    // 53 high bits -> [0,1) with full double precision.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   // Double in [lo, hi).
-  [[nodiscard]] double uniform(double lo, double hi);
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
   // Integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   // Distributions ------------------------------------------------------
-  [[nodiscard]] bool bernoulli(double p);
+  [[nodiscard]] bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
   // Exponential with the given mean (not rate).
   [[nodiscard]] double exponential(double mean);
   [[nodiscard]] double normal(double mean, double stddev);
@@ -57,6 +87,7 @@ class Rng {
 
  private:
   Rng() = default;
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
   std::array<std::uint64_t, 4> s_{};
   // Cached second normal variate from the Box-Muller pair.
   double spare_normal_ = 0.0;

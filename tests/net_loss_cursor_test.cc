@@ -1,0 +1,193 @@
+// Pins the amortized-O(1) cursor fast paths against the retained
+// binary-search reference implementations (loss_process.h "Hot path").
+//
+// The contract under test: for any roughly-monotone query stream (each
+// query lags the furthest query by at most kQuerySafety), the cursor
+// lookups return results bit-identical to the reference lookups. The
+// fuzz tests drive randomized streams -- forward steps, back-to-back
+// repeats, and backward jumps up to the safety bound -- through both
+// implementations on the same objects and assert equality at every step.
+
+#include "net/loss_process.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ronpath {
+namespace {
+
+// A busy component: bursts, episodes, outages, diurnal swing, and a set
+// of overlapping static boosts, so every lookup path is exercised.
+ComponentParams busy_params() {
+  ComponentParams p;
+  p.base_loss = 0.002;
+  p.bursts_per_hour = 90.0;
+  p.burst_drop_prob = 0.7;
+  p.burst_median = Duration::seconds(2);
+  p.episodes_per_day = 48.0;
+  p.episode_mean = Duration::minutes(5);
+  p.episode_loss_rate = 0.05;
+  p.outages_per_month = 200.0;
+  p.outage_mean = Duration::minutes(1);
+  p.diurnal_amplitude = 0.35;
+  return p;
+}
+
+std::vector<StateInterval> overlapping_boosts() {
+  std::vector<StateInterval> boosts;
+  for (int i = 0; i < 12; ++i) {
+    const TimePoint s = TimePoint::epoch() + Duration::minutes(5 + i * 7);
+    boosts.push_back({s, s + Duration::minutes(10), 1.0 + 0.25 * i});
+  }
+  return boosts;
+}
+
+// Advances a roughly-monotone stream: mostly forward millisecond steps,
+// occasional zero steps (probe pairs) and backward jumps within safety.
+TimePoint next_query(Rng& rng, TimePoint t, TimePoint furthest) {
+  const std::uint64_t kind = rng.next_below(16);
+  if (kind == 0) return t;  // exact repeat
+  if (kind <= 2) {
+    // Backward jump, clamped to the safety window behind the furthest
+    // query so the contract is respected.
+    const Duration back = Duration::millis(static_cast<std::int64_t>(rng.next_below(29'000)));
+    TimePoint jump = t - back;
+    const TimePoint floor = furthest - kQuerySafety;
+    return jump < floor ? floor : jump;
+  }
+  return t + Duration::millis(static_cast<std::int64_t>(1 + rng.next_below(40)));
+}
+
+TEST(CursorFuzz, SampleMatchesReferenceOnRandomStreams) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    ComponentProcess cp(busy_params(), -71.1, overlapping_boosts(), Rng(seed));
+    Rng stream(seed ^ 0xf00d);
+    TimePoint t = TimePoint::epoch() + Duration::seconds(1);
+    TimePoint furthest = t;
+    for (int i = 0; i < 20'000; ++i) {
+      // Interleave: the cursor path and the reference path must agree on
+      // the same object regardless of which ran last (generation and
+      // pruning side effects are shared; only the lookups differ).
+      const ComponentSample a = cp.sample(t);
+      const ComponentSample b = cp.sample_reference(t);
+      ASSERT_EQ(a, b) << "seed " << seed << " step " << i << " t="
+                      << t.seconds_since_epoch_f();
+      t = next_query(stream, t, furthest);
+      if (t > furthest) furthest = t;
+    }
+  }
+}
+
+TEST(CursorFuzz, ReferenceFirstOrderAlsoMatches) {
+  // Same stream, but the reference lookup runs first each step, so the
+  // cursor path starts cold after every backward jump.
+  ComponentProcess cp(busy_params(), 9.0, overlapping_boosts(), Rng(99));
+  Rng stream(0xabcdef);
+  TimePoint t = TimePoint::epoch() + Duration::seconds(1);
+  TimePoint furthest = t;
+  for (int i = 0; i < 20'000; ++i) {
+    const ComponentSample b = cp.sample_reference(t);
+    const ComponentSample a = cp.sample(t);
+    ASSERT_EQ(a, b) << "step " << i;
+    t = next_query(stream, t, furthest);
+    if (t > furthest) furthest = t;
+  }
+}
+
+TEST(CursorFuzz, ValueAtMatchesReferenceAcrossPruning) {
+  LazyIntervalProcess p(Duration::seconds(40), Duration::seconds(15), 3.0, Rng(7));
+  Rng stream(0x5eed);
+  TimelineCursor cursor;
+  TimePoint t = TimePoint::epoch();
+  TimePoint furthest = t;
+  for (int i = 0; i < 50'000; ++i) {
+    p.generate_until(t + kGenLookahead);
+    ASSERT_EQ(p.value_at(t, cursor), p.value_at_reference(t)) << "step " << i;
+    // The internal-cursor overload must agree too.
+    ASSERT_EQ(p.value_at(t), p.value_at_reference(t)) << "step " << i;
+    if (i % 64 == 63) p.prune_before(furthest - kQuerySafety);
+    t = next_query(stream, t, furthest);
+    if (t > furthest) furthest = t;
+  }
+}
+
+TEST(CursorFuzz, SeparateCursorsDoNotInterfere) {
+  // Two cursors on the same timeline, driven at very different paces
+  // (packet time vs. generation lookahead): each must stay correct.
+  LazyIntervalProcess p(Duration::seconds(30), Duration::seconds(10), 2.0, Rng(21));
+  p.generate_until(TimePoint::epoch() + Duration::hours(2));
+  TimelineCursor slow;
+  TimelineCursor fast;
+  for (int i = 0; i < 5'000; ++i) {
+    const TimePoint t_slow = TimePoint::epoch() + Duration::millis(i * 40);
+    const TimePoint t_fast = t_slow + kGenLookahead;
+    ASSERT_EQ(p.value_at(t_slow, slow), p.value_at_reference(t_slow));
+    ASSERT_EQ(p.value_at(t_fast, fast), p.value_at_reference(t_fast));
+  }
+}
+
+TEST(CursorFuzz, NextEdgeAfterBoundsConstantValue) {
+  LazyIntervalProcess p(Duration::seconds(25), Duration::seconds(8), 5.0, Rng(3));
+  p.generate_until(TimePoint::epoch() + Duration::hours(1));
+  TimelineCursor cursor;
+  TimelineCursor probe;
+  TimePoint t = TimePoint::epoch();
+  while (t < TimePoint::epoch() + Duration::minutes(50)) {
+    const TimePoint edge = p.next_edge_after(t, cursor);
+    ASSERT_GT(edge, t);
+    const double v = p.value_at_reference(t);
+    // The value is constant on [t, edge): check interior points.
+    const Duration span = edge - t;
+    for (int k = 1; k <= 3; ++k) {
+      const TimePoint mid = t + span * k / 4;
+      ASSERT_EQ(p.value_at_reference(mid), v) << "t=" << t.seconds_since_epoch_f();
+      ASSERT_EQ(p.value_at(mid, probe), v);
+    }
+    t = edge;
+  }
+}
+
+TEST(BoostFlattening, SegmentsMatchReferenceProduct) {
+  const std::vector<StateInterval> boosts = overlapping_boosts();
+  const std::vector<BoostSegment> segs = flatten_boosts(boosts);
+  ASSERT_FALSE(segs.empty());
+  // Dense scan: the flattened segment lookup must equal the reference
+  // product at every instant, including exactly at the boundaries.
+  Rng rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    const TimePoint t =
+        TimePoint::epoch() + Duration::millis(static_cast<std::int64_t>(rng.next_below(
+                                 static_cast<std::uint64_t>(Duration::minutes(120).count_nanos() /
+                                                            1'000'000))));
+    // Segment lookup: last segment starting at or before t.
+    double flat = 1.0;
+    for (const auto& seg : segs) {
+      if (seg.start > t) break;
+      flat = seg.value;
+    }
+    ASSERT_EQ(flat, boost_at_reference(boosts, t)) << "t=" << t.seconds_since_epoch_f();
+  }
+  for (const auto& seg : segs) {
+    ASSERT_EQ(seg.value, boost_at_reference(boosts, seg.start));
+  }
+}
+
+TEST(CursorFuzz, EmptyTimelineStaysEmptyCheap) {
+  // A process whose first arrival is far beyond any query: lookups must
+  // agree (and return 0) without generating anything.
+  LazyIntervalProcess p(Duration::days(3650), Duration::seconds(5), 1.0, Rng(4));
+  TimelineCursor cursor;
+  for (int i = 0; i < 1'000; ++i) {
+    const TimePoint t = TimePoint::epoch() + Duration::seconds(i);
+    p.generate_until(t + kGenLookahead);
+    ASSERT_EQ(p.value_at(t, cursor), 0.0);
+    ASSERT_EQ(p.value_at_reference(t), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ronpath
