@@ -24,6 +24,9 @@ std::string_view to_string(Dataset d) {
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  if (cfg.path_depth < 1 || cfg.path_depth > 2) {
+    throw std::invalid_argument("path_depth must be 1 or 2 (forwarding carries <= 2 relays)");
+  }
   const bool is_2003 = cfg.dataset == Dataset::kRon2003;
   Topology topo = is_2003 ? testbed_2003() : testbed_2002();
   if (cfg.node_count && *cfg.node_count < topo.size()) {
@@ -52,6 +55,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     overlay_cfg.host_failures_per_month = *cfg.host_failures_per_month;
   }
   overlay_cfg.use_ewma_loss = cfg.use_ewma_loss;
+  overlay_cfg.router.max_intermediates = cfg.path_depth;
   if (cfg.graceful_degradation) {
     // Entries expire after five missed publications; flapping vias serve
     // a doubling hold-down starting at two probe intervals.

@@ -2,26 +2,33 @@
 
 #include <cassert>
 
-namespace ronpath {
-namespace {
+#include "overlay/path_engine.h"
 
-double link_loss(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
+namespace ronpath {
+
+double link_loss(const LinkMetrics& m, const RouterConfig& cfg, bool expired) {
   // Expired entries degrade to "unknown", not to their last value: a
   // stale "0.1% loss" (or a stale down flag) is exactly the garbage the
   // degradation policy exists to stop routing on.
-  if (entry_expired(m, cfg, now)) return cfg.unknown_loss;
+  if (expired) return cfg.unknown_loss;
   // Down links lose everything for selection purposes.
   if (m.down) return 1.0;
   return m.loss;
 }
 
-Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
-  if (entry_expired(m, cfg, now)) return Duration::max();
+double link_loss(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
+  return link_loss(m, cfg, entry_expired(m, cfg, now));
+}
+
+Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg, bool expired) {
+  if (expired) return Duration::max();
   if (m.down) return cfg.down_penalty;
   return m.latency;  // Duration::max() when never measured
 }
 
-}  // namespace
+Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
+  return link_latency(m, cfg, entry_expired(m, cfg, now));
+}
 
 bool entry_expired(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
   if (cfg.entry_ttl <= Duration::zero()) return false;
@@ -83,7 +90,14 @@ bool path_down(const LinkStateTable& table, const PathSpec& path) {
 Router::Router(NodeId self, const LinkStateTable& table, RouterConfig cfg)
     : self_(self), table_(table), cfg_(cfg),
       loss_incumbent_(table.size()), lat_incumbent_(table.size()),
-      loss_switches_(table.size(), 0), lat_switches_(table.size(), 0) {}
+      loss_switches_(table.size(), 0), lat_switches_(table.size(), 0) {
+  // The forwarding plane carries at most two relays.
+  if (cfg_.max_intermediates < 1) cfg_.max_intermediates = 1;
+  if (cfg_.max_intermediates > 2) cfg_.max_intermediates = 2;
+  engine_ = std::make_unique<PathEngine>(table_, cfg_);
+}
+
+Router::~Router() = default;
 
 std::vector<NodeId> Router::live_intermediates(NodeId dst) const {
   std::vector<NodeId> out;
@@ -142,6 +156,20 @@ void Router::count_switch(std::vector<std::int64_t>& counters, NodeId dst, const
   if (inc.path && *inc.path != chosen) ++counters[dst];
 }
 
+const std::vector<bool>* Router::holddown_mask(NodeId dst, TimePoint now) {
+  if (cfg_.holddown_base <= Duration::zero() || holddown_.empty()) return nullptr;
+  const std::size_t n = table_.size();
+  excluded_scratch_.assign(n, false);
+  bool any = false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (held_down(dst, v, now)) {
+      excluded_scratch_[v] = true;
+      any = true;
+    }
+  }
+  return any ? &excluded_scratch_ : nullptr;
+}
+
 PathChoice Router::evaluate_loss(NodeId dst, Incumbent& inc, TimePoint now) {
   const PathSpec direct{self_, dst, kDirectVia};
 
@@ -160,13 +188,13 @@ PathChoice Router::evaluate_loss(NodeId dst, Incumbent& inc, TimePoint now) {
     register_down(dst, *inc.path, now);
   }
 
-  PathChoice best{direct, path_loss_estimate(table_, direct, cfg_, now), Duration::zero()};
-  for (NodeId v : live_intermediates(dst)) {
-    if (held_down(dst, v, now)) continue;
-    const PathSpec p{self_, dst, v};
-    const double l = path_loss_estimate(table_, p, cfg_, now) + cfg_.indirect_loss_penalty;
-    if (l < best.loss) best = PathChoice{p, l, Duration::zero()};
-  }
+  // Candidate scan via the path engine. At max_intermediates == 1 the
+  // lazy query is the same O(N) sweep (and the same composition and
+  // tie-break expressions) as the historical inline loop; at 2 it also
+  // relaxes two-relay chains, each relay charged indirect_loss_penalty.
+  const EngineChoice cand =
+      engine_->best_loss(self_, dst, cfg_.max_intermediates, now, holddown_mask(dst, now));
+  PathChoice best{cand.path.to_spec(self_, dst), cand.loss, Duration::zero()};
 
   // Hysteresis: keep the incumbent while it is close to the best.
   if (inc.path && !held_down(dst, inc.path->via, now)) {
@@ -195,14 +223,9 @@ PathChoice Router::evaluate_lat(NodeId dst, Incumbent& inc, TimePoint now) {
     register_down(dst, *inc.path, now);
   }
 
-  PathChoice best{direct, 0.0, path_latency_estimate(table_, direct, cfg_, now)};
-  for (NodeId v : live_intermediates(dst)) {
-    if (held_down(dst, v, now)) continue;
-    const PathSpec p{self_, dst, v};
-    Duration d = path_latency_estimate(table_, p, cfg_, now);
-    if (d != Duration::max()) d += cfg_.indirect_lat_penalty;
-    if (d < best.latency) best = PathChoice{p, 0.0, d};
-  }
+  const EngineChoice cand =
+      engine_->best_latency(self_, dst, cfg_.max_intermediates, now, holddown_mask(dst, now));
+  PathChoice best{cand.path.to_spec(self_, dst), 0.0, cand.latency};
 
   if (inc.path && best.latency != Duration::max() && !held_down(dst, inc.path->via, now)) {
     const Duration inc_lat = path_latency_estimate(table_, *inc.path, cfg_, now);
@@ -221,24 +244,17 @@ PathChoice Router::evaluate_lat(NodeId dst, Incumbent& inc, TimePoint now) {
   return best;
 }
 
-PathChoice Router::best_loss_path_two_hop(NodeId dst) const {
+PathChoice Router::best_loss_path_two_hop(NodeId dst, TimePoint now) const {
   assert(dst < table_.size() && dst != self_);
-  const PathSpec direct{self_, dst, kDirectVia};
-  PathChoice best{direct, path_loss_estimate(table_, direct), Duration::zero()};
-  const auto vias = live_intermediates(dst);
-  for (NodeId v1 : vias) {
-    const PathSpec one{self_, dst, v1};
-    const double l1 = path_loss_estimate(table_, one) + cfg_.indirect_loss_penalty;
-    if (l1 < best.loss) best = PathChoice{one, l1, Duration::zero()};
-    for (NodeId v2 : vias) {
-      if (v2 == v1) continue;
-      const PathSpec two{self_, dst, v1, v2};
-      // A second forwarding hop costs a second penalty.
-      const double l2 = path_loss_estimate(table_, two) + 2.0 * cfg_.indirect_loss_penalty;
-      if (l2 < best.loss) best = PathChoice{two, l2, Duration::zero()};
-    }
-  }
-  best.latency = path_latency_estimate(table_, best.path, cfg_);
+  // Engine query at two rounds; each relay is charged
+  // indirect_loss_penalty, so a two-relay chain pays the historical
+  // 2 * penalty. `now` drives the staleness policy (the historical
+  // overload trusted entries forever only because entry_ttl defaulted
+  // to zero; with a TTL configured, stale entries now degrade here just
+  // as they do in best_loss_path).
+  const EngineChoice cand = engine_->best_loss(self_, dst, 2, now);
+  PathChoice best{cand.path.to_spec(self_, dst), cand.loss, Duration::zero()};
+  best.latency = path_latency_estimate(table_, best.path, cfg_, now);
   return best;
 }
 

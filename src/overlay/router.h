@@ -26,6 +26,7 @@
 #ifndef RONPATH_OVERLAY_ROUTER_H_
 #define RONPATH_OVERLAY_ROUTER_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -34,6 +35,8 @@
 #include "util/time.h"
 
 namespace ronpath {
+
+class PathEngine;
 
 struct RouterConfig {
   // Loss hysteresis: switch only if challenger_loss <
@@ -73,6 +76,13 @@ struct RouterConfig {
   Duration holddown_base = Duration::zero();
   Duration holddown_max = Duration::minutes(5);
   Duration holddown_reset = Duration::minutes(10);
+
+  // Maximum overlay relays the reactive router may select (path-engine
+  // rounds). 1 reproduces the paper's one-intermediate router; 2 lets
+  // route() emit two-relay paths. The forwarding plane carries at most
+  // two relays, so values are clamped to [1, 2] here; deeper search is
+  // available through PathEngine directly.
+  int max_intermediates = 1;
 };
 
 struct PathChoice {
@@ -86,6 +96,19 @@ struct PathChoice {
 // True when an entry should be treated as unknown under the config's
 // staleness policy at time `now` (always false with entry_ttl == 0).
 [[nodiscard]] bool entry_expired(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now);
+
+// Effective per-link selection metrics under the staleness policy:
+// expired entries degrade to unknown (pessimistic loss, unusable
+// latency), down links lose everything / cost down_penalty. These are
+// the single source of truth for both the legacy path estimates and the
+// path engine's relaxation, so the two compose identically.
+[[nodiscard]] double link_loss(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now);
+[[nodiscard]] Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now);
+// Overloads taking a precomputed expiry verdict; the engine's shared
+// tables cache entry_expired() per entry so incremental updates need
+// not re-derive it per relaxation.
+[[nodiscard]] double link_loss(const LinkMetrics& m, const RouterConfig& cfg, bool expired);
+[[nodiscard]] Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg, bool expired);
 
 // Composed one-way loss estimate of a path under the table's current view.
 // Handles direct, one-hop and two-hop paths. The `now`-aware overload
@@ -107,6 +130,7 @@ struct PathChoice {
 class Router {
  public:
   Router(NodeId self, const LinkStateTable& table, RouterConfig cfg);
+  ~Router();  // out of line: PathEngine is incomplete here
 
   // Best path choices under each objective; re-evaluated on demand.
   // `now` drives the staleness and hold-down policies; with those knobs
@@ -132,9 +156,14 @@ class Router {
 
   // Scaling extension: best loss path allowing up to two intermediates
   // (the paper's one-intermediate router generalized). O(N^2) per call
-  // and stateless (no hysteresis); intended for analysis and ablations,
-  // not the per-packet fast path.
-  [[nodiscard]] PathChoice best_loss_path_two_hop(NodeId dst) const;
+  // and stateless (no hysteresis, no hold-down); intended for analysis
+  // and ablations, not the per-packet fast path. `now` drives the
+  // staleness policy so graceful-degradation runs cannot relay through
+  // stale entries; the historical default (epoch) still treats
+  // never-published entries as unknown rather than perfect when
+  // entry_ttl is enabled.
+  [[nodiscard]] PathChoice best_loss_path_two_hop(NodeId dst,
+                                                  TimePoint now = TimePoint::epoch()) const;
 
   // Candidate intermediates that currently seem up (excludes self, dst).
   [[nodiscard]] std::vector<NodeId> live_intermediates(NodeId dst) const;
@@ -151,6 +180,9 @@ class Router {
 
   [[nodiscard]] PathChoice evaluate_loss(NodeId dst, Incumbent& inc, TimePoint now);
   [[nodiscard]] PathChoice evaluate_lat(NodeId dst, Incumbent& inc, TimePoint now);
+  // Builds the per-destination hold-down exclusion mask for the engine;
+  // returns nullptr when no hold-down can be active (the common case).
+  [[nodiscard]] const std::vector<bool>* holddown_mask(NodeId dst, TimePoint now);
   // Registers a down event on the incumbent's via, escalating hold-down.
   void register_down(NodeId dst, const PathSpec& path, TimePoint now);
   void count_switch(std::vector<std::int64_t>& counters, NodeId dst, const Incumbent& inc,
@@ -165,6 +197,11 @@ class Router {
   std::vector<std::int64_t> loss_switches_;  // per destination
   std::vector<std::int64_t> lat_switches_;
   std::vector<Holddown> holddown_;  // (dst, via) keyed; lazily sized
+  // Candidate evaluation kernel (owned; scratch state only, so const
+  // queries may use it). unique_ptr keeps router.h free of the engine
+  // header.
+  std::unique_ptr<PathEngine> engine_;
+  std::vector<bool> excluded_scratch_;
 };
 
 }  // namespace ronpath

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "overlay/path_engine.h"
 #include "overlay/router.h"
 
 namespace ronpath {
@@ -16,33 +17,33 @@ std::string_view to_string(HybridMode mode) {
 }
 
 HybridSender::HybridSender(OverlayNetwork& overlay, HybridConfig cfg, Rng rng)
-    : overlay_(overlay), cfg_(cfg), rng_(rng.fork("hybrid")) {}
+    : overlay_(overlay), cfg_(cfg), rng_(rng.fork("hybrid")) {
+  alt_cfg_.indirect_loss_penalty = 0.0;  // disjointness, not preference
+  // entry_ttl stays zero: the historical alternate scan trusted entries
+  // forever regardless of the router's degradation policy.
+  alt_engine_ = std::make_unique<PathEngine>(overlay_.table(), alt_cfg_);
+}
+
+HybridSender::~HybridSender() = default;
 
 PathSpec HybridSender::alternate_path(NodeId src, NodeId dst, const PathSpec& primary) {
   // Best loss-estimate path whose intermediate differs from the primary's
   // (and from the direct path when the primary is direct: true one-hop
   // disjointness beyond the unavoidable shared edges).
-  const LinkStateTable& table = overlay_.table();
-  PathSpec best{src, dst, kDirectVia};
-  double best_loss = 2.0;
+  const std::vector<bool>* excluded = nullptr;
   if (!primary.is_direct()) {
-    // Direct is available as the alternate.
-    best_loss = path_loss_estimate(table, best);
+    alt_excluded_.assign(overlay_.table().size(), false);
+    alt_excluded_[primary.via] = true;
+    excluded = &alt_excluded_;
   }
-  for (NodeId v : overlay_.router(src).live_intermediates(dst)) {
-    if (!primary.is_direct() && v == primary.via) continue;
-    const PathSpec p{src, dst, v};
-    const double l = path_loss_estimate(table, p);
-    if (l < best_loss) {
-      best_loss = l;
-      best = p;
-    }
-  }
-  if (best_loss > 1.5) {
+  const EngineChoice cand =
+      alt_engine_->best_loss(src, dst, /*max_hops=*/1, TimePoint::epoch(), excluded,
+                             /*include_direct=*/!primary.is_direct());
+  if (!cand.valid) {
     // No candidate at all (tiny overlays): fall back to a random pick.
     return overlay_.route(src, dst, RouteTag::kRand);
   }
-  return best;
+  return cand.path.to_spec(src, dst);
 }
 
 HybridOutcome HybridSender::send(NodeId src, NodeId dst, TimePoint now) {

@@ -25,12 +25,15 @@
 #define RONPATH_ROUTING_HYBRID_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "overlay/overlay.h"
 #include "routing/multipath.h"
 #include "util/rng.h"
 
 namespace ronpath {
+
+class PathEngine;
 
 enum class HybridMode : std::uint8_t {
   kBestPath,
@@ -60,6 +63,7 @@ struct HybridOutcome {
 class HybridSender {
  public:
   HybridSender(OverlayNetwork& overlay, HybridConfig cfg, Rng rng);
+  ~HybridSender();  // out of line: PathEngine is incomplete here
 
   // Sends one application packet from src to dst at `now` under the
   // configured policy.
@@ -78,6 +82,14 @@ class HybridSender {
   OverlayNetwork& overlay_;
   HybridConfig cfg_;
   Rng rng_;
+  // Alternate-path selection runs on the shared path engine with a
+  // penalty-free, trust-forever view (raw composed loss, no
+  // indirect-path handicap: the second copy exists for disjointness,
+  // not because it looks better than the primary). Declared before the
+  // engine, which holds a reference to it.
+  RouterConfig alt_cfg_;
+  std::unique_ptr<PathEngine> alt_engine_;
+  std::vector<bool> alt_excluded_;
   std::int64_t packets_ = 0;
   std::int64_t copies_ = 0;
   std::int64_t duplicated_ = 0;

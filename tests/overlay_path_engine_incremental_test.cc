@@ -1,0 +1,144 @@
+// Incremental re-relaxation property test: after every single-entry
+// mutation (republished metrics via apply_update, staleness-anchor
+// moves via set_now), the incrementally maintained label tables must be
+// identical — value and parent, both objectives, every round — to a
+// from-scratch relax_all on the same state. Any divergence means the
+// dirty-set propagation missed an affected label (or touched one it
+// should not have rewritten the same way).
+
+#include "overlay/path_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "overlay/link_state.h"
+#include "overlay/router.h"
+#include "util/rng.h"
+
+namespace ronpath {
+namespace {
+
+LinkMetrics random_metrics(Rng& rng, TimePoint now) {
+  LinkMetrics m;
+  switch (rng.next_below(5)) {
+    case 0: m.loss = 0.0; break;
+    case 1: m.loss = 0.5; break;
+    case 2: m.loss = 1.0; break;
+    default: m.loss = rng.next_double(); break;
+  }
+  m.latency = rng.bernoulli(0.2)
+                  ? Duration::max()
+                  : Duration::micros(rng.uniform_int(50, 500'000));
+  m.has_latency = m.latency != Duration::max();
+  m.down = rng.bernoulli(0.2);
+  if (rng.bernoulli(0.15)) {
+    m.samples = 0;  // empty window: expires under a TTL
+  } else {
+    m.samples = 100;
+    m.published = now - Duration::seconds(static_cast<std::int64_t>(rng.next_below(150)));
+  }
+  return m;
+}
+
+void compare_all_labels(const PathEngine& inc, const PathEngine& scratch, std::size_t n, int k) {
+  for (int r = 0; r <= k; ++r) {
+    for (NodeId w = 0; w < n; ++w) {
+      SCOPED_TRACE("round " + std::to_string(r) + " node " + std::to_string(w));
+      ASSERT_EQ(inc.loss_parent(r, w), scratch.loss_parent(r, w));
+      ASSERT_EQ(inc.loss_label(r, w), scratch.loss_label(r, w));
+      ASSERT_EQ(inc.lat_parent(r, w), scratch.lat_parent(r, w));
+      ASSERT_EQ(inc.lat_label(r, w), scratch.lat_label(r, w));
+    }
+  }
+}
+
+TEST(PathEngineIncremental, MutationStreamMatchesScratchRecompute) {
+  Rng rng(0xc2b2ae3d27d4eb4fULL);
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto n = static_cast<NodeId>(4 + rng.next_below(6));
+    RouterConfig cfg;
+    cfg.indirect_loss_penalty = rng.bernoulli(0.5) ? 0.03 : 0.0;
+    cfg.entry_ttl = rng.bernoulli(0.7) ? Duration::seconds(60) : Duration::zero();
+    cfg.unknown_loss = 0.35;
+    TimePoint now = TimePoint::epoch() + Duration::seconds(200);
+
+    LinkStateTable table(n);
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        if (a != b && rng.bernoulli(0.8)) table.publish(a, b, random_metrics(rng, now));
+      }
+    }
+
+    const auto src = static_cast<NodeId>(rng.next_below(n));
+    const int k = static_cast<int>(1 + rng.next_below(3));
+    PathEngine inc(table, cfg);
+    PathEngine scratch(table, cfg);
+    inc.relax_all(src, k, now);
+
+    for (int step = 0; step < 50; ++step) {
+      SCOPED_TRACE("step " + std::to_string(step));
+      if (rng.bernoulli(0.25)) {
+        // Move the staleness anchor forward; entries expire in bulk.
+        now += Duration::seconds(static_cast<std::int64_t>(1 + rng.next_below(90)));
+        inc.set_now(now);
+      } else {
+        // Republish one directed entry (sometimes as newly-expired or
+        // down, flipping the endpoint's liveness).
+        const auto from = static_cast<NodeId>(rng.next_below(n));
+        auto to = static_cast<NodeId>(rng.next_below(n));
+        if (to == from) to = static_cast<NodeId>((to + 1) % n);
+        table.publish(from, to, random_metrics(rng, now));
+        inc.apply_update(from, to);
+      }
+      scratch.relax_all(src, k, now);
+      compare_all_labels(inc, scratch, n, k);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Incremental updates must not silently degrade into full recomputes:
+// a single republished entry in a quiet corner of a larger table
+// re-relaxes a bounded neighborhood, not every label.
+TEST(PathEngineIncremental, SingleUpdateTouchesBoundedWork) {
+  const NodeId n = 60;
+  RouterConfig cfg;
+  LinkStateTable table(n);
+  LinkMetrics m;
+  m.latency = Duration::millis(40);
+  m.has_latency = true;
+  m.samples = 100;
+  m.published = TimePoint::epoch();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // Node 41 is a poor relay (lossy egress), so its label never
+      // feeds round-2 parents and its neighborhood stays small.
+      m.loss = a == 41 ? 0.5 : 0.01;
+      table.publish(a, b, m);
+    }
+  }
+  PathEngine engine(table, cfg);
+  engine.relax_all(0, 2, TimePoint::epoch());
+  const std::uint64_t full_edges = engine.stats().edges_relaxed;
+
+  // Make (40, 41) the best ingress to 41, then worsen it again: the
+  // second update invalidates 41's recorded parent, forcing one label
+  // rescan plus its round-2 ripple — a bounded neighborhood, not the
+  // full table.
+  m.loss = 0.001;
+  table.publish(40, 41, m);
+  engine.apply_update(40, 41);
+  ASSERT_EQ(engine.loss_parent(1, 41), 40);
+  m.loss = 0.02;
+  table.publish(40, 41, m);
+  engine.reset_stats();
+  engine.apply_update(40, 41);
+  EXPECT_GT(engine.stats().labels_rescanned, 0u);
+  EXPECT_LT(engine.stats().edges_relaxed, full_edges / 4);
+}
+
+}  // namespace
+}  // namespace ronpath
