@@ -145,6 +145,18 @@ struct BenchArgs {
   }
 };
 
+// Opens `path` for writing or exits 2 with a diagnostic. Benches must
+// fail loudly when a --csv/--out path is unwritable instead of printing
+// the table and silently dropping the file.
+inline void open_output_or_die(std::ofstream& os, const std::string& path) {
+  os.open(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open \"%s\" for writing: %s\n", path.c_str(),
+                 std::strerror(errno));
+    std::exit(2);
+  }
+}
+
 // Renders a loss table (Table 5 / Table 7 shape).
 inline void print_loss_table(const std::vector<LossTableRow>& rows, bool round_trip) {
   std::cout << render_loss_table(rows, round_trip);

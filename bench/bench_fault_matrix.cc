@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   std::fputs(format_fault_matrix(result, selected).c_str(), stdout);
 
   if (!args.csv_path.empty()) {
-    std::ofstream csv_file(args.csv_path);
+    std::ofstream csv_file;
+    bench::open_output_or_die(csv_file, args.csv_path);
     CsvWriter csv(csv_file);
     csv.row({"scenario", "scheme", "loss_pre_pct", "loss_fault_pct", "loss_post_pct",
              "failover_s", "recovery_s", "overhead", "route_switches", "injected_drops"});

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "core/testbed.h"
 #include "event/scheduler.h"
 #include "net/network.h"
@@ -128,7 +129,7 @@ int main(int argc, char** argv) {
   std::ofstream csv_os;
   std::unique_ptr<CsvWriter> csv;
   if (!csv_path.empty()) {
-    csv_os.open(csv_path);
+    bench::open_output_or_die(csv_os, csv_path);
     csv = std::make_unique<CsvWriter>(csv_os);
     csv->row({"striping", "spacing_ms", "residual_loss_pct", "wire_loss_pct"});
   }

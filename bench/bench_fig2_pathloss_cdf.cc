@@ -59,7 +59,8 @@ int main(int argc, char** argv) {
               100.0 * frac_below(loss2002, 1.0), loss2002.empty() ? 0.0 : loss2002.back());
 
   if (!args.csv_path.empty()) {
-    std::ofstream os(args.csv_path);
+    std::ofstream os;
+    bench::open_output_or_die(os, args.csv_path);
     CsvWriter csv(os);
     csv.row({"dataset", "loss_percent", "cdf"});
     for (std::size_t i = 0; i < loss2003.size(); ++i) {

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   std::ofstream csv_os;
   std::unique_ptr<CsvWriter> csv;
   if (!args.csv_path.empty()) {
-    csv_os.open(args.csv_path);
+    bench::open_output_or_die(csv_os, args.csv_path);
     csv = std::make_unique<CsvWriter>(csv_os);
     csv->row({"method", "loss_rate", "cdf"});
   }

@@ -86,7 +86,8 @@ int main(int argc, char** argv) {
               crossover_flow_bytes_per_sec(op) / 1e3);
 
   if (!args.csv_path.empty()) {
-    std::ofstream os(args.csv_path);
+    std::ofstream os;
+    bench::open_output_or_die(os, args.csv_path);
     CsvWriter csv(os);
     csv.row({"improvement", "data_capacity", "region", "reactive_cheaper"});
     for (const auto& pt : ds.grid(41, 41)) {

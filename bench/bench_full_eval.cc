@@ -155,7 +155,8 @@ int main(int argc, char** argv) {
                 params.independence_limit, redundant_cheaper);
 
     if (!args.csv_path.empty()) {
-      std::ofstream os(args.csv_path);
+      std::ofstream os;
+      bench::open_output_or_die(os, args.csv_path);
       CsvWriter csv(os);
       csv.row({"dataset", "type", "1lp", "1lp_ci", "2lp", "2lp_ci", "totlp", "totlp_ci", "clp",
                "clp_ci", "lat_ms", "lat_ms_ci", "samples"});
@@ -204,7 +205,8 @@ int main(int argc, char** argv) {
               params.independence_limit, redundant_cheaper);
 
   if (!args.csv_path.empty()) {
-    std::ofstream os(args.csv_path);
+    std::ofstream os;
+    bench::open_output_or_die(os, args.csv_path);
     CsvWriter csv(os);
     csv.row({"type", "1lp", "2lp", "totlp", "clp", "lat_ms"});
     for (const auto& r : rows) {

@@ -30,6 +30,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -354,7 +355,8 @@ int run(int argc, char** argv) {
   if (!out_path.empty()) {
     std::FILE* f = std::fopen(out_path.c_str(), "w");
     if (!f) {
-      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      std::fprintf(stderr, "cannot open \"%s\" for writing: %s\n", out_path.c_str(),
+                   std::strerror(errno));
       return 2;
     }
     emit_json(f, r, label);

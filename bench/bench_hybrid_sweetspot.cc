@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "core/testbed.h"
 #include "event/scheduler.h"
 #include "net/network.h"
@@ -108,7 +109,8 @@ int main(int argc, char** argv) {
               "2x price only inside detected elevated-loss periods.\n");
 
   if (!csv_path.empty()) {
-    std::ofstream os(csv_path);
+    std::ofstream os;
+    bench::open_output_or_die(os, csv_path);
     CsvWriter csv(os);
     csv.row({"policy", "loss_pct", "overhead", "duplicated_pct"});
     for (const auto& r : rows) {

@@ -22,7 +22,8 @@ namespace {
 
 void dump_csv(const std::string& path, const std::vector<LossTableRow>& rows2003,
               const std::vector<LossTableRow>& rows2002) {
-  std::ofstream os(path);
+  std::ofstream os;
+  bench::open_output_or_die(os, path);
   CsvWriter csv(os);
   csv.row({"dataset", "type", "1lp", "2lp", "totlp", "clp", "lat_ms", "samples"});
   auto emit = [&](const char* ds, const std::vector<LossTableRow>& rows) {
@@ -40,7 +41,8 @@ void dump_csv(const std::string& path, const std::vector<LossTableRow>& rows2003
 void dump_csv_ci(const std::string& path, const bench::BenchArgs& args,
                  const TrialsResult& trials2003, const CrossTrial& ct2003,
                  const CrossTrial& ct2002) {
-  std::ofstream os(path);
+  std::ofstream os;
+  bench::open_output_or_die(os, path);
   CsvWriter csv(os);
   csv.row({"dataset", "type", "1lp", "1lp_ci", "2lp", "2lp_ci", "totlp", "totlp_ci", "clp",
            "clp_ci", "lat_ms", "lat_ms_ci", "samples"});

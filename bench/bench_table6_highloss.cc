@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
               "(*loss probes detect more shallow-loss hours while avoiding deep ones)\n");
 
   if (!args.csv_path.empty()) {
-    std::ofstream os(args.csv_path);
+    std::ofstream os;
+    bench::open_output_or_die(os, args.csv_path);
     CsvWriter csv(os);
     std::vector<std::string> header = {"threshold"};
     for (PairScheme s : table.schemes) header.emplace_back(to_string(s));

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
     bench::print_loss_table_ci(ct.rows, /*round_trip=*/true);
 
     if (!args.csv_path.empty()) {
-      std::ofstream os(args.csv_path);
+      std::ofstream os;
+      bench::open_output_or_die(os, args.csv_path);
       CsvWriter csv(os);
       csv.row({"dataset", "type", "1lp", "1lp_ci", "2lp", "2lp_ci", "totlp", "totlp_ci", "clp",
                "clp_ci", "rtt_ms", "rtt_ms_ci", "samples"});
@@ -73,7 +74,8 @@ int main(int argc, char** argv) {
               rnd.lat_ms > dir.lat_ms + 20 ? "yes" : "NO", rnd.lat_ms, dir.lat_ms);
 
   if (!args.csv_path.empty()) {
-    std::ofstream os(args.csv_path);
+    std::ofstream os;
+    bench::open_output_or_die(os, args.csv_path);
     CsvWriter csv(os);
     csv.row({"type", "1lp", "2lp", "totlp", "clp", "rtt_ms"});
     for (const auto& r : rows) {

@@ -111,6 +111,19 @@ FaultCell run_fault_cell(const Scenario& scenario, FaultScheme scheme,
   }
   sched.run_until(end);
 
+  FaultCell cell = analyze_fault_cell(scenario, cfg, delivered);
+  cell.overhead = (scheme == FaultScheme::kMesh || scheme == FaultScheme::kHybrid)
+                      ? sender.overhead_factor()
+                      : 1.0;
+  cell.route_switches = overlay.router(src).loss_switches(dst);
+  cell.injected_drops = net.stats().dropped_injected;
+  cell.merged_fault_windows = injector.merged_window_count();
+  return cell;
+}
+
+FaultCell analyze_fault_cell(const Scenario& scenario, const FaultMatrixConfig& cfg,
+                             const std::vector<bool>& delivered) {
+  const TimePoint measure_start = TimePoint::epoch() + cfg.warmup;
   const TimePoint fault_start = scenario.fault_start;
   const TimePoint fault_end = scenario.fault_start + scenario.fault_duration;
   const auto time_of = [&](std::size_t i) {
@@ -170,12 +183,6 @@ FaultCell run_fault_cell(const Scenario& scenario, FaultScheme scheme,
       break;
     }
   }
-
-  cell.overhead = (scheme == FaultScheme::kMesh || scheme == FaultScheme::kHybrid)
-                      ? sender.overhead_factor()
-                      : 1.0;
-  cell.route_switches = overlay.router(src).loss_switches(dst);
-  cell.injected_drops = net.stats().dropped_injected;
   return cell;
 }
 
@@ -220,6 +227,7 @@ FaultMatrixResult run_fault_matrix(const FaultMatrixConfig& cfg,
     cell.overhead = summarize_metric(overhead);
     cell.route_switches = cell.trials[0].route_switches;
     cell.injected_drops = cell.trials[0].injected_drops;
+    cell.merged_fault_windows = cell.trials[0].merged_fault_windows;
   }
   return result;
 }
@@ -233,6 +241,17 @@ std::string format_fault_matrix(const FaultMatrixResult& result,
      << cfg.warmup.to_string() << " | measured " << cfg.measured.to_string() << " | send every "
      << cfg.send_interval.to_string() << " | degradation "
      << (cfg.graceful_degradation ? "on" : "off") << " | trials " << result.n_trials << "\n";
+  // Duplicate windows in a schedule are legal but have no effect; warn so
+  // the author notices. Scenario-major stride over the scheme-expanded
+  // cell list, since every scheme compiles the same schedule.
+  std::int64_t merged_windows = 0;
+  for (std::size_t c = 0; c < result.cells.size(); c += all_fault_schemes().size()) {
+    merged_windows += result.cells[c].merged_fault_windows;
+  }
+  if (merged_windows > 0) {
+    os << "warning: " << merged_windows
+       << " duplicate/overlapping fault window(s) were silently merged\n";
+  }
 
   std::size_t c = 0;
   for (const Scenario& scenario : scenarios) {

@@ -73,11 +73,23 @@ struct FaultCell {
   double overhead = 1.0;               // copies per application packet
   std::int64_t route_switches = 0;     // src's loss-objective switches to dst
   std::int64_t injected_drops = 0;     // underlay drops charged to the fault
+  // Overlapping fault windows coalesced when the scenario was compiled
+  // (0 for all canonical scenarios; see FaultInjector::merged_window_count).
+  std::int64_t merged_fault_windows = 0;
 };
 
 // Runs one cell; pure function of its arguments (see header comment).
 [[nodiscard]] FaultCell run_fault_cell(const Scenario& scenario, FaultScheme scheme,
                                        const FaultMatrixConfig& cfg, std::uint64_t seed);
+
+// The analysis half of run_fault_cell: turns a CBR delivery timeline
+// (one sample per send_interval from warmup end) into the per-phase loss
+// rates and failover/recovery times. Shared with the snapshot/soak
+// harness, whose restored runs must reproduce run_fault_cell's numbers
+// bit for bit. The accounting fields (overhead, route_switches,
+// injected_drops, merged_fault_windows) are left at their defaults.
+[[nodiscard]] FaultCell analyze_fault_cell(const Scenario& scenario, const FaultMatrixConfig& cfg,
+                                           const std::vector<bool>& delivered);
 
 struct FaultCellSummary {
   std::string scenario;
@@ -90,6 +102,7 @@ struct FaultCellSummary {
   MetricSummary overhead;
   std::int64_t route_switches = 0;  // trial-0 value (deterministic pin)
   std::int64_t injected_drops = 0;
+  std::int64_t merged_fault_windows = 0;
   std::vector<FaultCell> trials;  // index == trial
 };
 

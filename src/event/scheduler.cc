@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
 
 namespace ronpath {
@@ -24,8 +25,7 @@ bool EventHandle::pending() const {
 
 Scheduler::Scheduler() : pool_(std::make_shared<internal::SlotPool>()) {}
 
-EventHandle Scheduler::schedule_at(TimePoint at, Callback cb) {
-  assert(at >= now_ && "cannot schedule into the past");
+EventHandle Scheduler::schedule_entry(TimePoint at, std::uint64_t seq, Callback cb) {
   internal::SlotPool& pool = *pool_;
   std::uint32_t slot;
   if (!pool.free_list.empty()) {
@@ -37,9 +37,20 @@ EventHandle Scheduler::schedule_at(TimePoint at, Callback cb) {
   }
   internal::EventSlot& sl = pool.slots[slot];
   sl.cb = std::move(cb);
-  heap_.push_back(Entry{at, next_seq_++, sl.gen, slot});
+  heap_.push_back(Entry{at, seq, sl.gen, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   return EventHandle(pool_, slot, sl.gen);
+}
+
+EventHandle Scheduler::schedule_at(TimePoint at, Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  return schedule_entry(at, next_seq_++, std::move(cb));
+}
+
+EventHandle Scheduler::schedule_at_restored(TimePoint at, std::uint64_t seq, Callback cb) {
+  assert(at >= now_ && "restored event precedes the restored clock");
+  assert(seq < next_seq_ && "restored seq must predate the restored next_seq");
+  return schedule_entry(at, seq, std::move(cb));
 }
 
 EventHandle Scheduler::schedule_after(Duration delay, Callback cb) {
@@ -78,6 +89,65 @@ bool Scheduler::step() {
   return true;
 }
 
+bool Scheduler::pending_entry(const EventHandle& h, TimePoint* at, std::uint64_t* seq) const {
+  const auto pool = h.pool_.lock();
+  if (pool.get() != pool_.get()) return false;  // foreign or inert handle
+  if (h.slot_ >= pool->slots.size() || pool->slots[h.slot_].gen != h.gen_) return false;
+  for (const Entry& e : heap_) {
+    if (e.slot == h.slot_ && e.gen == h.gen_) {
+      *at = e.at;
+      *seq = e.seq;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::restore_clock(TimePoint now, std::uint64_t next_seq, std::uint64_t dispatched) {
+  heap_.clear();
+  internal::SlotPool& pool = *pool_;
+  pool.free_list.clear();
+  pool.free_list.reserve(pool.slots.size());
+  for (std::size_t i = pool.slots.size(); i-- > 0;) {
+    ++pool.slots[i].gen;  // outstanding handles to the old run go inert
+    pool.slots[i].cb.reset();
+    pool.free_list.push_back(static_cast<std::uint32_t>(i));
+  }
+  now_ = now;
+  next_seq_ = next_seq;
+  dispatched_ = dispatched;
+}
+
+void Scheduler::check_invariants(std::vector<std::string>& out) const {
+  if (!std::is_heap(heap_.begin(), heap_.end(), Later{})) {
+    out.push_back("scheduler: heap property violated");
+  }
+  const internal::SlotPool& pool = *pool_;
+  for (const Entry& e : heap_) {
+    if (e.at < now_) {
+      out.push_back("scheduler: pending entry at " + e.at.since_epoch().to_string() +
+                    " behind the clock " + now_.since_epoch().to_string());
+    }
+    if (e.seq >= next_seq_) {
+      out.push_back("scheduler: entry seq " + std::to_string(e.seq) + " >= next_seq " +
+                    std::to_string(next_seq_));
+    }
+    if (e.slot >= pool.slots.size()) {
+      out.push_back("scheduler: entry slot " + std::to_string(e.slot) + " out of pool range");
+    } else if (e.gen > pool.slots[e.slot].gen) {
+      out.push_back("scheduler: entry generation " + std::to_string(e.gen) +
+                    " ahead of its slot's generation");
+    }
+  }
+  if (pool.free_list.size() + heap_.size() < pool.slots.size()) {
+    // Every slot is either on the free list or referenced by >= 1 heap
+    // entry (live or tombstoned); fewer means a leaked slot.
+    out.push_back("scheduler: slot pool leak (" + std::to_string(pool.slots.size()) +
+                  " slots, " + std::to_string(pool.free_list.size()) + " free, " +
+                  std::to_string(heap_.size()) + " queued)");
+  }
+}
+
 PeriodicTask::PeriodicTask(Scheduler& sched, Duration period, Duration initial_delay, Tick tick)
     : sched_(sched), period_(period), tick_(std::move(tick)) {
   assert(period > Duration::zero());
@@ -91,12 +161,22 @@ void PeriodicTask::stop() {
   handle_.cancel();
 }
 
-void PeriodicTask::arm(Duration delay) {
-  handle_ = sched_.schedule_after(delay, [this] {
+Scheduler::Callback PeriodicTask::tick_callback() {
+  return [this] {
     if (!running_) return;
     tick_();
     if (running_) arm(period_);
-  });
+  };
+}
+
+void PeriodicTask::arm(Duration delay) {
+  handle_ = sched_.schedule_after(delay, tick_callback());
+}
+
+void PeriodicTask::restore_arm(TimePoint at, std::uint64_t seq) {
+  handle_.cancel();
+  running_ = true;
+  handle_ = sched_.schedule_at_restored(at, seq, tick_callback());
 }
 
 }  // namespace ronpath

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "event/inline_callback.h"
@@ -94,8 +95,41 @@ class Scheduler {
   // (cancellation is lazy).
   [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t dispatched_events() const { return dispatched_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  // Snapshot support ---------------------------------------------------
+  //
+  // Pending events are closures, so the scheduler itself cannot serialize
+  // them; each owning component saves a re-arm descriptor instead. The
+  // descriptor carries the original (at, seq) pair: re-arming through
+  // schedule_at_restored with the saved seq reproduces the heap's firing
+  // order exactly, including FIFO ties — the property that makes restored
+  // runs byte-identical to uninterrupted ones.
+
+  // Looks up the heap position of a still-pending event; returns false if
+  // the handle is inert, fired, or cancelled. O(pending) scan — this runs
+  // at checkpoint time, not on the event hot path.
+  [[nodiscard]] bool pending_entry(const EventHandle& h, TimePoint* at,
+                                   std::uint64_t* seq) const;
+
+  // Resets the scheduler to the saved clock state: drops every queue
+  // entry (bumping slot generations, so outstanding handles go inert) and
+  // overwrites now/next_seq/dispatched. Owners then re-arm their saved
+  // events via schedule_at_restored.
+  void restore_clock(TimePoint now, std::uint64_t next_seq, std::uint64_t dispatched);
+
+  // Re-arms an event with an explicit sequence number (must be < the
+  // restored next_seq); used only during restore.
+  EventHandle schedule_at_restored(TimePoint at, std::uint64_t seq, Callback cb);
+
+  // Invariant auditor: heap property, slot/generation consistency,
+  // sequence bounds, no entry behind the clock. Appends one message per
+  // violation to `out`.
+  void check_invariants(std::vector<std::string>& out) const;
 
  private:
+  EventHandle schedule_entry(TimePoint at, std::uint64_t seq, Callback cb);
+
   struct Entry {
     TimePoint at;
     std::uint64_t seq;
@@ -130,8 +164,14 @@ class PeriodicTask {
   void stop();
   [[nodiscard]] bool running() const { return running_; }
 
+  // Snapshot support: the handle of the next pending tick (for saving its
+  // re-arm descriptor) and explicit re-arming at a saved (at, seq).
+  [[nodiscard]] const EventHandle& handle() const { return handle_; }
+  void restore_arm(TimePoint at, std::uint64_t seq);
+
  private:
   void arm(Duration delay);
+  [[nodiscard]] Scheduler::Callback tick_callback();
 
   Scheduler& sched_;
   Duration period_;

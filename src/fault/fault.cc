@@ -199,8 +199,12 @@ FaultSchedule& FaultSchedule::crash_churn(NodeId node, Duration period, Duration
 std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text, std::string* error) {
   FaultSchedule schedule;
   int line_no = 0;
-  auto fail = [&](const std::string& msg) -> std::optional<FaultSchedule> {
-    if (error) *error = "line " + std::to_string(line_no) + ": " + msg;
+  // Diagnostics carry line and column so schedule authors can find the
+  // offending token in multi-line scenarios without counting words.
+  auto fail = [&](std::size_t col, const std::string& msg) -> std::optional<FaultSchedule> {
+    if (error) {
+      *error = "line " + std::to_string(line_no) + ", col " + std::to_string(col) + ": " + msg;
+    }
     return std::nullopt;
   };
 
@@ -220,41 +224,62 @@ std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text, std::st
       if (i >= tok.size()) return std::nullopt;
       return tok[i++];
     };
+    // Tokens are views into `line`, so pointer arithmetic recovers the
+    // 1-based column of any token...
+    const auto col_of = [&](std::string_view t) {
+      return static_cast<std::size_t>(t.data() - line.data()) + 1;
+    };
+    // ...and "expected more" errors point just past the last token read.
+    const auto end_col = [&]() {
+      if (i == 0) return std::size_t{1};
+      const std::string_view last = tok[i - 1];
+      return col_of(last) + last.size();
+    };
 
     FaultSpec spec;
 
     // 'at TIME' or 'every DUR'.
     const auto head = *next();
     const auto when_tok = next();
-    if (!when_tok) return fail("expected a time after '" + std::string(head) + "'");
+    if (!when_tok) return fail(end_col(), "expected a time after '" + std::string(head) + "'");
     const auto when = parse_duration_token(*when_tok);
-    if (!when) return fail("bad time \"" + std::string(*when_tok) + "\" (want e.g. 120s, 5m)");
+    if (!when) {
+      return fail(col_of(*when_tok),
+                  "bad time \"" + std::string(*when_tok) + "\" (want e.g. 120s, 5m)");
+    }
     if (head == "at") {
       spec.start = TimePoint::epoch() + *when;
     } else if (head == "every") {
-      if (when->is_zero()) return fail("'every' period must be positive");
+      if (when->is_zero()) {
+        return fail(col_of(*when_tok), "'every' period must be positive");
+      }
       spec.start = TimePoint::epoch() + *when;
       spec.period = *when;
     } else {
-      return fail("expected 'at' or 'every', got \"" + std::string(head) + "\"");
+      return fail(col_of(head), "expected 'at' or 'every', got \"" + std::string(head) + "\"");
     }
 
     // Action verb.
     const auto verb_tok = next();
-    if (!verb_tok) return fail("expected an action after the time");
+    if (!verb_tok) return fail(end_col(), "expected an action after the time");
     const std::string_view verb = *verb_tok;
     if (verb == "down" || verb == "flap") {
       if (verb == "flap" && !spec.periodic()) {
-        return fail("'flap' needs 'every' (use 'down' for a one-shot)");
+        return fail(col_of(verb), "'flap' needs 'every' (use 'down' for a one-shot)");
       }
       spec.kind = FaultKind::kComponentBlackout;
       const auto target = next();
-      if (!target) return fail("expected 'site', 'sites' or 'link' after '" + std::string(verb) + "'");
+      if (!target) {
+        return fail(end_col(),
+                    "expected 'site', 'sites' or 'link' after '" + std::string(verb) + "'");
+      }
       if (*target == "site" || *target == "sites") {
         const auto ids_tok = next();
-        if (!ids_tok) return fail("expected site id(s)");
+        if (!ids_tok) return fail(end_col(), "expected site id(s)");
         const auto ids = parse_id_list(*ids_tok);
-        if (!ids) return fail("bad site id list \"" + std::string(*ids_tok) + "\"");
+        if (!ids) {
+          return fail(col_of(*ids_tok), "bad site id list \"" + std::string(*ids_tok) + "\"");
+        }
         spec.sites = *ids;
         spec.scope = FaultScope::kSiteAll;
         if (i < tok.size() && tok[i] != "for") {
@@ -264,19 +289,24 @@ std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text, std::st
           } else if (scope == "provider") {
             spec.scope = FaultScope::kSiteProvider;
           } else {
-            return fail("bad scope \"" + std::string(scope) + "\" (want access|provider)");
+            return fail(col_of(scope),
+                        "bad scope \"" + std::string(scope) + "\" (want access|provider)");
           }
         }
       } else if (*target == "link") {
         const auto link_tok = next();
-        if (!link_tok) return fail("expected a link like 3->9");
+        if (!link_tok) return fail(end_col(), "expected a link like 3->9");
         const auto link = parse_link(*link_tok);
-        if (!link) return fail("bad link \"" + std::string(*link_tok) + "\" (want e.g. 3->9)");
+        if (!link) {
+          return fail(col_of(*link_tok),
+                      "bad link \"" + std::string(*link_tok) + "\" (want e.g. 3->9)");
+        }
         spec.scope = FaultScope::kLink;
         spec.link_src = link->first;
         spec.link_dst = link->second;
       } else {
-        return fail("bad target \"" + std::string(*target) + "\" (want site|sites|link)");
+        return fail(col_of(*target),
+                    "bad target \"" + std::string(*target) + "\" (want site|sites|link)");
       }
     } else if (verb == "blackhole" || verb == "lsa-loss" || verb == "crash") {
       spec.kind = verb == "blackhole" ? FaultKind::kProbeBlackhole
@@ -285,34 +315,42 @@ std::optional<FaultSchedule> FaultSchedule::parse(std::string_view text, std::st
       spec.scope = FaultScope::kNode;
       if (verb == "blackhole") {
         const auto probes = next();
-        if (!probes || *probes != "probes") return fail("expected 'probes' after 'blackhole'");
+        if (!probes || *probes != "probes") {
+          return fail(probes ? col_of(*probes) : end_col(), "expected 'probes' after 'blackhole'");
+        }
       }
       const auto node_kw = next();
-      if (!node_kw || *node_kw != "node") return fail("expected 'node <id>'");
+      if (!node_kw || *node_kw != "node") {
+        return fail(node_kw ? col_of(*node_kw) : end_col(), "expected 'node <id>'");
+      }
       const auto id_tok = next();
-      if (!id_tok) return fail("expected a node id");
+      if (!id_tok) return fail(end_col(), "expected a node id");
       const auto id = parse_id(*id_tok);
-      if (!id) return fail("bad node id \"" + std::string(*id_tok) + "\"");
+      if (!id) return fail(col_of(*id_tok), "bad node id \"" + std::string(*id_tok) + "\"");
       spec.sites = {*id};
     } else {
-      return fail("unknown action \"" + std::string(verb) +
-                  "\" (want down|flap|blackhole|lsa-loss|crash)");
+      return fail(col_of(verb), "unknown action \"" + std::string(verb) +
+                                    "\" (want down|flap|blackhole|lsa-loss|crash)");
     }
 
     // 'for DUR'.
     const auto for_kw = next();
-    if (!for_kw || *for_kw != "for") return fail("expected 'for <duration>'");
+    if (!for_kw || *for_kw != "for") {
+      return fail(for_kw ? col_of(*for_kw) : end_col(), "expected 'for <duration>'");
+    }
     const auto dur_tok = next();
-    if (!dur_tok) return fail("expected a duration after 'for'");
+    if (!dur_tok) return fail(end_col(), "expected a duration after 'for'");
     const auto dur = parse_duration_token(*dur_tok);
     if (!dur || dur->is_zero()) {
-      return fail("bad duration \"" + std::string(*dur_tok) + "\"");
+      return fail(col_of(*dur_tok), "bad duration \"" + std::string(*dur_tok) + "\"");
     }
     spec.duration = *dur;
     if (spec.periodic() && spec.duration >= spec.period) {
-      return fail("fault duration must be shorter than its 'every' period");
+      return fail(col_of(*dur_tok), "fault duration must be shorter than its 'every' period");
     }
-    if (i != tok.size()) return fail("trailing junk \"" + std::string(tok[i]) + "\"");
+    if (i != tok.size()) {
+      return fail(col_of(tok[i]), "trailing junk \"" + std::string(tok[i]) + "\"");
+    }
 
     schedule.add(std::move(spec));
   }

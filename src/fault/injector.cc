@@ -80,17 +80,18 @@ FaultInjector::FaultInjector(const FaultSchedule& schedule, const Topology& topo
     }
   }
 
-  finalize(component_windows_);
-  finalize(blackhole_windows_);
-  finalize(lsa_windows_);
-  finalize(crash_windows_);
+  merged_window_count_ += finalize(component_windows_);
+  merged_window_count_ += finalize(blackhole_windows_);
+  merged_window_count_ += finalize(lsa_windows_);
+  merged_window_count_ += finalize(crash_windows_);
 }
 
 void FaultInjector::add_window(Windows& w, TimePoint start, Duration dur) {
   w.push_back({start, start + dur});
 }
 
-void FaultInjector::finalize(std::vector<Windows>& table) {
+std::int64_t FaultInjector::finalize(std::vector<Windows>& table) {
+  std::int64_t folded = 0;
   for (Windows& w : table) {
     std::sort(w.begin(), w.end(),
               [](const Window& a, const Window& b) { return a.start < b.start; });
@@ -98,12 +99,14 @@ void FaultInjector::finalize(std::vector<Windows>& table) {
     for (const Window& win : w) {
       if (!merged.empty() && win.start <= merged.back().end) {
         merged.back().end = std::max(merged.back().end, win.end);
+        ++folded;
       } else {
         merged.push_back(win);
       }
     }
     w = std::move(merged);
   }
+  return folded;
 }
 
 bool FaultInjector::covered(const Windows& w, TimePoint t) {

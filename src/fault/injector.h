@@ -17,6 +17,7 @@
 #define RONPATH_FAULT_INJECTOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "fault/fault.h"
@@ -43,6 +44,11 @@ class FaultInjector final : public FaultHook {
   // Introspection for tests and reports.
   [[nodiscard]] std::size_t faulted_component_count() const;
   [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+  // Overlapping/duplicate activation windows that were silently coalesced
+  // during compilation. Nonzero usually means a schedule specifies the
+  // same component twice for overlapping spans — legal, but worth
+  // surfacing in reports since the duplicate has no effect.
+  [[nodiscard]] std::int64_t merged_window_count() const { return merged_window_count_; }
 
  private:
   struct Window {
@@ -52,10 +58,13 @@ class FaultInjector final : public FaultHook {
   using Windows = std::vector<Window>;
 
   static void add_window(Windows& w, TimePoint start, Duration dur);
-  static void finalize(std::vector<Windows>& table);
+  // Sorts and coalesces each window list; returns how many windows were
+  // folded into a predecessor.
+  static std::int64_t finalize(std::vector<Windows>& table);
   [[nodiscard]] static bool covered(const Windows& w, TimePoint t);
 
   FaultSchedule schedule_;
+  std::int64_t merged_window_count_ = 0;
   std::vector<Windows> component_windows_;  // [component index]
   std::vector<Windows> blackhole_windows_;  // [node]
   std::vector<Windows> lsa_windows_;        // [node]

@@ -4,8 +4,46 @@
 #include <cassert>
 #include <cmath>
 
+#include "snapshot/codec.h"
+
 namespace ronpath {
 namespace {
+
+void save_ring(snap::Encoder& e, const Ring<StateInterval>& ring) {
+  e.u64(ring.size());
+  for (const StateInterval& iv : ring) {
+    e.time(iv.start);
+    e.time(iv.end);
+    e.f64(iv.value);
+  }
+}
+
+void restore_ring(snap::Decoder& d, Ring<StateInterval>& ring) {
+  ring.clear();
+  const std::uint64_t n = d.count(24);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    StateInterval iv;
+    iv.start = d.time();
+    iv.end = d.time();
+    iv.value = d.f64();
+    ring.push_back(iv);
+  }
+}
+
+void check_interval_ring(const Ring<StateInterval>& ring, const std::string& who,
+                         std::vector<std::string>& out) {
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (ring[i].end <= ring[i].start) {
+      out.push_back(who + ": interval " + std::to_string(i) + " is empty or inverted");
+    }
+    // Merged timeline: successive intervals are strictly disjoint.
+    if (i > 0 && ring[i].start <= ring[i - 1].end) {
+      out.push_back(who + ": intervals " + std::to_string(i - 1) + "/" + std::to_string(i) +
+                    " overlap (merge invariant broken)");
+    }
+  }
+}
+
 
 // Binary search over merged, disjoint, start-sorted intervals.
 const StateInterval* covering(const Ring<StateInterval>& ivs, TimePoint t) {
@@ -168,6 +206,49 @@ TimePoint LazyIntervalProcess::next_edge_after(TimePoint t, TimelineCursor& curs
   // seek() guarantees iv.end > t; the first edge after t is iv's start if
   // t precedes the interval, else its end.
   return iv.start > t ? iv.start : iv.end;
+}
+
+void LazyIntervalProcess::save_state(snap::Encoder& e) const {
+  e.tag("LAZY");
+  snap::save_rng(e, rng_);
+  e.time(cursor_);
+  e.time(next_arrival_);
+  e.time(pruned_before_);
+  e.u64(popped_);
+  save_ring(e, intervals_);
+  e.u64(default_cursor_.idx);
+}
+
+void LazyIntervalProcess::restore_state(snap::Decoder& d) {
+  d.expect_tag("LAZY");
+  snap::restore_rng(d, rng_);
+  cursor_ = d.time();
+  next_arrival_ = d.time();
+  pruned_before_ = d.time();
+  popped_ = d.u64();
+  restore_ring(d, intervals_);
+  default_cursor_.idx = d.u64();
+}
+
+void LazyIntervalProcess::check_invariants(const std::string& who,
+                                           std::vector<std::string>& out) const {
+  check_interval_ring(intervals_, who, out);
+  if (pruned_before_ > cursor_) {
+    out.push_back(who + ": prune watermark ahead of the generated horizon");
+  }
+  // generate_until loops while next_arrival_ <= t, so the first unrealized
+  // arrival always sits at or beyond the generated horizon.
+  if (next_arrival_ < cursor_) {
+    out.push_back(who + ": next arrival behind the generated horizon");
+  }
+  if (!intervals_.empty() && intervals_.front().end <= pruned_before_) {
+    out.push_back(who + ": retained interval wholly behind the prune watermark");
+  }
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (intervals_[i].value != value_) {
+      out.push_back(who + ": interval " + std::to_string(i) + " carries a foreign value");
+    }
+  }
 }
 
 bool LazyIntervalProcess::has_edge_in(TimePoint from, TimePoint to,
@@ -456,6 +537,72 @@ ComponentSample ComponentProcess::sample(TimePoint t) { return sample_impl<false
 
 ComponentSample ComponentProcess::sample_reference(TimePoint t) {
   return sample_impl<true>(t);
+}
+
+void ComponentProcess::save_state(snap::Encoder& e) const {
+  e.tag("COMP");
+  e.u64(boost_seg_idx_);
+  e.u64(static_edge_idx_);
+  episodes_.save_state(e);
+  outages_.save_state(e);
+  e.u64(episode_gen_cursor_.idx);
+  snap::save_rng(e, burst_rng_);
+  e.time(burst_cursor_);
+  e.time(ebsb_valid_until_);
+  e.f64(cached_rate_upper_);
+  e.b(cached_rate_zero_);
+  e.time(next_hour_edge_);
+  save_ring(e, bursts_);
+  e.u64(bursts_popped_);
+  e.u64(burst_query_cursor_.idx);
+  e.u64(generated_bursts_);
+  e.time(max_query_);
+}
+
+void ComponentProcess::restore_state(snap::Decoder& d) {
+  d.expect_tag("COMP");
+  boost_seg_idx_ = d.u64();
+  static_edge_idx_ = d.u64();
+  episodes_.restore_state(d);
+  outages_.restore_state(d);
+  episode_gen_cursor_.idx = d.u64();
+  snap::restore_rng(d, burst_rng_);
+  burst_cursor_ = d.time();
+  ebsb_valid_until_ = d.time();
+  cached_rate_upper_ = d.f64();
+  cached_rate_zero_ = d.b();
+  next_hour_edge_ = d.time();
+  restore_ring(d, bursts_);
+  bursts_popped_ = d.u64();
+  burst_query_cursor_.idx = d.u64();
+  generated_bursts_ = d.u64();
+  max_query_ = d.time();
+}
+
+void ComponentProcess::check_invariants(const std::string& who,
+                                        std::vector<std::string>& out) const {
+  episodes_.check_invariants(who + ".episodes", out);
+  outages_.check_invariants(who + ".outages", out);
+  check_interval_ring(bursts_, who + ".bursts", out);
+  // generate_until(t) runs the burst chain to t + lookahead, the episode
+  // timeline one lookahead further, and the outage timeline to the same
+  // target — so the horizons are totally ordered once anything ran.
+  if (episodes_.generated_until() < burst_cursor_) {
+    out.push_back(who + ": episode horizon behind the burst horizon");
+  }
+  if (outages_.generated_until() < burst_cursor_) {
+    out.push_back(who + ": outage horizon behind the burst horizon");
+  }
+  if (max_query_ > burst_cursor_) {
+    out.push_back(who + ": query watermark beyond the generated burst horizon");
+  }
+  if (boost_seg_idx_ > boost_segments_.size() ||
+      (boost_seg_idx_ == boost_segments_.size() && !boost_segments_.empty())) {
+    out.push_back(who + ": static boost segment cursor out of range");
+  }
+  if (static_edge_idx_ > static_edges_.size()) {
+    out.push_back(who + ": static edge cursor out of range");
+  }
 }
 
 }  // namespace ronpath

@@ -33,6 +33,7 @@
 #define RONPATH_NET_LOSS_PROCESS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "net/config.h"
@@ -41,6 +42,11 @@
 #include "util/time.h"
 
 namespace ronpath {
+
+namespace snap {
+class Encoder;
+class Decoder;
+}  // namespace snap
 
 // Maximum allowed backwards distance of a query from the furthest query.
 inline constexpr Duration kQuerySafety = Duration::seconds(30);
@@ -107,6 +113,18 @@ class LazyIntervalProcess {
 
   [[nodiscard]] const Ring<StateInterval>& intervals() const { return intervals_; }
   [[nodiscard]] TimePoint generated_until() const { return cursor_; }
+
+  // Snapshot support: serializes the full mutable state (Rng stream,
+  // generation/prune watermarks, retained intervals, query cursor).
+  // restore_state expects a process constructed with identical ctor
+  // arguments; configuration is not re-encoded.
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Invariant auditor: interval ordering/disjointness, watermark
+  // consistency (pruned <= generated, next arrival beyond the generated
+  // horizon). Appends one message per violation, prefixed with `who`.
+  void check_invariants(const std::string& who, std::vector<std::string>& out) const;
 
  private:
   void push_merged(StateInterval iv);
@@ -178,6 +196,16 @@ class ComponentProcess {
 
   // Introspection for tests: burst/episode/outage interval counts so far.
   [[nodiscard]] std::size_t generated_bursts() const { return generated_bursts_; }
+
+  // Snapshot support: full mutable state (sub-process timelines, burst
+  // Rng/cursors/ring, caches, watermarks). Like LazyIntervalProcess,
+  // restore_state expects identical construction.
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Invariant auditor: delegates to the sub-processes and checks the
+  // burst ring plus generation-horizon ordering.
+  void check_invariants(const std::string& who, std::vector<std::string>& out) const;
 
  private:
   void generate_until(TimePoint t);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "snapshot/codec.h"
+
 namespace ronpath {
 namespace {
 
@@ -250,6 +252,52 @@ Duration Network::base_latency(const PathSpec& path) const {
   }
   d += config_.forward_delay * path.intermediates();
   return d;
+}
+
+void Network::save_state(snap::Encoder& e) const {
+  e.tag("NETW");
+  e.u64(components_.size());
+  for (const ComponentProcess& c : components_) c.save_state(e);
+  snap::save_rng(e, pkt_rng_);
+  e.i64(stats_.transmitted);
+  e.i64(stats_.delivered);
+  e.i64(stats_.dropped_random);
+  e.i64(stats_.dropped_burst);
+  e.i64(stats_.dropped_outage);
+  e.i64(stats_.dropped_injected);
+  e.time(max_send_);
+}
+
+void Network::restore_state(snap::Decoder& d) {
+  d.expect_tag("NETW");
+  const std::uint64_t n = d.u64();
+  if (n != components_.size()) {
+    throw snap::SnapshotError("snapshot: component count mismatch (snapshot has " +
+                              std::to_string(n) + ", network has " +
+                              std::to_string(components_.size()) +
+                              " — different topology or configuration)");
+  }
+  for (ComponentProcess& c : components_) c.restore_state(d);
+  snap::restore_rng(d, pkt_rng_);
+  stats_.transmitted = d.i64();
+  stats_.delivered = d.i64();
+  stats_.dropped_random = d.i64();
+  stats_.dropped_burst = d.i64();
+  stats_.dropped_outage = d.i64();
+  stats_.dropped_injected = d.i64();
+  max_send_ = d.time();
+}
+
+void Network::check_invariants(std::vector<std::string>& out) const {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i].check_invariants("component " + std::to_string(i), out);
+  }
+  const std::int64_t charged = stats_.delivered + stats_.dropped_random + stats_.dropped_burst +
+                               stats_.dropped_outage + stats_.dropped_injected;
+  if (charged != stats_.transmitted) {
+    out.push_back("network: stats not conserved (" + std::to_string(stats_.transmitted) +
+                  " transmitted vs " + std::to_string(charged) + " accounted)");
+  }
 }
 
 }  // namespace ronpath

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -113,6 +114,18 @@ class Network {
 
   // Test hook: the process driving a component's loss state.
   [[nodiscard]] ComponentProcess& component(std::size_t index) { return components_[index]; }
+  [[nodiscard]] std::size_t component_count() const { return components_.size(); }
+
+  // Snapshot support: serializes the mutable state (per-component
+  // timelines, packet Rng, drop statistics, monotonicity watermark).
+  // Everything else is derived from the ctor arguments, so restore_state
+  // expects a Network constructed identically.
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Invariant auditor: per-component timeline invariants plus stats
+  // conservation (every transmit delivered or charged to one drop cause).
+  void check_invariants(std::vector<std::string>& out) const;
 
  private:
   struct LatencyAddition {

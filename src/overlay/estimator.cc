@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "snapshot/codec.h"
+
 namespace ronpath {
 
 void WindowLossEstimator::record(bool lost) {
@@ -68,6 +70,91 @@ void LinkEstimator::record_followup(bool lost, TimePoint now) {
     down_ = false;
   }
   last_update_ = now;
+}
+
+void LinkEstimator::save_state(snap::Encoder& e) const {
+  e.tag("LEST");
+  // Window outcomes, bit-packed oldest-first.
+  e.u64(loss_.outcomes_.size());
+  std::uint8_t byte = 0;
+  int filled = 0;
+  for (const bool lost : loss_.outcomes_) {
+    byte = static_cast<std::uint8_t>(byte | ((lost ? 1u : 0u) << filled));
+    if (++filled == 8) {
+      e.u8(byte);
+      byte = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) e.u8(byte);
+  e.u64(loss_.lost_in_window_);
+  e.f64(ewma_.value_);
+  e.b(ewma_.have_);
+  e.f64(latency_.value_ms_);
+  e.b(latency_.have_);
+  e.i64(consecutive_followup_losses_);
+  e.i64(current_loss_run_);
+  for (const std::int64_t r : loss_runs_) e.i64(r);
+  e.b(down_);
+  e.time(last_update_);
+}
+
+void LinkEstimator::restore_state(snap::Decoder& d) {
+  d.expect_tag("LEST");
+  const std::uint64_t n = d.count(0);
+  if (n > loss_.window_) {
+    throw snap::SnapshotError("snapshot: loss window holds " + std::to_string(n) +
+                              " outcomes but is configured for " +
+                              std::to_string(loss_.window_));
+  }
+  loss_.outcomes_.clear();
+  std::uint8_t byte = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) byte = d.u8();
+    loss_.outcomes_.push_back((byte >> (i % 8)) & 1);
+  }
+  loss_.lost_in_window_ = d.u64();
+  ewma_.value_ = d.f64();
+  ewma_.have_ = d.b();
+  latency_.value_ms_ = d.f64();
+  latency_.have_ = d.b();
+  consecutive_followup_losses_ = static_cast<int>(d.i64());
+  current_loss_run_ = static_cast<int>(d.i64());
+  for (std::int64_t& r : loss_runs_) r = d.i64();
+  down_ = d.b();
+  last_update_ = d.time();
+}
+
+void LinkEstimator::check_invariants(const std::string& who, TimePoint now,
+                                     std::vector<std::string>& out) const {
+  if (loss_.outcomes_.size() > loss_.window_) {
+    out.push_back(who + ": loss window overfull");
+  }
+  std::size_t lost = 0;
+  for (const bool l : loss_.outcomes_) lost += l ? 1 : 0;
+  if (lost != loss_.lost_in_window_) {
+    out.push_back(who + ": lost_in_window counter out of sync with the window contents");
+  }
+  const double l = loss();
+  if (!(l >= 0.0 && l <= 1.0)) out.push_back(who + ": loss estimate outside [0,1]");
+  // Saturating-latency sentinel: the estimate is either the Duration::max()
+  // "never probed" sentinel or a sane finite value — anything between
+  // means a saturating_add chain leaked a near-overflow value in.
+  const Duration lat = latency();
+  if (lat != Duration::max() &&
+      (lat < Duration::zero() || lat >= Duration::days(100'000))) {
+    out.push_back(who + ": latency estimate in the saturation dead zone");
+  }
+  if (latency_.have_ != (lat != Duration::max())) {
+    out.push_back(who + ": latency sentinel inconsistent with has-sample flag");
+  }
+  if (consecutive_followup_losses_ < 0 || current_loss_run_ < 0) {
+    out.push_back(who + ": negative probe-run counter");
+  }
+  for (const std::int64_t r : loss_runs_) {
+    if (r < 0) out.push_back(who + ": negative loss-run bucket");
+  }
+  if (last_update_ > now) out.push_back(who + ": estimator updated in the future");
 }
 
 }  // namespace ronpath

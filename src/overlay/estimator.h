@@ -13,10 +13,17 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <string>
+#include <vector>
 
 #include "util/time.h"
 
 namespace ronpath {
+
+namespace snap {
+class Encoder;
+class Decoder;
+}  // namespace snap
 
 // Average loss over a sliding window of the most recent probe outcomes.
 class WindowLossEstimator {
@@ -29,6 +36,7 @@ class WindowLossEstimator {
   [[nodiscard]] std::size_t samples() const { return outcomes_.size(); }
 
  private:
+  friend class LinkEstimator;  // snapshot save/restore reaches the raw window
   std::size_t window_;
   std::deque<bool> outcomes_;
   std::size_t lost_in_window_ = 0;
@@ -43,6 +51,7 @@ class EwmaLossEstimator {
   [[nodiscard]] double loss() const { return have_ ? value_ : 0.0; }
 
  private:
+  friend class LinkEstimator;
   double alpha_;
   double value_ = 0.0;
   bool have_ = false;
@@ -60,6 +69,7 @@ class LatencyEstimator {
   [[nodiscard]] Duration latency() const;
 
  private:
+  friend class LinkEstimator;
   double alpha_;
   double value_ms_ = 0.0;
   bool have_ = false;
@@ -102,6 +112,16 @@ class LinkEstimator {
   // implies an outage of roughly 15(k-1)..15k seconds, the scale the
   // paper's cited routing-convergence outages live at.
   [[nodiscard]] const std::array<std::int64_t, 6>& loss_runs() const { return loss_runs_; }
+
+  // Snapshot support: full mutable state (window outcomes, EWMA values,
+  // down flag, run counters). restore_state expects identical config.
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Invariant auditor: window bounds, loss range, run-counter and
+  // latency-sentinel consistency. `now` bounds last_update staleness.
+  void check_invariants(const std::string& who, TimePoint now,
+                        std::vector<std::string>& out) const;
 
  private:
   bool use_ewma_ = false;

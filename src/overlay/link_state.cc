@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "snapshot/codec.h"
+
 namespace ronpath {
 
 LinkStateTable::LinkStateTable(std::size_t n_nodes) : n_(n_nodes), entries_(n_ * n_) {}
@@ -30,6 +32,57 @@ bool LinkStateTable::node_seems_up(NodeId node) const {
   }
   // Before any probes have completed, assume up.
   return !any_estimate;
+}
+
+void LinkStateTable::save_state(snap::Encoder& e) const {
+  e.tag("LTAB");
+  e.u64(entries_.size());
+  for (const LinkMetrics& m : entries_) {
+    e.f64(m.loss);
+    e.duration(m.latency);
+    e.b(m.down);
+    e.b(m.has_latency);
+    e.u64(m.samples);
+    e.time(m.published);
+  }
+}
+
+void LinkStateTable::restore_state(snap::Decoder& d) {
+  d.expect_tag("LTAB");
+  const std::uint64_t n = d.u64();
+  if (n != entries_.size()) {
+    throw snap::SnapshotError("snapshot: link-state table size mismatch (snapshot has " +
+                              std::to_string(n) + " entries, table has " +
+                              std::to_string(entries_.size()) + ")");
+  }
+  for (LinkMetrics& m : entries_) {
+    m.loss = d.f64();
+    m.latency = d.duration();
+    m.down = d.b();
+    m.has_latency = d.b();
+    m.samples = d.u64();
+    m.published = d.time();
+  }
+}
+
+void LinkStateTable::check_invariants(TimePoint now, std::vector<std::string>& out) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const LinkMetrics& m = entries_[i];
+    const std::string who = "link-state entry " + std::to_string(i / n_) + "->" +
+                            std::to_string(i % n_);
+    if (!(m.loss >= 0.0 && m.loss <= 1.0)) out.push_back(who + ": loss outside [0,1]");
+    if (m.published > now) out.push_back(who + ": published in the future");
+    if (m.has_latency != (m.latency != Duration::max())) {
+      out.push_back(who + ": latency sentinel inconsistent with has_latency");
+    }
+    if (m.has_latency &&
+        (m.latency < Duration::zero() || m.latency >= Duration::days(100'000))) {
+      out.push_back(who + ": latency in the saturation dead zone");
+    }
+    if (m.samples == 0 && m.published != TimePoint::epoch()) {
+      out.push_back(who + ": published without a single probe sample");
+    }
+  }
 }
 
 }  // namespace ronpath

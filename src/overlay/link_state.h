@@ -11,12 +11,18 @@
 #ifndef RONPATH_OVERLAY_LINK_STATE_H_
 #define RONPATH_OVERLAY_LINK_STATE_H_
 
+#include <string>
 #include <vector>
 
 #include "util/ids.h"
 #include "util/time.h"
 
 namespace ronpath {
+
+namespace snap {
+class Encoder;
+class Decoder;
+}  // namespace snap
 
 struct LinkMetrics {
   double loss = 0.0;
@@ -39,6 +45,15 @@ class LinkStateTable {
   [[nodiscard]] bool node_seems_up(NodeId node) const;
 
   [[nodiscard]] std::size_t size() const { return n_; }
+
+  // Snapshot support: serializes every published entry.
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Invariant auditor: TTL/staleness consistency (nothing published in
+  // the future, never-published entries pristine) and latency-sentinel
+  // sanity per entry.
+  void check_invariants(TimePoint now, std::vector<std::string>& out) const;
 
  private:
   [[nodiscard]] std::size_t index(NodeId from, NodeId to) const;

@@ -1,6 +1,9 @@
 #include "overlay/overlay.h"
 
 #include <cassert>
+#include <tuple>
+
+#include "snapshot/codec.h"
 
 namespace ronpath {
 
@@ -107,10 +110,7 @@ void OverlayNetwork::probe_once(NodeId src, NodeId dst) {
   est.record_probe(lost, rtt / 2, now);
   publish(src, dst);
 
-  if (lost && cfg_.followups > 0) {
-    sched_.schedule_after(cfg_.followup_spacing,
-                          [this, src, dst] { send_followup(src, dst, cfg_.followups); });
-  }
+  if (lost && cfg_.followups > 0) arm_followup(src, dst, cfg_.followups);
 }
 
 void OverlayNetwork::send_followup(NodeId src, NodeId dst, int remaining) {
@@ -128,10 +128,23 @@ void OverlayNetwork::send_followup(NodeId src, NodeId dst, int remaining) {
   }
   est.record_followup(lost, now);
   publish(src, dst);
-  if (lost && remaining > 1) {
-    sched_.schedule_after(cfg_.followup_spacing,
-                          [this, src, dst, remaining] { send_followup(src, dst, remaining - 1); });
-  }
+  if (lost && remaining > 1) arm_followup(src, dst, remaining - 1);
+}
+
+void OverlayNetwork::arm_followup(NodeId src, NodeId dst, int remaining) {
+  prune_followups();
+  PendingFollowup f;
+  f.src = src;
+  f.dst = dst;
+  f.remaining = remaining;
+  f.handle = sched_.schedule_after(cfg_.followup_spacing, [this, src, dst, remaining] {
+    send_followup(src, dst, remaining);
+  });
+  followups_.push_back(std::move(f));
+}
+
+void OverlayNetwork::prune_followups() {
+  std::erase_if(followups_, [](const PendingFollowup& f) { return !f.handle.pending(); });
 }
 
 void OverlayNetwork::publish(NodeId src, NodeId dst) {
@@ -190,6 +203,138 @@ OverlaySendResult OverlayNetwork::send(const PathSpec& path, TimePoint t) {
     r.dst_up = node_up(path.dst, t + r.net.latency);
   }
   return r;
+}
+
+void OverlayNetwork::save_state(snap::Encoder& e) const {
+  e.tag("OVLY");
+  snap::save_rng(e, rng_);
+  e.b(started_);
+  e.i64(probes_sent_);
+  table_.save_state(e);
+  for (const auto& router : routers_) router->save_state(e);
+  for (NodeId s = 0; s < n_; ++s) {
+    for (NodeId d = 0; d < n_; ++d) {
+      if (s == d) continue;
+      links_[link_index(s, d)]->save_state(e);
+    }
+  }
+  for (const LazyIntervalProcess& proc : host_failures_) proc.save_state(e);
+
+  // Pending probe ticks: one re-arm descriptor per task, in the stable
+  // construction order (s-major, d-minor).
+  e.u64(probe_tasks_.size());
+  for (const auto& task : probe_tasks_) {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    const bool pending = sched_.pending_entry(task->handle(), &at, &seq);
+    e.b(pending);
+    if (pending) {
+      e.time(at);
+      e.u64(seq);
+    }
+  }
+
+  // Pending follow-up chains. Fired entries are pruned lazily, so collect
+  // the still-pending ones first.
+  std::vector<std::tuple<NodeId, NodeId, int, TimePoint, std::uint64_t>> live;
+  live.reserve(followups_.size());
+  for (const PendingFollowup& f : followups_) {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    if (sched_.pending_entry(f.handle, &at, &seq)) {
+      live.emplace_back(f.src, f.dst, f.remaining, at, seq);
+    }
+  }
+  e.u64(live.size());
+  for (const auto& [src, dst, remaining, at, seq] : live) {
+    e.u64(src);
+    e.u64(dst);
+    e.i64(remaining);
+    e.time(at);
+    e.u64(seq);
+  }
+}
+
+void OverlayNetwork::restore_state(snap::Decoder& d) {
+  d.expect_tag("OVLY");
+  snap::restore_rng(d, rng_);
+  if (d.b() != started_) {
+    throw snap::SnapshotError("snapshot: overlay started flag mismatch");
+  }
+  probes_sent_ = d.i64();
+  table_.restore_state(d);
+  for (const auto& router : routers_) router->restore_state(d);
+  for (NodeId s = 0; s < n_; ++s) {
+    for (NodeId dd = 0; dd < n_; ++dd) {
+      if (s == dd) continue;
+      links_[link_index(s, dd)]->restore_state(d);
+    }
+  }
+  for (LazyIntervalProcess& proc : host_failures_) proc.restore_state(d);
+
+  const std::uint64_t n_tasks = d.u64();
+  if (n_tasks != probe_tasks_.size()) {
+    throw snap::SnapshotError("snapshot: probe task count mismatch (snapshot has " +
+                              std::to_string(n_tasks) + ", overlay has " +
+                              std::to_string(probe_tasks_.size()) + ")");
+  }
+  for (const auto& task : probe_tasks_) {
+    if (d.b()) {
+      const TimePoint at = d.time();
+      const std::uint64_t seq = d.u64();
+      task->restore_arm(at, seq);
+    } else {
+      task->stop();
+    }
+  }
+
+  followups_.clear();
+  const std::uint64_t n_follow = d.count(40);
+  for (std::uint64_t i = 0; i < n_follow; ++i) {
+    PendingFollowup f;
+    f.src = static_cast<NodeId>(d.u64());
+    f.dst = static_cast<NodeId>(d.u64());
+    f.remaining = static_cast<int>(d.i64());
+    if (f.src >= n_ || f.dst >= n_ || f.src == f.dst || f.remaining < 1) {
+      throw snap::SnapshotError("snapshot: malformed follow-up descriptor");
+    }
+    const TimePoint at = d.time();
+    const std::uint64_t seq = d.u64();
+    const NodeId src = f.src;
+    const NodeId dst = f.dst;
+    const int remaining = f.remaining;
+    f.handle = sched_.schedule_at_restored(at, seq, [this, src, dst, remaining] {
+      send_followup(src, dst, remaining);
+    });
+    followups_.push_back(std::move(f));
+  }
+}
+
+void OverlayNetwork::check_invariants(TimePoint now, std::vector<std::string>& out) const {
+  table_.check_invariants(now, out);
+  for (const auto& router : routers_) router->check_invariants(now, out);
+  for (NodeId s = 0; s < n_; ++s) {
+    for (NodeId d = 0; d < n_; ++d) {
+      if (s == d) continue;
+      const std::string who =
+          "estimator " + std::to_string(s) + "->" + std::to_string(d);
+      links_[link_index(s, d)]->check_invariants(who, now, out);
+    }
+  }
+  for (NodeId i = 0; i < host_failures_.size(); ++i) {
+    host_failures_[i].check_invariants("host-failure " + std::to_string(i), out);
+  }
+  if (probes_sent_ < 0) out.push_back("overlay: negative probe counter");
+  if (started_ && probe_tasks_.size() != n_ * (n_ - 1)) {
+    out.push_back("overlay: probe task count does not cover the mesh");
+  }
+  for (const PendingFollowup& f : followups_) {
+    if (!f.handle.pending()) continue;  // fired but not yet pruned: fine
+    if (f.remaining < 1 || f.remaining > cfg_.followups) {
+      out.push_back("overlay: pending follow-up with remaining outside [1, " +
+                    std::to_string(cfg_.followups) + "]");
+    }
+  }
 }
 
 }  // namespace ronpath

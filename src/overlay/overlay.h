@@ -20,7 +20,9 @@
 #define RONPATH_OVERLAY_OVERLAY_H_
 
 #include <array>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "event/scheduler.h"
@@ -34,6 +36,11 @@
 #include "wire/packet.h"
 
 namespace ronpath {
+
+namespace snap {
+class Encoder;
+class Decoder;
+}  // namespace snap
 
 struct OverlayConfig {
   // Per-link probe period ("every node probes every other node once every
@@ -88,6 +95,7 @@ class OverlayNetwork {
   [[nodiscard]] const OverlayConfig& config() const { return cfg_; }
   [[nodiscard]] LinkStateTable& table() { return table_; }
   [[nodiscard]] Router& router(NodeId node) { return *routers_[node]; }
+  [[nodiscard]] const Router& router(NodeId node) const { return *routers_[node]; }
 
   // Ground-truth host liveness (drives probing/forwarding; the
   // measurement pipeline must *infer* it from log gaps instead).
@@ -108,11 +116,40 @@ class OverlayNetwork {
   // (lengths 1..5 and 6+): the overlay's outage-duration fingerprint.
   [[nodiscard]] std::array<std::int64_t, 6> loss_run_counts() const;
 
+  // Snapshot support. Pending probe ticks and follow-up chains are saved
+  // as (at, seq) re-arm descriptors; restore_state expects an identically
+  // constructed and started overlay whose scheduler has already been
+  // reset via Scheduler::restore_clock, and re-arms those events with
+  // their original sequence numbers so firing order (including FIFO
+  // ties) is preserved exactly.
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Invariant auditor: delegates to routers, estimators, the link-state
+  // table and host-failure processes, then checks probe-task/follow-up
+  // bookkeeping consistency.
+  void check_invariants(TimePoint now, std::vector<std::string>& out) const;
+
  private:
   struct LinkProber;
 
+  // A scheduled follow-up probe: bookkeeping mirror of the closure held
+  // by the scheduler, so checkpoints can serialize the chain. Entries
+  // whose event has fired are pruned lazily on the next arm/save.
+  struct PendingFollowup {
+    NodeId src = 0;
+    NodeId dst = 0;
+    int remaining = 0;
+    EventHandle handle;
+  };
+
   void probe_once(NodeId src, NodeId dst);
   void send_followup(NodeId src, NodeId dst, int remaining);
+  // Schedules send_followup(src, dst, remaining) after followup_spacing
+  // and records it in followups_.
+  void arm_followup(NodeId src, NodeId dst, int remaining);
+  // Drops followups_ records whose events already fired.
+  void prune_followups();
   void publish(NodeId src, NodeId dst);
   [[nodiscard]] std::size_t link_index(NodeId src, NodeId dst) const;
 
@@ -125,6 +162,7 @@ class OverlayNetwork {
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<LinkEstimator>> links_;  // n*n, diagonal unused
   std::vector<std::unique_ptr<PeriodicTask>> probe_tasks_;
+  std::vector<PendingFollowup> followups_;
   std::vector<LazyIntervalProcess> host_failures_;
   const FaultInjector* fault_ = nullptr;
   std::int64_t probes_sent_ = 0;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "overlay/path_engine.h"
+#include "snapshot/codec.h"
 
 namespace ronpath {
 
@@ -266,6 +267,117 @@ PathChoice Router::best_loss_path(NodeId dst, TimePoint now) {
 PathChoice Router::best_lat_path(NodeId dst, TimePoint now) {
   assert(dst < table_.size() && dst != self_);
   return evaluate_lat(dst, lat_incumbent_[dst], now);
+}
+
+void Router::save_state(snap::Encoder& e) const {
+  e.tag("ROUT");
+  const auto put_incumbents = [&](const std::vector<Incumbent>& incs) {
+    e.u64(incs.size());
+    for (const Incumbent& inc : incs) {
+      e.b(inc.path.has_value());
+      if (inc.path) {
+        e.u64(inc.path->src);
+        e.u64(inc.path->dst);
+        e.u64(inc.path->via);
+        e.u64(inc.path->via2);
+      }
+    }
+  };
+  put_incumbents(loss_incumbent_);
+  put_incumbents(lat_incumbent_);
+  e.u64(loss_switches_.size());
+  for (const std::int64_t s : loss_switches_) e.i64(s);
+  for (const std::int64_t s : lat_switches_) e.i64(s);
+  e.u64(holddown_.size());
+  for (const Holddown& h : holddown_) {
+    e.time(h.until);
+    e.time(h.last_down);
+    e.i64(h.strikes);
+  }
+}
+
+void Router::restore_state(snap::Decoder& d) {
+  d.expect_tag("ROUT");
+  const auto get_incumbents = [&](std::vector<Incumbent>& incs) {
+    const std::uint64_t n = d.u64();
+    if (n != incs.size()) {
+      throw snap::SnapshotError("snapshot: router incumbent count mismatch");
+    }
+    for (Incumbent& inc : incs) {
+      if (d.b()) {
+        PathSpec p;
+        p.src = static_cast<NodeId>(d.u64());
+        p.dst = static_cast<NodeId>(d.u64());
+        p.via = static_cast<NodeId>(d.u64());
+        p.via2 = static_cast<NodeId>(d.u64());
+        inc.path = p;
+      } else {
+        inc.path.reset();
+      }
+    }
+  };
+  get_incumbents(loss_incumbent_);
+  get_incumbents(lat_incumbent_);
+  const std::uint64_t n_switch = d.u64();
+  if (n_switch != loss_switches_.size()) {
+    throw snap::SnapshotError("snapshot: router switch-counter count mismatch");
+  }
+  for (std::int64_t& s : loss_switches_) s = d.i64();
+  for (std::int64_t& s : lat_switches_) s = d.i64();
+  const std::uint64_t n_hold = d.count(24);
+  holddown_.assign(n_hold, Holddown{});
+  for (Holddown& h : holddown_) {
+    h.until = d.time();
+    h.last_down = d.time();
+    h.strikes = static_cast<int>(d.i64());
+  }
+}
+
+void Router::check_invariants(TimePoint now, std::vector<std::string>& out) const {
+  const std::string who = "router " + std::to_string(self_);
+  const std::size_t n = table_.size();
+  if (!holddown_.empty() && holddown_.size() != n * (n + 1)) {
+    out.push_back(who + ": hold-down table has unexpected size");
+    return;
+  }
+  for (std::size_t i = 0; i < holddown_.size(); ++i) {
+    const Holddown& h = holddown_[i];
+    const std::string slot = who + " holddown[" + std::to_string(i) + "]";
+    // Strike monotonicity: strikes only move in [0, 20], and a live ban
+    // implies at least one strike.
+    if (h.strikes < 0 || h.strikes > 20) out.push_back(slot + ": strikes outside [0,20]");
+    if (h.until > TimePoint::epoch() && h.strikes == 0) {
+      out.push_back(slot + ": ban without a strike");
+    }
+    if (h.last_down > now) out.push_back(slot + ": down event in the future");
+    // Bans are granted at the instant of a down event and never exceed
+    // holddown_max, so `until` can outrun the *latest* down event only
+    // within that bound.
+    if (h.until > TimePoint::epoch() &&
+        h.until - h.last_down > cfg_.holddown_max) {
+      out.push_back(slot + ": ban extends past holddown_max from the last down event");
+    }
+  }
+  const auto check_incumbents = [&](const std::vector<Incumbent>& incs, const char* kind) {
+    for (std::size_t dst = 0; dst < incs.size(); ++dst) {
+      const auto& p = incs[dst].path;
+      if (!p) continue;
+      const bool via_ok = p->via == kDirectVia || p->via < n;
+      const bool via2_ok = p->via2 == kDirectVia || p->via2 < n;
+      if (p->src != self_ || p->dst != dst || !via_ok || !via2_ok) {
+        out.push_back(who + ": malformed " + kind + " incumbent for dst " +
+                      std::to_string(dst));
+      }
+    }
+  };
+  check_incumbents(loss_incumbent_, "loss");
+  check_incumbents(lat_incumbent_, "latency");
+  for (const std::int64_t s : loss_switches_) {
+    if (s < 0) out.push_back(who + ": negative loss switch counter");
+  }
+  for (const std::int64_t s : lat_switches_) {
+    if (s < 0) out.push_back(who + ": negative latency switch counter");
+  }
 }
 
 }  // namespace ronpath

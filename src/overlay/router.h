@@ -28,6 +28,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "overlay/link_state.h"
@@ -37,6 +38,11 @@
 namespace ronpath {
 
 class PathEngine;
+
+namespace snap {
+class Encoder;
+class Decoder;
+}  // namespace snap
 
 struct RouterConfig {
   // Loss hysteresis: switch only if challenger_loss <
@@ -167,6 +173,16 @@ class Router {
 
   // Candidate intermediates that currently seem up (excludes self, dst).
   [[nodiscard]] std::vector<NodeId> live_intermediates(NodeId dst) const;
+
+  // Snapshot support: incumbents, switch counters and hold-down state.
+  // The path engine holds only per-query scratch and is not serialized.
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Invariant auditor: hold-down strike monotonicity (strikes in [0,20],
+  // bans bounded by holddown_max from the last down event) and incumbent
+  // well-formedness.
+  void check_invariants(TimePoint now, std::vector<std::string>& out) const;
 
  private:
   struct Incumbent {

@@ -4,6 +4,7 @@
 
 #include "overlay/path_engine.h"
 #include "overlay/router.h"
+#include "snapshot/codec.h"
 
 namespace ronpath {
 
@@ -97,6 +98,36 @@ HybridOutcome HybridSender::send(NodeId src, NodeId dst, TimePoint now) {
 
 double HybridSender::overhead_factor() const {
   return packets_ > 0 ? static_cast<double>(copies_) / static_cast<double>(packets_) : 1.0;
+}
+
+void HybridSender::save_state(snap::Encoder& e) const {
+  e.tag("HYBR");
+  snap::save_rng(e, rng_);
+  e.i64(packets_);
+  e.i64(copies_);
+  e.i64(duplicated_);
+}
+
+void HybridSender::restore_state(snap::Decoder& d) {
+  d.expect_tag("HYBR");
+  snap::restore_rng(d, rng_);
+  packets_ = d.i64();
+  copies_ = d.i64();
+  duplicated_ = d.i64();
+}
+
+void HybridSender::check_invariants(std::vector<std::string>& out) const {
+  if (packets_ < 0 || copies_ < 0 || duplicated_ < 0) {
+    out.push_back("hybrid sender: negative overhead counter");
+    return;
+  }
+  // Every packet sends at least one copy; duplication adds exactly one.
+  if (copies_ != packets_ + duplicated_) {
+    out.push_back("hybrid sender: copies != packets + duplications");
+  }
+  if (duplicated_ > packets_) {
+    out.push_back("hybrid sender: more duplications than packets");
+  }
 }
 
 }  // namespace ronpath

@@ -26,6 +26,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "overlay/overlay.h"
 #include "routing/multipath.h"
@@ -34,6 +36,11 @@
 namespace ronpath {
 
 class PathEngine;
+
+namespace snap {
+class Encoder;
+class Decoder;
+}  // namespace snap
 
 enum class HybridMode : std::uint8_t {
   kBestPath,
@@ -74,6 +81,15 @@ class HybridSender {
   [[nodiscard]] std::int64_t packets() const { return packets_; }
   [[nodiscard]] std::int64_t copies() const { return copies_; }
   [[nodiscard]] std::int64_t duplicated() const { return duplicated_; }
+
+  // Snapshot support: RNG stream and overhead counters (the alternate
+  // path engine holds only per-query scratch).
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Invariant auditor: counter consistency (copies bounded by 1x..2x of
+  // packets, duplications never exceed packets).
+  void check_invariants(std::vector<std::string>& out) const;
 
  private:
   // Chooses the alternate path for the second copy: best disjoint via.

@@ -1,0 +1,41 @@
+// Runtime invariant auditor for the snapshot/soak subsystem.
+//
+// Aggregates every layer's check_invariants() over a SimWorld into one
+// pass/fail verdict. The audited invariants (see DESIGN.md, "Snapshot &
+// soak"):
+//
+//   scheduler  - heap property holds; no entry behind the clock; slot /
+//                generation consistency; sequence numbers below next_seq
+//   net        - loss-process interval rings sorted/merged/non-empty;
+//                roughly-monotone cursors never behind their prune
+//                watermark; drop statistics conserve transmitted packets
+//   overlay    - estimator windows bounded with consistent loss counts;
+//                latency estimates outside the saturating-arithmetic
+//                dead zone; link-state entries never published in the
+//                future; hold-down strikes in [0,20] with bans bounded
+//                by holddown_max; incumbent paths well-formed
+//   routing    - hybrid overhead counters conserve (copies = packets +
+//                duplications)
+//   world      - delivery timeline length matches the send counter;
+//                progress flags consistent
+//
+// audit_world returns one message per violation (empty = clean).
+
+#ifndef RONPATH_SNAPSHOT_AUDIT_H_
+#define RONPATH_SNAPSHOT_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "snapshot/world.h"
+
+namespace ronpath {
+
+[[nodiscard]] std::vector<std::string> audit_world(const SimWorld& world);
+
+// Human-readable audit summary ("audit clean" or a numbered list).
+[[nodiscard]] std::string format_audit(const std::vector<std::string>& violations);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_SNAPSHOT_AUDIT_H_

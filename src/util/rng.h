@@ -85,6 +85,22 @@ class Rng {
   [[nodiscard]] Duration exponential_duration(Duration mean);
   [[nodiscard]] Duration uniform_duration(Duration lo, Duration hi);
 
+  // Snapshot support: the complete mutable state of the stream. Restoring
+  // a saved State reproduces the draw sequence exactly (including the
+  // cached Box-Muller spare), which the snapshot subsystem relies on for
+  // byte-identical continuation.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double spare_normal = 0.0;
+    bool has_spare_normal = false;
+  };
+  [[nodiscard]] State save_state() const { return {s_, spare_normal_, has_spare_normal_}; }
+  void restore_state(const State& st) {
+    s_ = st.s;
+    spare_normal_ = st.spare_normal;
+    has_spare_normal_ = st.has_spare_normal;
+  }
+
  private:
   Rng() = default;
   static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -212,5 +212,29 @@ TEST(Scenarios, OneShotScenariosMatchSharedTimeline) {
   }
 }
 
+TEST(FaultInjector, MergedWindowCounterCountsFolds) {
+  const Topology topo = small_topo();
+  FaultSchedule sched;
+  sched.down_link(0, 1, at_s(10), Duration::seconds(20));   // 10..30
+  sched.down_link(0, 1, at_s(20), Duration::seconds(20));   // overlaps -> fold
+  sched.crash(2, at_s(0), Duration::seconds(30));           // 0..30
+  sched.crash(2, at_s(10), Duration::seconds(30));          // overlaps -> fold
+  sched.crash(2, at_s(100), Duration::seconds(5));          // disjoint, no fold
+  const FaultInjector inj(sched, topo, Duration::hours(1));
+  EXPECT_EQ(inj.merged_window_count(), 2);
+}
+
+TEST(FaultInjector, CanonicalScenariosHaveNoMergedWindows) {
+  // The report header's merge warning stays silent for the canonical
+  // suite; a nonzero count here would change pinned golden output.
+  const Topology topo = small_topo();
+  for (const Scenario& s : canonical_scenarios()) {
+    const auto sched = FaultSchedule::parse(s.dsl);
+    ASSERT_TRUE(sched.has_value()) << s.name;
+    const FaultInjector inj(*sched, topo, Duration::hours(2));
+    EXPECT_EQ(inj.merged_window_count(), 0) << s.name;
+  }
+}
+
 }  // namespace
 }  // namespace ronpath

@@ -114,5 +114,35 @@ TEST(FaultMatrix, ReportIsByteIdenticalAcrossJobCounts) {
   EXPECT_NE(a.find("reactive"), std::string::npos);
 }
 
+TEST(FaultMatrix, MergedWindowWarningSurfacesInReport) {
+  FaultMatrixConfig cfg;
+  cfg.node_count = 4;
+  cfg.warmup = Duration::minutes(2);
+  cfg.measured = Duration::minutes(2);
+  cfg.send_interval = Duration::millis(500);
+
+  Scenario dup;
+  dup.name = "dup-windows";
+  dup.summary = "duplicate overlapping windows (merge-warning test)";
+  dup.dsl =
+      "at 130s down link 0->1 for 20s\n"
+      "at 140s down link 0->1 for 20s\n";
+  dup.fault_start = TimePoint::epoch() + Duration::seconds(130);
+  dup.fault_duration = Duration::seconds(30);
+  const std::vector<Scenario> scenarios{dup};
+
+  const FaultMatrixResult r = run_fault_matrix(cfg, scenarios, /*n_trials=*/1, /*n_jobs=*/1);
+  ASSERT_FALSE(r.cells.empty());
+  EXPECT_EQ(r.cells[0].merged_fault_windows, 1);
+  const std::string report = format_fault_matrix(r, scenarios);
+  EXPECT_NE(report.find("warning: 1 duplicate/overlapping fault window"), std::string::npos)
+      << report;
+
+  // And the canonical suite keeps a warning-free header.
+  const std::vector<Scenario> canon{scenario("single-site-blackout")};
+  const FaultMatrixResult clean = run_fault_matrix(cfg, canon, /*n_trials=*/1, /*n_jobs=*/1);
+  EXPECT_EQ(format_fault_matrix(clean, canon).find("warning:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ronpath

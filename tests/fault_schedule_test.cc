@@ -164,5 +164,34 @@ TEST(FaultDsl, ToStringRoundTrips) {
   EXPECT_EQ(second->faults().size(), first->faults().size());
 }
 
+TEST(FaultDsl, ErrorNamesTheColumnAndOffendingToken) {
+  struct ColCase {
+    const char* dsl;
+    const char* want;  // "line N, col C" prefix plus the offending token
+  };
+  const ColCase cases[] = {
+      {"at 10s down planet 1 for 10s\n", "line 1, col 13: bad target \"planet\""},
+      {"at tens down link 0->1 for 10s\n", "line 1, col 4: bad time \"tens\""},
+      {"every 10s crash node 99x for 5s\n", "line 1, col 22: bad node id \"99x\""},
+      {"at 10s frobnicate node 1 for 5s\n", "line 1, col 8: unknown action \"frobnicate\""},
+  };
+  for (const ColCase& c : cases) {
+    std::string error;
+    EXPECT_FALSE(FaultSchedule::parse(c.dsl, &error).has_value()) << c.dsl;
+    EXPECT_NE(error.find(c.want), std::string::npos) << c.dsl << ": " << error;
+  }
+}
+
+TEST(FaultDsl, MissingTokenErrorPointsPastTheLastToken) {
+  std::string error;
+  EXPECT_FALSE(FaultSchedule::parse("at 10s down link 0->1\n", &error).has_value());
+  EXPECT_NE(error.find("line 1, col 22: expected 'for <duration>'"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(FaultSchedule::parse("at 10s down link 0->1 for\n", &error).has_value());
+  EXPECT_NE(error.find("line 1, col 26: expected a duration after 'for'"), std::string::npos)
+      << error;
+}
+
 }  // namespace
 }  // namespace ronpath

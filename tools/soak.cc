@@ -1,0 +1,285 @@
+// soak: crash-recovery soak harness for the fault-matrix simulator.
+//
+// Streams a long fault schedule (a canonical scenario, the built-in
+// "day-stream" composite, or a DSL file) through a SimWorld with
+// periodic checkpoints. At every checkpoint the runtime invariant
+// auditor runs across all layers; at a configurable cadence the world
+// is destroyed and restored from the last snapshot (in memory, or
+// through real files when --snapshot-dir is given). With --verify an
+// uninterrupted twin runs first and the final reports are compared
+// byte for byte.
+//
+// Exit codes: 0 clean; 1 audit violation, report divergence or
+// snapshot I/O failure; 2 usage error.
+//
+//   soak --scenario link-flap --scheme hybrid --hours 24 \
+//        --checkpoint-every 1000 --kill-every 3 --snapshot-dir /tmp/s --verify
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fault_matrix.h"
+#include "fault/fault.h"
+#include "fault/scenarios.h"
+#include "snapshot/audit.h"
+#include "snapshot/codec.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/world.h"
+
+using namespace ronpath;
+
+namespace {
+
+// A synthesized day of recurring faults with co-prime periods; the
+// checked-in soak test streams the same shape.
+constexpr std::string_view kDayStreamDsl =
+    "every 2700s down link 0->1 for 120s\n"
+    "every 5400s crash node 2 for 300s\n"
+    "every 4500s lsa-loss node 0 for 180s\n"
+    "every 7200s down site 3 provider for 240s\n"
+    "every 1800s flap link 1->0 for 20s\n";
+
+struct SoakOptions {
+  std::string scenario = "day-stream";
+  FaultScheme scheme = FaultScheme::kHybrid;
+  std::uint64_t seed = 42;
+  std::size_t nodes = 6;
+  Duration measured = Duration::hours(24);
+  Duration send_interval = Duration::seconds(10);
+  std::size_t checkpoint_every = 1000;  // sends between checkpoints
+  std::size_t kill_every = 3;           // kill/restore at every k-th checkpoint (0 = never)
+  bool audit = true;
+  bool verify = false;
+  std::string snapshot_dir;  // empty = snapshots stay in memory
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: soak [--scenario NAME|day-stream|FILE] [--scheme direct|reactive|mesh|hybrid]\n"
+      "            [--seed N] [--nodes N] [--hours H] [--send-interval-ms M]\n"
+      "            [--checkpoint-every SENDS] [--kill-every K] [--no-audit]\n"
+      "            [--snapshot-dir DIR] [--verify] [--quick]\n");
+  std::exit(code);
+}
+
+std::int64_t parse_int(const char* flag, const char* text, std::int64_t lo, std::int64_t hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::fprintf(stderr, "%s: expected an integer in [%lld, %lld], got \"%s\"\n", flag,
+                 static_cast<long long>(lo), static_cast<long long>(hi), text);
+    std::exit(2);
+  }
+  return v;
+}
+
+FaultScheme parse_scheme(const char* text) {
+  for (const FaultScheme s : all_fault_schemes()) {
+    if (to_string(s) == text) return s;
+  }
+  std::fprintf(stderr, "--scheme: unknown scheme \"%s\"\n", text);
+  std::exit(2);
+}
+
+SoakOptions parse_args(int argc, char** argv) {
+  SoakOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      opt.scenario = next();
+    } else if (arg == "--scheme") {
+      opt.scheme = parse_scheme(next());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(
+          parse_int("--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (arg == "--nodes") {
+      opt.nodes = static_cast<std::size_t>(parse_int("--nodes", next(), 3, 16));
+    } else if (arg == "--hours") {
+      opt.measured = Duration::hours(parse_int("--hours", next(), 1, 24 * 365));
+    } else if (arg == "--send-interval-ms") {
+      opt.send_interval = Duration::millis(parse_int("--send-interval-ms", next(), 1, 60'000));
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every =
+          static_cast<std::size_t>(parse_int("--checkpoint-every", next(), 1, 1'000'000'000));
+    } else if (arg == "--kill-every") {
+      opt.kill_every = static_cast<std::size_t>(parse_int("--kill-every", next(), 0, 1'000'000));
+    } else if (arg == "--no-audit") {
+      opt.audit = false;
+    } else if (arg == "--snapshot-dir") {
+      opt.snapshot_dir = next();
+    } else if (arg == "--verify") {
+      opt.verify = true;
+    } else if (arg == "--quick") {
+      opt.measured = Duration::minutes(10);
+      opt.send_interval = Duration::seconds(1);
+      opt.checkpoint_every = 120;
+    } else if (arg == "--help") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+// Resolves --scenario into a Scenario whose strings outlive the world
+// (SimWorld copies them; `storage` keeps the DSL alive for parsing
+// diagnostics here).
+Scenario resolve_scenario(const SoakOptions& opt, const FaultMatrixConfig& cfg,
+                          std::string& storage) {
+  if (const Scenario* s = find_scenario(opt.scenario)) return *s;
+  Scenario s;
+  if (opt.scenario == "day-stream") {
+    storage = std::string(kDayStreamDsl);
+    s.name = "day-stream";
+    s.summary = "built-in recurring fault stream";
+  } else {
+    std::ifstream in(opt.scenario);
+    if (!in) {
+      std::fprintf(stderr,
+                   "--scenario: \"%s\" is neither a canonical scenario, \"day-stream\", nor a "
+                   "readable DSL file; known scenarios:\n",
+                   opt.scenario.c_str());
+      for (const Scenario& known : canonical_scenarios()) {
+        std::fprintf(stderr, "  %s\n", std::string(known.name).c_str());
+      }
+      std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    storage = text.str();
+    s.name = opt.scenario;
+    s.summary = "user-supplied fault schedule";
+  }
+  std::string parse_error;
+  if (!FaultSchedule::parse(storage, &parse_error)) {
+    std::fprintf(stderr, "--scenario %s: %s\n", opt.scenario.c_str(), parse_error.c_str());
+    std::exit(2);
+  }
+  s.dsl = storage;
+  s.fault_start = TimePoint::epoch() + cfg.warmup;
+  s.fault_duration = cfg.measured;
+  s.routable = true;
+  return s;
+}
+
+// Audits the world; on violations prints the report and exits 1.
+void audit_or_die(const SimWorld& world, const SoakOptions& opt, const char* where) {
+  if (!opt.audit) return;
+  const std::vector<std::string> violations = audit_world(world);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "invariant audit failed %s:\n%s", where,
+                 format_audit(violations).c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SoakOptions opt = parse_args(argc, argv);
+  FaultMatrixConfig cfg;
+  cfg.node_count = opt.nodes;
+  cfg.seed = opt.seed;
+  cfg.measured = opt.measured;
+  cfg.send_interval = opt.send_interval;
+  std::string dsl_storage;
+  const Scenario scenario = resolve_scenario(opt, cfg, dsl_storage);
+
+  try {
+    std::string expected;
+    if (opt.verify) {
+      SimWorld reference(scenario, opt.scheme, cfg, opt.seed);
+      reference.run_to_end();
+      expected = reference.report();
+      std::printf("verify: uninterrupted reference run complete (%zu sends)\n",
+                  reference.total_sends());
+    }
+
+    auto world = std::make_unique<SimWorld>(scenario, opt.scheme, cfg, opt.seed);
+    const std::size_t total = world->total_sends();
+    std::printf("soak: %s / %s, %zu nodes, %zu sends, checkpoint every %zu, kill every %zu%s\n",
+                std::string(scenario.name).c_str(), std::string(to_string(opt.scheme)).c_str(),
+                opt.nodes, total, opt.checkpoint_every, opt.kill_every,
+                opt.snapshot_dir.empty() ? " (snapshots in memory)" : "");
+
+    std::size_t checkpoints = 0;
+    std::size_t kills = 0;
+    for (std::size_t next = opt.checkpoint_every; next < total; next += opt.checkpoint_every) {
+      world->advance_to(next);
+      audit_or_die(*world, opt, ("at send " + std::to_string(next)).c_str());
+      ++checkpoints;
+
+      snap::Encoder e;
+      world->save_state(e);
+      const std::uint64_t fp = world->fingerprint();
+      std::vector<std::uint8_t> file;
+      std::string path;
+      if (opt.snapshot_dir.empty()) {
+        file = snap::seal(fp, e.bytes());
+      } else {
+        path = opt.snapshot_dir + "/soak-" + std::string(scenario.name) + "-" +
+               std::to_string(next) + ".snap";
+        snap::write_file(path, fp, e.bytes());
+      }
+
+      if (opt.kill_every != 0 && checkpoints % opt.kill_every == 0) {
+        world.reset();  // the crash
+        auto restored = std::make_unique<SimWorld>(scenario, opt.scheme, cfg, opt.seed);
+        const std::vector<std::uint8_t> payload =
+            path.empty() ? snap::unseal(file, restored->fingerprint())
+                         : snap::read_file(path, restored->fingerprint());
+        snap::Decoder d(payload);
+        restored->restore_state(d);
+        audit_or_die(*restored, opt, ("after restore at send " + std::to_string(next)).c_str());
+        world = std::move(restored);
+        ++kills;
+        std::printf("  killed and restored at send %zu\n", next);
+      }
+    }
+    world->run_to_end();
+    audit_or_die(*world, opt, "at end of run");
+
+    const std::string report = world->report();
+    std::printf("%s", report.c_str());
+    std::printf("soak complete: %zu checkpoints, %zu kill/restore cycles%s\n", checkpoints,
+                kills, opt.audit ? ", audits clean" : "");
+
+    if (opt.verify) {
+      if (report != expected) {
+        std::fprintf(stderr,
+                     "VERIFY FAILED: restored run diverged from the uninterrupted run\n"
+                     "--- uninterrupted ---\n%s--- soak ---\n%s",
+                     expected.c_str(), report.c_str());
+        return 1;
+      }
+      std::printf("verify: report byte-identical to the uninterrupted run\n");
+    }
+  } catch (const snap::SnapshotError& err) {
+    std::fprintf(stderr, "snapshot error: %s\n", err.what());
+    return 1;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
+  return 0;
+}
