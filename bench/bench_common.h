@@ -46,6 +46,12 @@ struct BenchArgs {
   // resolved, validated fault-DSL text (empty = no injection).
   std::string fault_scenario;
   std::string fault_dsl;
+  // --shards: 0 keeps the legacy single-stream underlay; any positive
+  // value runs the sharded discipline (byte-identical output at every
+  // positive value; see DESIGN.md §13). 0 itself is rejected on the
+  // command line — "--shards 0" is almost certainly a typo for legacy
+  // mode, which is the default when the flag is absent.
+  int shards = 0;
 
   [[nodiscard]] bool multi_trial() const { return trials > 1; }
 
@@ -95,6 +101,7 @@ struct BenchArgs {
   // Applies the parsed --fault-scenario (if any) to an experiment:
   // schedule injection plus the graceful-degradation control plane.
   void apply_fault(ExperimentConfig& cfg) const {
+    cfg.shards = shards;
     if (fault_dsl.empty()) return;
     cfg.fault_dsl = fault_dsl;
     cfg.graceful_degradation = true;
@@ -123,6 +130,8 @@ struct BenchArgs {
         a.trials = static_cast<int>(parse_int("--trials", next(), 1, 100000));
       } else if (arg == "--jobs") {
         a.jobs = static_cast<int>(parse_int("--jobs", next(), 1, 1024));
+      } else if (arg == "--shards") {
+        a.shards = static_cast<int>(parse_int("--shards", next(), 1, 256));
       } else if (arg == "--csv") {
         a.csv_path = next();
       } else if (arg == "--fault-scenario") {
@@ -133,7 +142,7 @@ struct BenchArgs {
         a.duration = Duration::hours(2);
       } else if (arg == "--help") {
         std::printf("usage: %s [--hours H|--days D] [--seed S] [--trials N] [--jobs J] "
-                    "[--csv PATH] [--fault-scenario NAME|FILE] [--quick]\n",
+                    "[--shards K] [--csv PATH] [--fault-scenario NAME|FILE] [--quick]\n",
                     argv[0]);
         std::exit(0);
       } else {

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   FaultMatrixConfig cfg;
   cfg.seed = args.seed;
+  cfg.shards = args.shards;
   if (args.quick) cfg.node_count = 8;
 
   // Scenario selection: the full canonical suite, or the one named /

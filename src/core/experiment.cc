@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <fstream>
+#include <optional>
 
 #include <stdexcept>
 
@@ -10,6 +11,7 @@
 #include "fault/injector.h"
 #include "net/config.h"
 #include "overlay/overlay.h"
+#include "pdes/advance.h"
 #include "routing/schemes.h"
 
 namespace ronpath {
@@ -47,6 +49,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   Scheduler sched;
   const Duration horizon = cfg.warmup + cfg.duration + Duration::hours(1);
   Network net(topo, net_cfg, horizon, rng.fork("net"));
+  std::optional<pdes::AdvanceService> advance;
+  if (cfg.shards > 0) {
+    net.enable_sharded_underlay();
+    advance.emplace(net, pdes::ShardPlan::build(net, cfg.shards));
+    net.set_advance_hook(&*advance);
+  }
 
   OverlayConfig overlay_cfg;
   overlay_cfg.router.forward_delay = net_cfg.forward_delay;

@@ -67,6 +67,11 @@ struct ExperimentConfig {
   // route() pick two-relay chains. Values outside [1, 2] are rejected
   // (the forwarding plane carries at most two relays).
   int path_depth = 1;
+  // > 0: sharded underlay discipline (per-component RNG substreams +
+  // quantized advance service; DESIGN.md §13). Output is byte-identical
+  // at any positive value; 0 (default) keeps the legacy single-stream
+  // discipline and the historical golden tables.
+  int shards = 0;
 };
 
 struct ExperimentResult {

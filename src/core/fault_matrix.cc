@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cassert>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,6 +11,7 @@
 #include "event/scheduler.h"
 #include "fault/injector.h"
 #include "net/config.h"
+#include "pdes/advance.h"
 #include "overlay/overlay.h"
 #include "routing/hybrid.h"
 #include "util/table.h"
@@ -65,6 +67,16 @@ FaultCell run_fault_cell(const Scenario& scenario, FaultScheme scheme,
   Rng rng(seed);
   Scheduler sched;
   Network net(topo, net_cfg, run_span + Duration::hours(1), rng.fork("net"));
+
+  // Sharded underlay (cfg.shards > 0): per-component RNG substreams plus
+  // the quantized advance service. The cell is byte-identical at any
+  // positive shard count (see FaultMatrixConfig::shards).
+  std::optional<pdes::AdvanceService> advance;
+  if (cfg.shards > 0) {
+    net.enable_sharded_underlay();
+    advance.emplace(net, pdes::ShardPlan::build(net, cfg.shards));
+    net.set_advance_hook(&*advance);
+  }
 
   OverlayConfig ocfg;
   ocfg.router.forward_delay = net_cfg.forward_delay;

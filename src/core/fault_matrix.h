@@ -59,6 +59,13 @@ struct FaultMatrixConfig {
   // Enables the router's staleness + hold-down knobs (see DESIGN.md,
   // "Fault model"). Off reproduces the trust-forever control plane.
   bool graceful_degradation = true;
+  // > 0: run the underlay in sharded mode (per-component RNG substreams
+  // + the quantized advance service with this many generation shards;
+  // DESIGN.md §13). Reports are byte-identical for ANY positive value —
+  // 1, 2, 4 and 8 shards all produce the same cell — but differ from the
+  // legacy (0) discipline, which stays the default so existing golden
+  // tables are untouched.
+  int shards = 0;
 };
 
 // One (scenario, scheme) cell from a single trial.

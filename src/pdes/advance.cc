@@ -1,0 +1,88 @@
+#include "pdes/advance.h"
+
+namespace ronpath::pdes {
+
+void pregenerate_batch(Network& net, const std::uint32_t* components, std::size_t count,
+                       TimePoint q) {
+  // The arrival chains draw a data-dependent number of variates, so the
+  // batch stays scalar per component; batching still amortizes the call
+  // overhead and keeps the ring/cursor working set hot (advance.h).
+  for (std::size_t i = 0; i < count; ++i) {
+    net.component(components[i]).pregenerate(q);
+  }
+}
+
+void advance_shard(Network& net, const std::vector<std::uint32_t>& components, TimePoint q) {
+  for (std::size_t i = 0; i < components.size(); i += kAdvanceBatch) {
+    pregenerate_batch(net, components.data() + i, std::min(kAdvanceBatch, components.size() - i),
+                      q);
+  }
+}
+
+AdvanceService::AdvanceService(Network& net, ShardPlan plan)
+    : net_(net), plan_(std::move(plan)) {
+  if (plan_.shards > 1) {
+    threads_.reserve(static_cast<std::size_t>(plan_.shards));
+    for (int k = 0; k < plan_.shards; ++k) {
+      threads_.emplace_back(&AdvanceService::worker, this, static_cast<std::size_t>(k));
+    }
+  }
+}
+
+AdvanceService::~AdvanceService() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+TimePoint AdvanceService::advance_to(TimePoint watermark) {
+  const TimePoint needed = watermark + kAdvanceMargin;
+  while (done_ < needed) {
+    const TimePoint q = done_ + kAdvanceStride;
+    advance_quantum(q);
+    done_ = q;
+  }
+  return done_ - kAdvanceMargin;
+}
+
+void AdvanceService::advance_quantum(TimePoint q) {
+  if (threads_.empty()) {
+    for (const auto& components : plan_.shard_components) {
+      advance_shard(net_, components, q);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_q_ = q;
+  workers_done_ = 0;
+  ++job_generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return workers_done_ == threads_.size(); });
+}
+
+void AdvanceService::worker(std::size_t shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    TimePoint q;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || job_generation_ != seen; });
+      if (stopping_) return;
+      seen = job_generation_;
+      q = job_q_;
+    }
+    advance_shard(net_, plan_.shard_components[shard], q);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace ronpath::pdes

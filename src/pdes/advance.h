@@ -1,0 +1,107 @@
+// Batched, quantized pregeneration of per-component loss timelines —
+// the per-shard advance loop of the PDES engine and the parallel
+// generation service for the sequenced (closed-loop) benches.
+//
+// A component's burst/episode/outage layout is a pure function of its
+// forked RNG stream and the SEQUENCE of generation horizons it is asked
+// for (loss_process.h): generate_segment restarts the exponential-gap
+// chain at every horizon, so two runs only agree bit-for-bit when they
+// drive each component through the same horizons in the same order.
+// Query-driven generation would make that sequence depend on which
+// packets a shard happens to process — a shard-count-dependent quantity.
+//
+// The fix is to quantize: every component is always advanced through
+// the same epoch-anchored grid (kAdvanceStride apart), one grid point
+// at a time, far enough ahead of the query watermark that sample()
+// never has to generate on its own. The grid is global and the walk is
+// per-component, so the horizon sequence — and therefore every byte of
+// component state — is identical at any shard count and under any
+// thread interleaving.
+//
+// Within one grid point, components advance kAdvanceBatch (16) at a
+// time per call: the batch amortizes dispatch and keeps the generator
+// working set resident, which is as far as "SIMD" can honestly go here
+// — the arrival chains draw a data-dependent number of variates per
+// component, so fixed-width lanes would diverge immediately (DESIGN.md
+// §13 expands on this).
+
+#ifndef RONPATH_PDES_ADVANCE_H_
+#define RONPATH_PDES_ADVANCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/network.h"
+#include "pdes/partition.h"
+#include "util/time.h"
+
+namespace ronpath::pdes {
+
+// Grid spacing of the pregeneration horizons. Coarse enough that grid
+// crossings are rare per simulated second, fine enough that the
+// retained-interval window (queries lag generation by at most
+// stride + margin) stays small.
+inline constexpr Duration kAdvanceStride = Duration::seconds(10);
+// How far generation runs ahead of the query watermark: queries reach
+// at most kQuerySafety past the watermark (in-flight packets), and
+// sample() itself wants kGenLookahead of slack before it would generate.
+inline constexpr Duration kAdvanceMargin = kQuerySafety + kGenLookahead;
+// Components advanced per inner call of the per-shard advance loop.
+inline constexpr std::size_t kAdvanceBatch = 16;
+
+// Advances components[first, first+count) to grid point `q` in index
+// order. `count` is capped at kAdvanceBatch by the callers.
+void pregenerate_batch(Network& net, const std::uint32_t* components, std::size_t count,
+                       TimePoint q);
+
+// Walks one shard's component list to grid point `q`, kAdvanceBatch per
+// call. Thread-safe across shards (disjoint component sets).
+void advance_shard(Network& net, const std::vector<std::uint32_t>& components, TimePoint q);
+
+// Generation service for the sequenced transmit path (bench_fault_matrix
+// / bench_full_eval with --shards): Network calls advance_to whenever
+// its send watermark crosses the armed threshold, and the service walks
+// every component through the missing grid points — one shard per
+// worker thread, batch-by-batch. Because the grid is fixed and each
+// quantum is fully applied before the next, the resulting component
+// state is bit-identical at any shard count, including 1 (inline, no
+// threads).
+class AdvanceService final : public AdvanceHook {
+ public:
+  AdvanceService(Network& net, ShardPlan plan);
+  ~AdvanceService() override;
+
+  AdvanceService(const AdvanceService&) = delete;
+  AdvanceService& operator=(const AdvanceService&) = delete;
+
+  // AdvanceHook: returns the next watermark threshold at which Network
+  // should call again. Replaying grid points that are already generated
+  // is a no-op, so a freshly constructed service behind a restored
+  // Network re-arms itself correctly on the first transmit.
+  TimePoint advance_to(TimePoint watermark) override;
+
+ private:
+  void advance_quantum(TimePoint q);
+  void worker(std::size_t shard);
+
+  Network& net_;
+  ShardPlan plan_;
+  TimePoint done_ = TimePoint::epoch();  // grid generated through here
+
+  // Worker rendezvous (only used when plan_.shards > 1).
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  TimePoint job_q_ = TimePoint::epoch();
+  std::uint64_t job_generation_ = 0;
+  std::size_t workers_done_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ronpath::pdes
+
+#endif  // RONPATH_PDES_ADVANCE_H_

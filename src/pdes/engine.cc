@@ -1,0 +1,376 @@
+#include "pdes/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "snapshot/codec.h"
+
+namespace ronpath::pdes {
+
+// Per-run synchronization. The window barrier's completion step runs on
+// exactly one thread while every worker is blocked in the barrier, so it
+// may read the published next-event times and write the control block
+// without atomics. The exchange rendezvous is a counting spin barrier:
+// waiting shards keep draining their incoming queues so a producer stuck
+// in push-or-drain backpressure always finds its consumer making room.
+struct Engine::RunSync {
+  std::barrier<std::function<void()>> window;
+  std::atomic<std::uint64_t> exchange_arrivals{0};
+  std::size_t shards;
+
+  RunSync(std::ptrdiff_t n, std::function<void()> completion)
+      : window(n, std::move(completion)), shards(static_cast<std::size_t>(n)) {}
+};
+
+Engine::Engine(Network& net, const EngineConfig& cfg)
+    : net_(net), cfg_(cfg), plan_(ShardPlan::build(net, cfg.shards)) {
+  if (!net_.sharded_underlay()) {
+    throw std::logic_error(
+        "pdes: Engine requires Network::enable_sharded_underlay() before any traffic "
+        "(per-component RNG substreams are what make shard-parallel queries deterministic)");
+  }
+  window_ = std::min(plan_.lookahead, cfg_.max_window);
+  const auto k = static_cast<std::size_t>(cfg_.shards);
+  heaps_.resize(k);
+  gen_done_.assign(k, TimePoint::epoch());
+  next_event_.assign(k, TimePoint::max());
+  shard_stats_.assign(k, Stats{});
+  queues_.reserve(k * k);
+  for (std::size_t i = 0; i < k * k; ++i) {
+    queues_.push_back(std::make_unique<SpscQueue<Handoff>>(cfg_.handoff_capacity));
+  }
+}
+
+std::uint32_t Engine::inject(const PathSpec& path, TimePoint send_time, TrafficClass cls) {
+  assert(send_time >= max_inject_ && "inject times must be non-decreasing");
+  max_inject_ = send_time;
+  const auto seq = static_cast<std::uint32_t>(packets_.size());
+  packets_.push_back({path, send_time, cls});
+  results_.emplace_back();
+
+  Topology::Hop hops[Topology::kMaxHops];
+  const std::size_t n_hops = net_.topology().hops_into(path, hops);
+
+  // Probe blackholes act at the injection instant, before the first hop
+  // (mirrors Network::transmit).
+  const FaultHook* fault = net_.fault_hook();
+  if (fault && cls == TrafficClass::kProbe &&
+      (fault->probe_blackhole(path.src, send_time) ||
+       fault->probe_blackhole(path.dst, send_time))) {
+    PacketOutcome& out = results_[seq];
+    out.done = true;
+    out.delivered = false;
+    out.cause = DropCause::kInjected;
+    out.drop_component = n_hops == 0 ? 0 : static_cast<std::uint32_t>(hops[0].component);
+    ++stats_.dropped_injected;
+    return seq;
+  }
+
+  push_event(plan_.component_shard[hops[0].component], {send_time, seq, 0});
+  return seq;
+}
+
+void Engine::push_event(std::size_t shard, const Event& ev) {
+  heaps_[shard].push_back(ev);
+  std::push_heap(heaps_[shard].begin(), heaps_[shard].end(), EventLater{});
+}
+
+bool Engine::drain_incoming(std::size_t shard) {
+  bool any = false;
+  Handoff h;
+  for (std::size_t src = 0; src < static_cast<std::size_t>(cfg_.shards); ++src) {
+    if (src == shard) continue;
+    while (queue(src, shard).try_pop(h)) {
+      push_event(shard, {h.at, h.seq, h.hop});
+      any = true;
+    }
+  }
+  return any;
+}
+
+void Engine::stage(std::size_t from_shard, std::size_t to_shard, const Event& ev) {
+  const Handoff h{ev.at, ev.seq, static_cast<std::uint16_t>(ev.hop),
+                  static_cast<std::uint16_t>(from_shard)};
+  ++shard_stats_[from_shard].handoffs;
+  SpscQueue<Handoff>& q = queue(from_shard, to_shard);
+  while (!q.try_push(h)) {
+    // Push-or-drain: make room in our own inbox (our producers are the
+    // consumers of this full queue, transitively) instead of blocking.
+    // Drained events carry at >= horizon, so absorbing them mid-window
+    // never changes what this window processes.
+    ++shard_stats_[from_shard].backpressure_stalls;
+    if (!drain_incoming(from_shard)) std::this_thread::yield();
+  }
+}
+
+void Engine::process_event(std::size_t shard, const Event& ev) {
+  Stats& st = shard_stats_[shard];
+  ++st.processed_events;
+
+  const Packet& p = packets_[ev.seq];
+  Topology::Hop hops[Topology::kMaxHops];
+  const std::size_t n_hops = net_.topology().hops_into(p.path, hops);
+  const std::size_t ci = hops[ev.hop].component;
+
+  PacketOutcome& out = results_[ev.seq];
+  const FaultHook* fault = net_.fault_hook();
+  if (fault && fault->component_down(ci, ev.at)) {
+    out.done = true;
+    out.delivered = false;
+    out.cause = DropCause::kInjected;
+    out.drop_component = static_cast<std::uint32_t>(ci);
+    ++st.dropped_injected;
+    return;
+  }
+
+  const Network::HopOutcome hop = net_.traverse_hop(ci, ev.at);
+  if (hop.dropped) {
+    out.done = true;
+    out.delivered = false;
+    out.cause = hop.cause;
+    out.drop_component = static_cast<std::uint32_t>(ci);
+    switch (hop.cause) {
+      case DropCause::kRandom: ++st.dropped_random; break;
+      case DropCause::kBurst: ++st.dropped_burst; break;
+      case DropCause::kOutage: ++st.dropped_outage; break;
+      case DropCause::kNone:
+      case DropCause::kInjected: break;
+    }
+    return;
+  }
+
+  TimePoint t = ev.at + hop.delay;
+  if (hops[ev.hop].forward_after) t += net_.config().forward_delay;
+
+  if (ev.hop + 1 == n_hops) {
+    out.done = true;
+    out.delivered = true;
+    out.cause = DropCause::kNone;
+    out.latency = t - p.send;
+    ++st.delivered;
+    return;
+  }
+
+  const Event next{t, ev.seq, ev.hop + 1};
+  const std::size_t owner = plan_.component_shard[hops[ev.hop + 1].component];
+  if (owner == shard) {
+    push_event(shard, next);
+  } else {
+    stage(shard, owner, next);
+  }
+}
+
+void Engine::worker(std::size_t shard, RunSync& sync) {
+  std::uint64_t exchange_round = 0;
+  std::vector<Event>& heap = heaps_[shard];
+  next_event_[shard] = heap.empty() ? TimePoint::max() : heap.front().at;
+
+  for (;;) {
+    sync.window.arrive_and_wait();  // completion step computes ctl_
+    if (ctl_.done) break;
+
+    // Per-shard advance loop: pregenerate this shard's components
+    // through every grid point the window can query, batch-by-batch
+    // (advance.h). The grid is epoch-anchored and walked point by
+    // point, so the horizon sequence per component is identical at any
+    // shard count.
+    while (gen_done_[shard] < ctl_.gen_target) {
+      gen_done_[shard] += kAdvanceStride;
+      advance_shard(net_, plan_.shard_components[shard], gen_done_[shard]);
+    }
+
+    while (!heap.empty() && heap.front().at < ctl_.horizon) {
+      std::pop_heap(heap.begin(), heap.end(), EventLater{});
+      const Event ev = heap.back();
+      heap.pop_back();
+      process_event(shard, ev);
+    }
+
+    // Exchange rendezvous: spin-drain until every shard has finished
+    // pushing this window's handoffs, then collect the stragglers.
+    ++exchange_round;
+    sync.exchange_arrivals.fetch_add(1, std::memory_order_acq_rel);
+    while (sync.exchange_arrivals.load(std::memory_order_acquire) <
+           sync.shards * exchange_round) {
+      if (!drain_incoming(shard)) std::this_thread::yield();
+    }
+    drain_incoming(shard);
+
+    next_event_[shard] = heap.empty() ? TimePoint::max() : heap.front().at;
+  }
+}
+
+void Engine::run_until(TimePoint until) {
+  const auto k = static_cast<std::size_t>(cfg_.shards);
+
+  const auto completion = [this, until] {
+    TimePoint w = TimePoint::max();
+    for (const TimePoint t : next_event_) w = std::min(w, t);
+    if (w == TimePoint::max() || w >= until) {
+      ctl_.done = true;
+      return;
+    }
+    ctl_.done = false;
+    // horizon = min(w + window_, until), saturating against overflow
+    // (run_to_end passes until = TimePoint::max()).
+    TimePoint horizon = until;
+    if (w.nanos_since_epoch() <=
+        TimePoint::max().nanos_since_epoch() - window_.count_nanos()) {
+      horizon = std::min(horizon, w + window_);
+    }
+    ctl_.horizon = horizon;
+    ctl_.gen_target = horizon;
+    ++stats_.windows;
+  };
+
+  RunSync sync(static_cast<std::ptrdiff_t>(k), completion);
+  std::vector<std::thread> threads;
+  threads.reserve(k - 1);
+  for (std::size_t s = 1; s < k; ++s) {
+    threads.emplace_back([this, s, &sync] { worker(s, sync); });
+  }
+  worker(0, sync);
+  for (std::thread& t : threads) t.join();
+
+  // Deterministic merge: integer sums in ascending shard order.
+  for (Stats& s : shard_stats_) {
+    stats_.processed_events += s.processed_events;
+    stats_.delivered += s.delivered;
+    stats_.dropped_random += s.dropped_random;
+    stats_.dropped_burst += s.dropped_burst;
+    stats_.dropped_outage += s.dropped_outage;
+    stats_.dropped_injected += s.dropped_injected;
+    stats_.handoffs += s.handoffs;
+    stats_.backpressure_stalls += s.backpressure_stalls;
+    s = Stats{};
+  }
+}
+
+std::uint64_t Engine::checksum() const {
+  std::uint64_t h = snap::fnv1a_u64(results_.size(), 0xcbf29ce484222325ULL);
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const PacketOutcome& r = results_[i];
+    if (!r.done) continue;
+    h = snap::fnv1a_u64(i, h);
+    h = snap::fnv1a_u64(static_cast<std::uint64_t>(r.delivered), h);
+    h = snap::fnv1a_u64(static_cast<std::uint64_t>(r.cause), h);
+    h = snap::fnv1a_u64(r.drop_component, h);
+    h = snap::fnv1a_u64(
+        r.delivered ? static_cast<std::uint64_t>(r.latency.count_nanos()) : 0, h);
+  }
+  return h;
+}
+
+void Engine::save_state(snap::Encoder& e) const {
+  e.tag("PDES");
+  e.time(max_inject_);
+
+  e.u64(packets_.size());
+  for (const Packet& p : packets_) {
+    e.u32(p.path.src);
+    e.u32(p.path.dst);
+    e.u32(p.path.via);
+    e.u32(p.path.via2);
+    e.time(p.send);
+    e.u8(static_cast<std::uint8_t>(p.cls));
+  }
+  for (const PacketOutcome& r : results_) {
+    e.u8(static_cast<std::uint8_t>((r.done ? 1 : 0) | (r.delivered ? 2 : 0)));
+    e.u8(static_cast<std::uint8_t>(r.cause));
+    e.u32(r.drop_component);
+    e.duration(r.latency);
+  }
+
+  // Pending events, canonicalized: merged across shards and sorted by
+  // (at, seq) — the same total order the heaps process — so the bytes
+  // do not depend on this engine's shard count.
+  std::vector<Event> pending;
+  for (const auto& heap : heaps_) pending.insert(pending.end(), heap.begin(), heap.end());
+  std::sort(pending.begin(), pending.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  });
+  e.u64(pending.size());
+  for (const Event& ev : pending) {
+    e.time(ev.at);
+    e.u32(ev.seq);
+    e.u32(ev.hop);
+  }
+
+  // Shard-count-invariant stats only; windows/handoffs/backpressure are
+  // per-run diagnostics of THIS shard count and stay out.
+  e.u64(stats_.processed_events);
+  e.i64(stats_.delivered);
+  e.i64(stats_.dropped_random);
+  e.i64(stats_.dropped_burst);
+  e.i64(stats_.dropped_outage);
+  e.i64(stats_.dropped_injected);
+
+  net_.save_state(e);
+}
+
+void Engine::restore_state(snap::Decoder& d) {
+  if (!packets_.empty()) {
+    throw snap::SnapshotError("pdes: restore_state requires a fresh engine (no traffic yet)");
+  }
+  d.expect_tag("PDES");
+  max_inject_ = d.time();
+
+  const std::uint64_t n_packets = d.count(25);
+  packets_.reserve(n_packets);
+  for (std::uint64_t i = 0; i < n_packets; ++i) {
+    Packet p;
+    p.path.src = static_cast<NodeId>(d.u32());
+    p.path.dst = static_cast<NodeId>(d.u32());
+    p.path.via = static_cast<NodeId>(d.u32());
+    p.path.via2 = static_cast<NodeId>(d.u32());
+    p.send = d.time();
+    p.cls = static_cast<TrafficClass>(d.u8());
+    packets_.push_back(p);
+  }
+  results_.resize(n_packets);
+  for (PacketOutcome& r : results_) {
+    const std::uint8_t flags = d.u8();
+    r.done = (flags & 1) != 0;
+    r.delivered = (flags & 2) != 0;
+    r.cause = static_cast<DropCause>(d.u8());
+    r.drop_component = d.u32();
+    r.latency = d.duration();
+  }
+
+  const std::uint64_t n_events = d.count(16);
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    Event ev;
+    ev.at = d.time();
+    ev.seq = d.u32();
+    ev.hop = d.u32();
+    if (ev.seq >= packets_.size()) {
+      throw snap::SnapshotError("pdes: pending event references an unknown packet");
+    }
+    // Rehome under THIS engine's partition — the stream does not know
+    // how many shards wrote it.
+    Topology::Hop hops[Topology::kMaxHops];
+    const std::size_t n_hops = net_.topology().hops_into(packets_[ev.seq].path, hops);
+    if (ev.hop >= n_hops) {
+      throw snap::SnapshotError("pdes: pending event hop index out of range");
+    }
+    push_event(plan_.component_shard[hops[ev.hop].component], ev);
+  }
+
+  stats_ = Stats{};
+  stats_.processed_events = d.u64();
+  stats_.delivered = d.i64();
+  stats_.dropped_random = d.i64();
+  stats_.dropped_burst = d.i64();
+  stats_.dropped_outage = d.i64();
+  stats_.dropped_injected = d.i64();
+
+  net_.restore_state(d);
+}
+
+}  // namespace ronpath::pdes

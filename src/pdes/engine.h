@@ -1,0 +1,192 @@
+// Conservative-lookahead parallel discrete-event engine: one trial's
+// packet stream sharded across cores.
+//
+// The unit of work is a hop traversal: event (at, seq, hop) means
+// packet `seq` reaches component hop `hop` of its path at time `at`.
+// Each shard owns the components of its sites (pdes/partition.h) and
+// keeps its own binary heap of pending events — plain POD entries in a
+// flat vector (the allocation-free spirit of event/scheduler.h's slot
+// pool; hop events need no callbacks, so the slots ARE the events),
+// ordered by (at, seq).
+//
+// Synchronization is windowed: with W = min over shards of the next
+// pending event time and L = the partition's lookahead bound, every
+// event in [W, W + L) can be processed in parallel — any event one
+// shard creates for another carries at >= t + floor(core) >= W + L and
+// lands in a later window. Two rendezvous per window:
+//
+//   window barrier   computes W (std::barrier completion step), decides
+//                    the horizon, and releases the shards to process;
+//   exchange barrier after processing; waiting shards keep draining
+//                    their incoming handoff queues so a producer facing
+//                    a full queue ("push or drain" backpressure) can
+//                    always make progress — fixed-capacity queues with
+//                    no deadlock.
+//
+// Determinism: every shard processes its events in (at, seq) order, and
+// any cross-shard event arrives strictly before the window that could
+// process it, so the per-component query sequence — and with the
+// per-component RNG substreams of Network's sharded-underlay mode, every
+// drawn variate — is a pure function of the injected stream. Results,
+// stats that describe the simulation, and snapshots are byte-identical
+// at any shard count; see DESIGN.md §13 for the full argument.
+//
+// Snapshots (save_state/restore_state) write a canonical, shard-count-
+// independent stream: packets in injection order, results in seq order,
+// pending events sorted by (at, seq). restore_state rehomes events
+// under the restoring engine's own partition, so a checkpoint taken at
+// --shards 4 continues byte-identically under --shards 1.
+
+#ifndef RONPATH_PDES_ENGINE_H_
+#define RONPATH_PDES_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "pdes/advance.h"
+#include "pdes/handoff.h"
+#include "pdes/partition.h"
+#include "util/time.h"
+
+namespace ronpath::pdes {
+
+struct EngineConfig {
+  int shards = 1;
+  // Per ordered shard pair; full queues trigger push-or-drain
+  // backpressure, never loss.
+  std::size_t handoff_capacity = 4096;
+  // Upper bound on a window even when the lookahead is unbounded
+  // (shards == 1), so pregeneration stays quantum-by-quantum and memory
+  // stays bounded on long streams.
+  Duration max_window = kAdvanceStride;
+};
+
+// Outcome slot for one injected packet.
+struct PacketOutcome {
+  bool done = false;
+  bool delivered = false;
+  DropCause cause = DropCause::kNone;
+  std::uint32_t drop_component = 0;
+  Duration latency = Duration::zero();
+};
+
+class Engine {
+ public:
+  // `net` must have its sharded underlay enabled (per-component packet
+  // RNG substreams) BEFORE any traffic: the engine queries components
+  // from shard threads, which is only deterministic — or race-free —
+  // with the partitioned streams. Throws std::logic_error otherwise,
+  // and propagates the partition's zero-lookahead rejection.
+  Engine(Network& net, const EngineConfig& cfg);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Stages one packet; events enter the owning shard's heap. seq is the
+  // injection index. Must be called while quiesced (between runs).
+  // Send times must be non-decreasing per the roughly-monotone query
+  // contract (asserted).
+  std::uint32_t inject(const PathSpec& path, TimePoint send_time,
+                       TrafficClass cls = TrafficClass::kData);
+
+  // Processes every pending event with at < until (run_to_end: all of
+  // them). Spawns shards-1 workers; shard 0 runs on the caller.
+  void run_until(TimePoint until);
+  void run_to_end() { run_until(TimePoint::max()); }
+
+  [[nodiscard]] const std::vector<PacketOutcome>& results() const { return results_; }
+  [[nodiscard]] std::size_t injected() const { return packets_.size(); }
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+
+  // FNV chain over (seq, outcome) for every finished packet, in seq
+  // order — the bench checksum; identical at any shard count.
+  [[nodiscard]] std::uint64_t checksum() const;
+
+  struct Stats {
+    // Shard-count-invariant (part of the canonical snapshot).
+    std::uint64_t processed_events = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped_random = 0;
+    std::int64_t dropped_burst = 0;
+    std::int64_t dropped_outage = 0;
+    std::int64_t dropped_injected = 0;
+    // Diagnostics: deterministic per shard count (windows, handoffs) or
+    // timing-dependent (backpressure stalls); excluded from snapshots
+    // and checksums.
+    std::uint64_t windows = 0;
+    std::uint64_t handoffs = 0;
+    std::uint64_t backpressure_stalls = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // Canonical snapshot of engine + network state (engine.h header
+  // comment). Both require a quiesced engine; restore_state expects a
+  // freshly constructed Engine over an identically constructed Network
+  // (any shard count) with no traffic yet.
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint32_t seq = 0;
+    std::uint32_t hop = 0;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  struct Packet {
+    PathSpec path;
+    TimePoint send;
+    TrafficClass cls = TrafficClass::kData;
+  };
+  // Shared per-run control block, written only in the window barrier's
+  // completion step (single thread, all others blocked in the barrier).
+  struct WindowControl {
+    TimePoint horizon = TimePoint::epoch();
+    TimePoint gen_target = TimePoint::epoch();
+    bool done = false;
+  };
+
+  struct RunSync;
+  void worker(std::size_t shard, RunSync& sync);
+  void push_event(std::size_t shard, const Event& ev);
+  bool drain_incoming(std::size_t shard);
+  void process_event(std::size_t shard, const Event& ev);
+  void stage(std::size_t from_shard, std::size_t to_shard, const Event& ev);
+
+  [[nodiscard]] SpscQueue<Handoff>& queue(std::size_t from, std::size_t to) {
+    return *queues_[from * static_cast<std::size_t>(cfg_.shards) + to];
+  }
+
+  Network& net_;
+  EngineConfig cfg_;
+  ShardPlan plan_;
+  Duration window_;  // min(plan lookahead, cfg.max_window)
+
+  std::vector<Packet> packets_;
+  std::vector<PacketOutcome> results_;
+
+  std::vector<std::vector<Event>> heaps_;  // per shard, binary heap
+  // K*K queues, row = producer shard (atomics make SpscQueue immovable,
+  // hence the indirection).
+  std::vector<std::unique_ptr<SpscQueue<Handoff>>> queues_;
+  std::vector<TimePoint> gen_done_;    // per shard pregeneration grid mark
+  std::vector<TimePoint> next_event_;  // per shard, published at exchange
+
+  // Per-shard stat deltas, merged deterministically (ascending shard)
+  // after every run.
+  std::vector<Stats> shard_stats_;
+  Stats stats_;
+  WindowControl ctl_;
+  TimePoint max_inject_;
+};
+
+}  // namespace ronpath::pdes
+
+#endif  // RONPATH_PDES_ENGINE_H_

@@ -1,0 +1,93 @@
+// Fixed-capacity single-producer / single-consumer handoff queues for
+// cross-shard packet exchange.
+//
+// Each ordered shard pair (p, c) owns one queue: only shard p's worker
+// pushes, only shard c's worker pops. The queue is a power-of-two ring
+// indexed by free-running head/tail counters; the producer publishes a
+// slot with a release store of head_, the consumer retires it with a
+// release store of tail_, so slot contents synchronize through exactly
+// one acquire load per side and no locks.
+//
+// Capacity is fixed by design (the PDES engine bounds in-flight memory
+// per shard pair). A full queue makes try_push fail; the engine reacts
+// with "push or drain" backpressure (see engine.cc) rather than
+// blocking, which is what keeps the shard workers deadlock-free.
+//
+// Every handoff is stamped (at, src_shard, seq). seq is the packet's
+// global injection index and unique per pending event, so ordering by
+// (at, seq) — what the per-shard heaps do — is a total order that does
+// not depend on which queue delivered the event or when it was drained:
+// the merge is seed-fixed at any shard count.
+
+#ifndef RONPATH_PDES_HANDOFF_H_
+#define RONPATH_PDES_HANDOFF_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ronpath::pdes {
+
+// One pending hop traversal, staged between shards. `at` is when the
+// packet reaches component `hop` of its path; `seq` identifies the
+// packet (injection order); `src_shard` is the stamping shard.
+struct Handoff {
+  TimePoint at;
+  std::uint32_t seq = 0;
+  std::uint16_t hop = 0;
+  std::uint16_t src_shard = 0;
+};
+
+template <typename T>
+class SpscQueue {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  // Producer side. Returns false when the queue is full.
+  bool try_push(const T& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the queue is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Observers; exact only on the owning side (racy but conservative
+  // elsewhere, which is all the engine's assertions need).
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Free-running counters; wrap-around is harmless at 64 bits.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace ronpath::pdes
+
+#endif  // RONPATH_PDES_HANDOFF_H_

@@ -1,0 +1,63 @@
+// Shard partitioning and conservative-lookahead bound for the PDES
+// engine (see DESIGN.md §13).
+//
+// Ownership rule: every site's four edge components (up / down /
+// prov_out / prov_in) and every core segment core(a, *) belong to the
+// shard that owns site a. A packet's per-hop walk (up, prov_out,
+// core(a,b), prov_in, down per leg) then crosses shards at most once
+// per leg — on the core(a,b) -> prov_in(b) edge — so the lookahead
+// bound only has to cover core segments between differently-owned
+// sites.
+//
+// Lookahead: after a packet is processed at core(a,b) at time t, its
+// next event is at t + delay(core(a,b)), and delay is bounded below by
+// the segment's deterministic floor (fixed_delay + stretched
+// propagation; jitter and queueing only add). The engine may therefore
+// process a window [W, W+L) in parallel, where
+//   L = min over cross-shard ordered pairs (a,b) of floor(core(a,b)).
+// A configuration whose floor is not strictly positive cannot be
+// sharded conservatively; build() rejects it with a diagnostic naming
+// the offending pair instead of silently producing a racy schedule.
+//
+// The site clustering is a deterministic greedy single-linkage
+// agglomeration: sites joined by small-floor core segments merge first
+// (keeping tight pairs inside one shard maximizes L), subject to a
+// ceil(n / shards) size cap for load balance; ties break on
+// (floor, cluster ids), so the plan is a pure function of
+// (topology, floors, shard count).
+
+#ifndef RONPATH_PDES_PARTITION_H_
+#define RONPATH_PDES_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "util/time.h"
+
+namespace ronpath::pdes {
+
+struct ShardPlan {
+  int shards = 1;
+  // Owning shard per site / per component (component indices follow
+  // net/topology.h numbering).
+  std::vector<std::uint32_t> site_shard;
+  std::vector<std::uint32_t> component_shard;
+  // Conservative window length; Duration::max() when shards == 1 (no
+  // cross-shard pair constrains the window).
+  Duration lookahead = Duration::max();
+
+  // Components owned by each shard, in ascending component order (the
+  // per-shard advance loops iterate these).
+  std::vector<std::vector<std::uint32_t>> shard_components;
+
+  // Builds the plan for `net`'s resolved topology and per-component
+  // delay floors. Throws std::invalid_argument for shards < 1 and
+  // std::runtime_error (zero-lookahead) when a cross-shard core floor
+  // is not strictly positive.
+  [[nodiscard]] static ShardPlan build(const Network& net, int shards);
+};
+
+}  // namespace ronpath::pdes
+
+#endif  // RONPATH_PDES_PARTITION_H_

@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //        0     8  magic "RONPSNAP"
-//        8     4  format version (currently 1)
+//        8     4  format version (currently 2)
 //       12     8  context fingerprint (FNV-1a over scenario/scheme/
 //                 config/seed; see SimWorld::fingerprint)
 //       20     8  payload length in bytes
@@ -33,7 +33,7 @@
 
 namespace ronpath::snap {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 inline constexpr std::size_t kSnapshotHeaderBytes = 28;
 inline constexpr std::size_t kSnapshotMinBytes = kSnapshotHeaderBytes + 8;
 

@@ -55,6 +55,11 @@ SimWorld::SimWorld(const Scenario& scenario, FaultScheme scheme, const FaultMatr
 
   Rng rng(seed_);
   net_.emplace(topo_, net_cfg, run_span + Duration::hours(1), rng.fork("net"));
+  if (cfg_.shards > 0) {
+    net_->enable_sharded_underlay();
+    advance_.emplace(*net_, pdes::ShardPlan::build(*net_, cfg_.shards));
+    net_->set_advance_hook(&*advance_);
+  }
 
   OverlayConfig ocfg;
   ocfg.router.forward_delay = net_cfg.forward_delay;
@@ -145,6 +150,10 @@ std::uint64_t SimWorld::fingerprint() const {
   h = fnv1a_u64(cfg_.graceful_degradation ? 1 : 0, h);
   h = fnv1a_u64(static_cast<std::uint64_t>(fault_start_.since_epoch().count_nanos()), h);
   h = fnv1a_u64(static_cast<std::uint64_t>(fault_duration_.count_nanos()), h);
+  // RNG discipline only (bool), NOT the shard count: sharded output is
+  // shard-count-invariant, so a --shards 4 snapshot must restore into a
+  // --shards 1 world.
+  h = fnv1a_u64(cfg_.shards > 0 ? 1 : 0, h);
   return h;
 }
 

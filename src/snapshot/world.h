@@ -31,6 +31,7 @@
 #include "fault/scenarios.h"
 #include "net/network.h"
 #include "overlay/overlay.h"
+#include "pdes/advance.h"
 #include "routing/hybrid.h"
 
 namespace ronpath {
@@ -106,6 +107,11 @@ class SimWorld {
   std::optional<FaultInjector> injector_;
   Scheduler sched_;
   std::optional<Network> net_;
+  // Sharded-underlay pregeneration service (cfg_.shards > 0). Declared
+  // after net_ so its worker threads stop before the Network they feed
+  // is torn down. No mutable state of its own: the quantized grid replays
+  // as a no-op after restore (DESIGN.md §13).
+  std::optional<pdes::AdvanceService> advance_;
   std::optional<OverlayNetwork> overlay_;
   std::optional<HybridSender> sender_;
 

@@ -1,0 +1,233 @@
+// SPSC handoff queue semantics (FIFO, capacity, wraparound, cross-thread
+// publication — the TSan target for the lock-free hot path) and shard
+// partition correctness: deterministic plans, the site-ownership rule,
+// balanced non-empty shards, and the zero-lookahead rejection with its
+// pair-naming diagnostic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/testbed.h"
+#include "net/config.h"
+#include "net/network.h"
+#include "pdes/handoff.h"
+#include "pdes/partition.h"
+#include "util/rng.h"
+
+namespace ronpath {
+namespace {
+
+using pdes::ShardPlan;
+using pdes::SpscQueue;
+
+TEST(SpscQueue, FifoAndCapacity) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.empty());
+
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99)) << "push into a full queue must fail, not overwrite";
+
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscQueue<int>(1024).capacity(), 1024u);
+}
+
+// Many push/pop cycles against a tiny ring so the free-running indices
+// wrap the mask repeatedly.
+TEST(SpscQueue, WraparoundKeepsFifoOrder) {
+  SpscQueue<std::uint64_t> q(2);
+  std::uint64_t next_pop = 0;
+  std::uint64_t i = 0;
+  while (i < 10'000) {
+    EXPECT_TRUE(q.try_push(i));
+    ++i;
+    if (i % 2 == 0) {
+      EXPECT_TRUE(q.try_push(i));
+      ++i;
+    }
+    std::uint64_t out = 0;
+    while (q.try_pop(out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_pop, i);
+  EXPECT_TRUE(q.empty());
+}
+
+// Concurrent producer/consumer: every value must arrive exactly once, in
+// order, with its payload intact. Run under TSan (ctest -L pdes) this
+// exercises the acquire/release pairing on head_/tail_.
+TEST(SpscQueue, ConcurrentProducerConsumer) {
+  constexpr std::uint64_t kN = 200'000;
+  SpscQueue<std::uint64_t> q(64);
+
+  std::thread producer([&q] {
+    for (std::uint64_t i = 0; i < kN;) {
+      if (q.try_push(i * 2654435761u)) ++i;
+    }
+  });
+
+  std::uint64_t received = 0;
+  while (received < kN) {
+    std::uint64_t out = 0;
+    if (q.try_pop(out)) {
+      ASSERT_EQ(out, received * 2654435761u);
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty());
+}
+
+// Handoff payloads survive the queue bit-for-bit (the struct is what the
+// engine actually exchanges).
+TEST(SpscQueue, HandoffPayloadRoundTrips) {
+  SpscQueue<pdes::Handoff> q(8);
+  pdes::Handoff in{TimePoint::epoch() + Duration::millis(1234), 77, 3, 1};
+  ASSERT_TRUE(q.try_push(in));
+  pdes::Handoff out;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out.at, in.at);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.hop, in.hop);
+  EXPECT_EQ(out.src_shard, in.src_shard);
+}
+
+Network make_network(std::uint64_t seed = 42) {
+  Topology topo = testbed_2003();
+  NetConfig cfg = NetConfig::profile_2003(Duration::hours(2));
+  return Network(std::move(topo), std::move(cfg), Duration::hours(2), Rng(seed));
+}
+
+TEST(ShardPlan, RejectsNonPositiveShardCount) {
+  const Network net = make_network();
+  EXPECT_THROW((void)ShardPlan::build(net, 0), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::build(net, -3), std::invalid_argument);
+}
+
+TEST(ShardPlan, SingleShardOwnsEverything) {
+  const Network net = make_network();
+  const ShardPlan plan = ShardPlan::build(net, 1);
+  EXPECT_EQ(plan.shards, 1);
+  EXPECT_EQ(plan.lookahead, Duration::max());
+  for (const std::uint32_t s : plan.site_shard) EXPECT_EQ(s, 0u);
+  ASSERT_EQ(plan.shard_components.size(), 1u);
+  EXPECT_EQ(plan.shard_components[0].size(), plan.component_shard.size());
+}
+
+// The ownership rule that makes core(a,b) -> prov_in(b) the only
+// cross-shard edge: site comps and core(a,*) follow site a's shard.
+TEST(ShardPlan, ComponentsFollowTheirSite) {
+  const Network net = make_network();
+  const Topology& topo = net.topology();
+  for (const int shards : {2, 4, 8}) {
+    const ShardPlan plan = ShardPlan::build(net, shards);
+    ASSERT_EQ(plan.site_shard.size(), topo.size());
+    ASSERT_EQ(plan.component_shard.size(), topo.component_count());
+    for (std::size_t ci = 0; ci < topo.component_count(); ++ci) {
+      const ComponentId id = topo.component(ci);
+      EXPECT_EQ(plan.component_shard[ci], plan.site_shard[id.a])
+          << "component " << ci << " at " << shards << " shards";
+    }
+  }
+}
+
+TEST(ShardPlan, ShardsAreNonEmptyBalancedAndDeterministic) {
+  const Network net = make_network();
+  const std::size_t n = net.topology().size();
+  for (const int shards : {2, 3, 4, 8}) {
+    const ShardPlan a = ShardPlan::build(net, shards);
+    const ShardPlan b = ShardPlan::build(net, shards);
+    EXPECT_EQ(a.site_shard, b.site_shard) << shards << " shards";
+    EXPECT_EQ(a.component_shard, b.component_shard);
+    EXPECT_EQ(a.lookahead, b.lookahead);
+
+    ASSERT_EQ(a.shard_components.size(), static_cast<std::size_t>(shards));
+    std::vector<std::size_t> sites_per_shard(static_cast<std::size_t>(shards), 0);
+    for (const std::uint32_t s : a.site_shard) ++sites_per_shard[s];
+    // The ceil(n/K) cap is best-effort: when every capped merge
+    // deadlocks, the relax pass merges the smallest combined pair, so a
+    // shard can exceed the cap by at most one deadlocked partner —
+    // bounded by 2x, never a mega-cluster.
+    const std::size_t cap = (n + static_cast<std::size_t>(shards) - 1) /
+                            static_cast<std::size_t>(shards);
+    for (int k = 0; k < shards; ++k) {
+      EXPECT_GE(sites_per_shard[static_cast<std::size_t>(k)], 1u)
+          << "shard " << k << " of " << shards << " owns no site";
+      EXPECT_LT(sites_per_shard[static_cast<std::size_t>(k)], 2 * cap)
+          << "shard " << k << " of " << shards << " is pathologically oversized";
+    }
+    EXPECT_GT(a.lookahead, Duration::zero());
+    EXPECT_LT(a.lookahead, Duration::max());
+  }
+}
+
+// More shards than sites: build must still produce a valid plan (empty
+// trailing shards are useless but harmless and the engine tolerates
+// them) OR reject; current policy clamps by leaving extra shards empty
+// is NOT used — clustering stops at n singleton clusters, so shards
+// beyond n would be empty. The engine only ever asks for counts the CLI
+// accepts; here we pin that n-shard plans (one site each) work.
+TEST(ShardPlan, OneSitePerShardAtFullFanout) {
+  const Network net = make_network();
+  const std::size_t n = net.topology().size();
+  const ShardPlan plan = ShardPlan::build(net, static_cast<int>(n));
+  std::vector<std::size_t> sites_per_shard(n, 0);
+  for (const std::uint32_t s : plan.site_shard) ++sites_per_shard[s];
+  for (std::size_t k = 0; k < n; ++k) EXPECT_EQ(sites_per_shard[k], 1u);
+}
+
+// A config whose cross-shard core floor collapses to zero (no stretch,
+// zero core fixed delay... but site propagation floors survive) must be
+// rejected with a diagnostic naming the offending pair. Zero the
+// propagation path entirely: co-located sites + zero stretch.
+TEST(ShardPlan, ZeroLookaheadIsRejectedWithPairDiagnostic) {
+  std::vector<Site> sites;
+  for (int i = 0; i < 4; ++i) {
+    Site s;
+    s.name = "site-" + std::to_string(i);
+    s.location = "lab";
+    s.link_class = LinkClass::kUniversity;
+    s.lat_deg = 0.0;  // co-located: propagation = router floor only
+    s.lon_deg = 0.0;
+    sites.push_back(s);
+  }
+  NetConfig cfg = NetConfig::profile_2003(Duration::hours(1));
+  // Kill the stretched propagation term; core fixed_delay is already
+  // zero in the profile (propagation is added by the network).
+  cfg.core_stretch_median = 0.0;
+  cfg.core_stretch_sigma = 0.0;
+  cfg.core_stretch_min = 0.0;
+  Network net(Topology(std::move(sites)), std::move(cfg), Duration::hours(1), Rng(7));
+
+  try {
+    (void)ShardPlan::build(net, 2);
+    FAIL() << "zero-lookahead configuration must be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lookahead"), std::string::npos) << what;
+    EXPECT_NE(what.find("site-"), std::string::npos)
+        << "diagnostic should name the offending pair: " << what;
+  }
+}
+
+}  // namespace
+}  // namespace ronpath

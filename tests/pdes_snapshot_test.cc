@@ -1,0 +1,193 @@
+// Snapshot canonicalization across shard counts.
+//
+// 1. Engine envelopes: a mid-run checkpoint of the same stream is
+//    byte-identical whether the engine runs 1 or 4 shards (pending
+//    events are merged and sorted, stats reduced to the shard-count-
+//    invariant subset), and a 4-shard checkpoint restored into a
+//    1-shard engine finishes byte-identically.
+// 2. SimWorld: a seeded kill/restore soak at --shards 4 must reproduce
+//    the report of an uninterrupted --shards 1 twin, including when the
+//    restore crosses shard counts.
+// 3. Discipline guard: a sharded snapshot cannot restore into a legacy
+//    world (different RNG stream layout) — clear SnapshotError instead
+//    of silently diverging.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fault_matrix.h"
+#include "core/testbed.h"
+#include "fault/scenarios.h"
+#include "net/config.h"
+#include "net/network.h"
+#include "pdes/engine.h"
+#include "snapshot/codec.h"
+#include "snapshot/world.h"
+#include "util/rng.h"
+
+namespace ronpath {
+namespace {
+
+using pdes::Engine;
+using pdes::EngineConfig;
+
+Network make_network(std::uint64_t seed = 42) {
+  Topology topo = testbed_2003();
+  NetConfig cfg = NetConfig::profile_2003(Duration::hours(2));
+  return Network(std::move(topo), std::move(cfg), Duration::hours(2), Rng(seed));
+}
+
+void inject_stream(Engine& engine, const Topology& topo, std::int64_t n,
+                   std::uint64_t seed) {
+  const auto n_sites = static_cast<NodeId>(topo.size());
+  Rng pick(seed ^ 0xd15c0ULL);
+  TimePoint t = TimePoint::epoch() + Duration::seconds(1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto src = static_cast<NodeId>(pick.next_below(n_sites));
+    auto dst = src;
+    while (dst == src) dst = static_cast<NodeId>(pick.next_below(n_sites));
+    PathSpec path{src, dst, kDirectVia};
+    if (i % 3 == 0) {
+      auto via = src;
+      while (via == src || via == dst) via = static_cast<NodeId>(pick.next_below(n_sites));
+      path.via = via;
+    }
+    engine.inject(path, t, (i % 16 == 0) ? TrafficClass::kProbe : TrafficClass::kData);
+    t += Duration::micros(10);
+  }
+}
+
+constexpr std::int64_t kPackets = 6'000;
+// Mid-stream: plenty of packets already finished, plenty still pending.
+const TimePoint kMid = TimePoint::epoch() + Duration::seconds(1) + Duration::millis(30);
+
+std::vector<std::uint8_t> engine_checkpoint(int shards) {
+  Network net = make_network();
+  net.enable_sharded_underlay();
+  EngineConfig cfg;
+  cfg.shards = shards;
+  Engine engine(net, cfg);
+  inject_stream(engine, net.topology(), kPackets, 42);
+  engine.run_until(kMid);
+  snap::Encoder e;
+  engine.save_state(e);
+  return e.bytes();
+}
+
+// The canonical-envelope pin: same stream, same checkpoint instant,
+// different shard counts — identical bytes.
+TEST(PdesSnapshot, EngineEnvelopeIsShardCountIndependent) {
+  const std::vector<std::uint8_t> at1 = engine_checkpoint(1);
+  const std::vector<std::uint8_t> at4 = engine_checkpoint(4);
+  EXPECT_EQ(at1, at4);
+  const std::vector<std::uint8_t> at8 = engine_checkpoint(8);
+  EXPECT_EQ(at1, at8);
+}
+
+// A 4-shard checkpoint restored into a 1-shard engine (events rehomed
+// under the restoring partition) finishes byte-identically to the
+// uninterrupted 4-shard run.
+TEST(PdesSnapshot, CrossShardRestoreFinishesIdentically) {
+  Network twin_net = make_network();
+  twin_net.enable_sharded_underlay();
+  EngineConfig cfg4;
+  cfg4.shards = 4;
+  Engine twin(twin_net, cfg4);
+  inject_stream(twin, twin_net.topology(), kPackets, 42);
+  twin.run_to_end();
+
+  const std::vector<std::uint8_t> checkpoint = engine_checkpoint(4);
+
+  Network net = make_network();
+  net.enable_sharded_underlay();
+  EngineConfig cfg1;
+  cfg1.shards = 1;
+  Engine restored(net, cfg1);
+  snap::Decoder d(checkpoint);
+  restored.restore_state(d);
+  restored.run_to_end();
+
+  ASSERT_EQ(restored.results().size(), twin.results().size());
+  EXPECT_EQ(restored.checksum(), twin.checksum());
+  EXPECT_EQ(restored.stats().processed_events, twin.stats().processed_events);
+  EXPECT_EQ(restored.stats().delivered, twin.stats().delivered);
+  EXPECT_EQ(restored.stats().dropped_random, twin.stats().dropped_random);
+  EXPECT_EQ(restored.stats().dropped_burst, twin.stats().dropped_burst);
+  EXPECT_EQ(restored.stats().dropped_outage, twin.stats().dropped_outage);
+  EXPECT_EQ(restored.stats().dropped_injected, twin.stats().dropped_injected);
+}
+
+FaultMatrixConfig soak_cfg(int shards) {
+  FaultMatrixConfig cfg;
+  cfg.node_count = 6;
+  cfg.warmup = Duration::minutes(8);
+  cfg.measured = Duration::minutes(8);
+  cfg.send_interval = Duration::millis(500);
+  cfg.shards = shards;
+  return cfg;
+}
+
+// Seeded kill/restore soak: a --shards 4 world killed twice, with the
+// second resurrection deliberately landing in a --shards 1 world, must
+// reproduce the uninterrupted single-shard twin's report byte for byte.
+TEST(PdesSnapshot, KillRestoreSoakAcrossShardCounts) {
+  const auto scenarios = canonical_scenarios();
+  const Scenario& scenario = scenarios[2 % scenarios.size()];
+  const FaultScheme scheme = FaultScheme::kHybrid;
+
+  SimWorld twin(scenario, scheme, soak_cfg(1), soak_cfg(1).seed);
+  twin.run_to_end();
+  const std::string expected = twin.report();
+  const std::size_t total = twin.total_sends();
+
+  // Fingerprints must agree across shard counts (discipline bool, not
+  // the count) or cross-count restores would be rejected at the seal.
+  SimWorld probe4(scenario, scheme, soak_cfg(4), soak_cfg(4).seed);
+  EXPECT_EQ(probe4.fingerprint(), twin.fingerprint());
+
+  SimWorld victim(scenario, scheme, soak_cfg(4), soak_cfg(4).seed);
+  victim.advance_to(total / 3);
+  snap::Encoder first;
+  victim.save_state(first);
+
+  SimWorld resumed(scenario, scheme, soak_cfg(4), soak_cfg(4).seed);
+  {
+    snap::Decoder d(first.bytes());
+    resumed.restore_state(d);
+  }
+  resumed.advance_to(2 * total / 3);
+  snap::Encoder second;
+  resumed.save_state(second);
+
+  SimWorld final_world(scenario, scheme, soak_cfg(1), soak_cfg(1).seed);
+  {
+    snap::Decoder d(second.bytes());
+    final_world.restore_state(d);
+  }
+  final_world.run_to_end();
+  EXPECT_EQ(final_world.report(), expected);
+}
+
+// Restoring a sharded snapshot into a legacy world (or vice versa) is a
+// different RNG discipline and must fail loudly.
+TEST(PdesSnapshot, DisciplineMismatchIsRejected) {
+  const auto scenarios = canonical_scenarios();
+  const Scenario& scenario = scenarios[0];
+
+  SimWorld sharded(scenario, FaultScheme::kReactive, soak_cfg(2), soak_cfg(2).seed);
+  sharded.advance_to(5);
+  snap::Encoder e;
+  sharded.save_state(e);
+
+  FaultMatrixConfig legacy = soak_cfg(1);
+  legacy.shards = 0;
+  SimWorld target(scenario, FaultScheme::kReactive, legacy, legacy.seed);
+  snap::Decoder d(e.bytes());
+  EXPECT_THROW(target.restore_state(d), snap::SnapshotError);
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,121 @@
+// Sequenced sharded mode at the fault-cell level.
+//
+// With cfg.shards > 0 a fault cell runs the sharded underlay discipline
+// (per-component RNG substreams + the quantized AdvanceService). The
+// contract: the CELL — and the SimWorld report — is byte-identical at
+// every positive shard count across all 8 canonical scenarios. It is a
+// different discipline from legacy (shards == 0), so those bytes may
+// (and do) differ; the legacy golden tables stay pinned elsewhere.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "core/fault_matrix.h"
+#include "fault/scenarios.h"
+#include "snapshot/world.h"
+#include "util/time.h"
+
+namespace ronpath {
+namespace {
+
+// Short but realistic: the warmup covers several probe rounds so routing
+// reacts, and the measured window spans each scenario's fault.
+FaultMatrixConfig sharded_cfg(int shards) {
+  FaultMatrixConfig cfg;
+  cfg.node_count = 8;
+  cfg.warmup = Duration::minutes(8);
+  cfg.measured = Duration::minutes(8);
+  cfg.send_interval = Duration::millis(500);
+  cfg.shards = shards;
+  return cfg;
+}
+
+FaultScheme scheme_for(std::size_t i) {
+  switch (i % 4) {
+    case 0: return FaultScheme::kDirect;
+    case 1: return FaultScheme::kReactive;
+    case 2: return FaultScheme::kMesh;
+    default: return FaultScheme::kHybrid;
+  }
+}
+
+void expect_same_cell(const FaultCell& a, const FaultCell& b, const std::string& what) {
+  EXPECT_EQ(a.loss_pre_pct, b.loss_pre_pct) << what;
+  EXPECT_EQ(a.loss_fault_pct, b.loss_fault_pct) << what;
+  EXPECT_EQ(a.loss_post_pct, b.loss_post_pct) << what;
+  EXPECT_EQ(a.failover_measured, b.failover_measured) << what;
+  EXPECT_EQ(a.failover_s, b.failover_s) << what;
+  EXPECT_EQ(a.recovery_measured, b.recovery_measured) << what;
+  EXPECT_EQ(a.recovery_s, b.recovery_s) << what;
+  EXPECT_EQ(a.overhead, b.overhead) << what;
+  EXPECT_EQ(a.route_switches, b.route_switches) << what;
+  EXPECT_EQ(a.injected_drops, b.injected_drops) << what;
+}
+
+// Every canonical scenario, rotating schemes: the cell at 2, 4 and 8
+// shards must equal the 1-shard cell exactly (doubles compared
+// bit-for-bit via operator==).
+TEST(PdesWorld, FaultCellsAreShardCountInvariant) {
+  const auto scenarios = canonical_scenarios();
+  ASSERT_EQ(scenarios.size(), 8u);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& scenario = scenarios[i];
+    const FaultScheme scheme = scheme_for(i);
+    const FaultMatrixConfig base = sharded_cfg(1);
+    const FaultCell cell1 = run_fault_cell(scenario, scheme, base, base.seed);
+    for (const int shards : {2, 4, 8}) {
+      const FaultMatrixConfig cfg = sharded_cfg(shards);
+      const FaultCell cellk = run_fault_cell(scenario, scheme, cfg, cfg.seed);
+      expect_same_cell(cell1, cellk,
+                       std::string(scenario.name) + " @ " + std::to_string(shards) + " shards");
+    }
+  }
+}
+
+// The full SimWorld report — clock, event counts, net stats, probe
+// counters, delivery-timeline hash, cell metrics — byte-identical
+// across shard counts for every scenario.
+TEST(PdesWorld, ReportsAreShardCountInvariant) {
+  const auto scenarios = canonical_scenarios();
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& scenario = scenarios[i];
+    const FaultScheme scheme = scheme_for(i + 1);
+    const FaultMatrixConfig base = sharded_cfg(1);
+    SimWorld one(scenario, scheme, base, base.seed);
+    one.run_to_end();
+    const std::string expected = one.report();
+    for (const int shards : {2, 4, 8}) {
+      const FaultMatrixConfig cfg = sharded_cfg(shards);
+      SimWorld world(scenario, scheme, cfg, cfg.seed);
+      world.run_to_end();
+      EXPECT_EQ(world.report(), expected)
+          << scenario.name << " @ " << shards << " shards";
+    }
+  }
+}
+
+// The sharded discipline really is a different stream layout from
+// legacy: if a "sharded" run reproduced legacy bytes, the per-component
+// substreams would not actually be in use.
+TEST(PdesWorld, ShardedDisciplineDiffersFromLegacy) {
+  const auto scenarios = canonical_scenarios();
+  const Scenario& scenario = scenarios[0];
+  FaultMatrixConfig legacy = sharded_cfg(1);
+  legacy.shards = 0;
+  const FaultCell legacy_cell =
+      run_fault_cell(scenario, FaultScheme::kReactive, legacy, legacy.seed);
+  const FaultMatrixConfig cfg = sharded_cfg(1);
+  const FaultCell sharded_cell =
+      run_fault_cell(scenario, FaultScheme::kReactive, cfg, cfg.seed);
+  // Loss percentages are the most draw-sensitive field; at least one
+  // phase should move when every component owns its own substream.
+  EXPECT_TRUE(legacy_cell.loss_pre_pct != sharded_cell.loss_pre_pct ||
+              legacy_cell.loss_fault_pct != sharded_cell.loss_fault_pct ||
+              legacy_cell.loss_post_pct != sharded_cell.loss_post_pct ||
+              legacy_cell.route_switches != sharded_cell.route_switches);
+}
+
+}  // namespace
+}  // namespace ronpath

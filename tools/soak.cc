@@ -57,6 +57,7 @@ struct SoakOptions {
   Duration send_interval = Duration::seconds(10);
   std::size_t checkpoint_every = 1000;  // sends between checkpoints
   std::size_t kill_every = 3;           // kill/restore at every k-th checkpoint (0 = never)
+  int shards = 0;                       // > 0: sharded underlay discipline
   bool audit = true;
   bool verify = false;
   std::string snapshot_dir;  // empty = snapshots stay in memory
@@ -67,7 +68,7 @@ struct SoakOptions {
       code == 0 ? stdout : stderr,
       "usage: soak [--scenario NAME|day-stream|FILE] [--scheme direct|reactive|mesh|hybrid]\n"
       "            [--seed N] [--nodes N] [--hours H] [--send-interval-ms M]\n"
-      "            [--checkpoint-every SENDS] [--kill-every K] [--no-audit]\n"
+      "            [--checkpoint-every SENDS] [--kill-every K] [--shards K] [--no-audit]\n"
       "            [--snapshot-dir DIR] [--verify] [--quick]\n");
   std::exit(code);
 }
@@ -121,6 +122,8 @@ SoakOptions parse_args(int argc, char** argv) {
           static_cast<std::size_t>(parse_int("--checkpoint-every", next(), 1, 1'000'000'000));
     } else if (arg == "--kill-every") {
       opt.kill_every = static_cast<std::size_t>(parse_int("--kill-every", next(), 0, 1'000'000));
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<int>(parse_int("--shards", next(), 1, 256));
     } else if (arg == "--no-audit") {
       opt.audit = false;
     } else if (arg == "--snapshot-dir") {
@@ -202,6 +205,7 @@ int main(int argc, char** argv) {
   cfg.seed = opt.seed;
   cfg.measured = opt.measured;
   cfg.send_interval = opt.send_interval;
+  cfg.shards = opt.shards;
   std::string dsl_storage;
   const Scenario scenario = resolve_scenario(opt, cfg, dsl_storage);
 
