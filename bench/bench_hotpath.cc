@@ -54,6 +54,7 @@
 #include "net/network.h"
 #include "pdes/engine.h"
 #include "util/rng.h"
+#include "util/trajectory.h"
 
 namespace ronpath {
 namespace {
@@ -337,30 +338,21 @@ void emit_json(std::FILE* f, const Result& r, const std::string& label) {
   std::fprintf(f, "\n}\n");
 }
 
-// Pulls the LAST occurrence of `"key": <number>` out of a trajectory
-// file. The format is our own flat JSON, so a scan is sufficient and
-// avoids a JSON-library dependency.
-double last_value(const std::string& text, const std::string& key) {
-  const std::string needle = "\"" + key + "\":";
-  std::size_t pos = std::string::npos;
-  std::size_t at = text.find(needle);
-  while (at != std::string::npos) {
-    pos = at;
-    at = text.find(needle, at + 1);
-  }
-  if (pos == std::string::npos) return -1.0;
-  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
-}
-
 int compare_against(const char* path, const Result& r, double max_regress) {
-  std::ifstream in(path);
-  if (!in) {
+  const std::optional<std::string> text = traj::read_file(path);
+  if (!text) {
     std::fprintf(stderr, "--compare: cannot read %s\n", path);
     return 2;
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string text = ss.str();
+  // Baseline = the LAST trajectory entry only. Older entries may carry
+  // fields the newest one lacks (pre-PR6 rows have no sharded columns,
+  // and vice versa), so the keys must be resolved within one entry, not
+  // by a whole-file scan.
+  const std::string entry = traj::last_entry(*text);
+  if (entry.empty()) {
+    std::fprintf(stderr, "--compare: no trajectory entry in %s\n", path);
+    return 2;
+  }
 
   int rc = 0;
   const struct {
@@ -373,12 +365,12 @@ int compare_against(const char* path, const Result& r, double max_regress) {
       {"sharded_packets_per_sec", r.sharded_packets_per_sec, true},
   };
   for (const auto& c : checks) {
-    const double committed = last_value(text, c.key);
+    const double committed = traj::number_field(entry, c.key);
     if (c.optional && (committed <= 0.0 || c.measured <= 0.0)) {
       continue;  // dimension absent in the baseline or not measured this run
     }
     if (committed <= 0.0) {
-      std::fprintf(stderr, "--compare: no %s in %s\n", c.key, path);
+      std::fprintf(stderr, "--compare: no %s in the last entry of %s\n", c.key, path);
       return 2;
     }
     const double ratio = committed / c.measured;

@@ -7,6 +7,7 @@
 
 #include "core/driver.h"
 #include "core/testbed.h"
+#include "net/scale_topology.h"
 #include "event/scheduler.h"
 #include "fault/injector.h"
 #include "net/config.h"
@@ -29,13 +30,25 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.path_depth < 1 || cfg.path_depth > 2) {
     throw std::invalid_argument("path_depth must be 1 or 2 (forwarding carries <= 2 relays)");
   }
-  const bool is_2003 = cfg.dataset == Dataset::kRon2003;
-  Topology topo = is_2003 ? testbed_2003() : testbed_2002();
-  if (cfg.node_count && *cfg.node_count < topo.size()) {
-    std::vector<Site> subset(topo.sites().begin(),
-                             topo.sites().begin() + static_cast<long>(*cfg.node_count));
-    topo = Topology(std::move(subset));
+  if (cfg.lazy_underlay && cfg.shards > 0) {
+    throw std::invalid_argument("lazy_underlay is incompatible with sharded execution");
   }
+  const bool is_2003 = cfg.dataset == Dataset::kRon2003;
+  Topology topo = [&] {
+    if (cfg.synth_nodes > 0) {
+      ScaleTopologyParams params;
+      params.nodes = cfg.synth_nodes;
+      params.seed = cfg.seed;
+      return scale_topology(params);
+    }
+    Topology t = is_2003 ? testbed_2003() : testbed_2002();
+    if (cfg.node_count && *cfg.node_count < t.size()) {
+      std::vector<Site> subset(t.sites().begin(),
+                               t.sites().begin() + static_cast<long>(*cfg.node_count));
+      t = Topology(std::move(subset));
+    }
+    return t;
+  }();
   const Duration run_span = cfg.warmup + cfg.duration;
   NetConfig net_cfg =
       is_2003 ? NetConfig::profile_2003(run_span) : NetConfig::profile_2002(run_span);
@@ -44,6 +57,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.provider_cross_fraction) {
     net_cfg.provider_events.cross_fraction = *cfg.provider_cross_fraction;
   }
+  net_cfg.lazy_components = cfg.lazy_underlay;
 
   Rng rng(cfg.seed);
   Scheduler sched;
@@ -64,6 +78,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   overlay_cfg.use_ewma_loss = cfg.use_ewma_loss;
   overlay_cfg.router.max_intermediates = cfg.path_depth;
+  overlay_cfg.fanout = cfg.overlay_fanout;
+  overlay_cfg.landmarks = cfg.overlay_landmarks;
   if (cfg.graceful_degradation) {
     // Entries expire after five missed publications; flapping vias serve
     // a doubling hold-down starting at two probe intervals.

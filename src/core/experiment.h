@@ -72,6 +72,19 @@ struct ExperimentConfig {
   // at any positive value; 0 (default) keeps the legacy single-stream
   // discipline and the historical golden tables.
   int shards = 0;
+
+  // --- scaling (DESIGN.md §14) ---
+  // > 0: replace the testbed topology with a synthetic hierarchical
+  // underlay of this many sites (net/scale_topology.h, seeded by `seed`).
+  // Ignores node_count.
+  std::size_t synth_nodes = 0;
+  // > 0: bandwidth-capped overlay (k-nearest neighbor graph, rotated
+  // announcements, landmark alternates). 0 keeps the full mesh.
+  std::size_t overlay_fanout = 0;
+  std::size_t overlay_landmarks = 8;
+  // Materialize underlay core components on first traversal (required
+  // headroom at 1000+ nodes; incompatible with shards > 0).
+  bool lazy_underlay = false;
 };
 
 struct ExperimentResult {

@@ -8,6 +8,7 @@
 
 #include "core/testbed.h"
 #include "core/trials.h"
+#include "net/scale_topology.h"
 #include "event/scheduler.h"
 #include "fault/injector.h"
 #include "net/config.h"
@@ -43,19 +44,32 @@ std::span<const FaultScheme> all_fault_schemes() { return kSchemes; }
 
 FaultCell run_fault_cell(const Scenario& scenario, FaultScheme scheme,
                          const FaultMatrixConfig& cfg, std::uint64_t seed) {
-  Topology topo = testbed_2003();
-  assert(cfg.node_count >= 2);
-  if (cfg.node_count < topo.size()) {
-    std::vector<Site> subset(topo.sites().begin(),
-                             topo.sites().begin() + static_cast<long>(cfg.node_count));
-    topo = Topology(std::move(subset));
+  if (cfg.lazy_underlay && cfg.shards > 0) {
+    throw std::invalid_argument("lazy_underlay is incompatible with sharded execution");
   }
+  Topology topo = [&] {
+    if (cfg.synth_nodes > 0) {
+      ScaleTopologyParams params;
+      params.nodes = cfg.synth_nodes;
+      params.seed = cfg.seed;
+      return scale_topology(params);
+    }
+    Topology t = testbed_2003();
+    assert(cfg.node_count >= 2);
+    if (cfg.node_count < t.size()) {
+      std::vector<Site> subset(t.sites().begin(),
+                               t.sites().begin() + static_cast<long>(cfg.node_count));
+      t = Topology(std::move(subset));
+    }
+    return t;
+  }();
 
   const Duration run_span = cfg.warmup + cfg.measured;
   NetConfig net_cfg = NetConfig::profile_2003(run_span);
   // Only the scripted fault may perturb the run: organic incidents and
   // host failures would smear the failover/recovery measurements.
   net_cfg.incidents.clear();
+  net_cfg.lazy_components = cfg.lazy_underlay;
 
   std::string parse_error;
   const auto schedule = FaultSchedule::parse(scenario.dsl, &parse_error);
@@ -81,6 +95,8 @@ FaultCell run_fault_cell(const Scenario& scenario, FaultScheme scheme,
   OverlayConfig ocfg;
   ocfg.router.forward_delay = net_cfg.forward_delay;
   ocfg.host_failures_per_month = 0.0;
+  ocfg.fanout = cfg.overlay_fanout;
+  ocfg.landmarks = cfg.overlay_landmarks;
   if (cfg.graceful_degradation) {
     // Entries expire after five missed publications; flapping vias serve
     // a doubling hold-down starting at two probe intervals.

@@ -66,6 +66,18 @@ struct FaultMatrixConfig {
   // legacy (0) discipline, which stays the default so existing golden
   // tables are untouched.
   int shards = 0;
+
+  // --- scaling (DESIGN.md §14) ---
+  // > 0: run the cell on a synthetic hierarchical topology of this many
+  // sites (net/scale_topology.h) instead of the testbed subset.
+  std::size_t synth_nodes = 0;
+  // > 0: bandwidth-capped overlay (k-nearest graph + rotated
+  // announcements + landmarks); 0 keeps the full mesh.
+  std::size_t overlay_fanout = 0;
+  std::size_t overlay_landmarks = 8;
+  // Materialize underlay cores on first traversal (scale runs only;
+  // incompatible with shards > 0).
+  bool lazy_underlay = false;
 };
 
 // One (scenario, scheme) cell from a single trial.

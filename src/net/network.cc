@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "snapshot/codec.h"
 
@@ -33,13 +34,9 @@ Network::Network(Topology topology, NetConfig config, Duration horizon, Rng rng)
     : topo_(std::move(topology)), config_(std::move(config)), pkt_rng_(rng.fork("packets")) {
   const std::size_t n_components = topo_.component_count();
   const std::size_t n = topo_.size();
+  site_comp_count_ = kSiteCompCount * n;
 
   // Pregenerate provider-level events per site over the run horizon.
-  struct SiteEvent {
-    TimePoint start;
-    TimePoint end;
-    std::uint64_t seq;
-  };
   std::vector<std::vector<SiteEvent>> site_events(n);
   const auto& pe = config_.provider_events;
   if (pe.events_per_site_day > 0.0) {
@@ -56,6 +53,48 @@ Network::Network(Topology topology, NetConfig config, Duration horizon, Rng rng)
         t += er.exponential_duration(mean_gap);
       }
     }
+  }
+
+  if (config_.lazy_components) {
+    // Lazy mode: keep the keyed construction forks and the pregenerated
+    // site events, materialize only the per-site components now; cores
+    // (the n*(n-1) bulk) are built on first touch in core_at(), with
+    // construction bit-identical to the eager branch below.
+    lazy_ = std::make_unique<LazyCtx>(
+        LazyCtx{rng.fork("core-quality"), rng.fork("core-stretch"), rng.fork("event-hits"),
+                rng.fork("component"), std::move(site_events)});
+    latency_additions_.resize(site_comp_count_);
+    components_.reserve(site_comp_count_);
+    for (std::size_t ci = 0; ci < site_comp_count_; ++ci) {
+      const ComponentId id = topo_.component(ci);
+      ComponentParams params = config_.params_for(topo_, ci);
+      std::vector<StateInterval> boosts;
+      for (const Incident& inc : config_.incidents) {
+        const bool affected =
+            inc.scope == Incident::Scope::kAccess &&
+            (inc.site_name.empty() || topo_.site(id.a).name == inc.site_name);
+        if (!affected) continue;
+        const double inc_boost =
+            inc.loss_rate > 0.0 ? derived_boost(params, inc.loss_rate) : inc.burst_boost;
+        if (inc_boost != 1.0) boosts.push_back({inc.start, inc.end(), inc_boost});
+        if (inc.added_latency > Duration::zero()) {
+          latency_additions_[ci].push_back({inc.start, inc.end(), inc.added_latency});
+        }
+      }
+      components_.emplace_back(params, topo_.site(id.a).lon_deg, sorted(std::move(boosts)),
+                               rng.fork("component").fork(ci));
+    }
+    hop_meta_.resize(site_comp_count_);
+    for (std::size_t ci = 0; ci < site_comp_count_; ++ci) {
+      const ComponentParams& p = components_[ci].params();
+      HopMeta& m = hop_meta_[ci];
+      m.fixed_delay = p.fixed_delay;
+      m.ln_jitter_median = std::log(p.jitter_median.to_seconds_f());
+      m.jitter_sigma = p.jitter_sigma;
+      m.is_core = false;
+      m.has_additions = !latency_additions_[ci].empty();
+    }
+    return;
   }
 
   // Resolve per-component static boosts, latency additions and stretch.
@@ -155,10 +194,97 @@ Network::Network(Topology topology, NetConfig config, Duration horizon, Rng rng)
 }
 
 double Network::core_stretch(NodeId src, NodeId dst) const {
-  return core_stretch_[topo_.core_index(src, dst) - kSiteCompCount * topo_.size()];
+  const std::size_t slot = topo_.core_index(src, dst) - kSiteCompCount * topo_.size();
+  if (!lazy_) return core_stretch_[slot];
+  // Lazy mode skips the dense stretch table; the value is a pure function
+  // of the keyed fork, recomputed on demand (same expression as eager).
+  const double stretch = config_.core_stretch_median *
+                         std::exp(config_.core_stretch_sigma *
+                                  lazy_->stretch_rng.fork(slot).normal(0.0, 1.0));
+  return std::max(stretch, config_.core_stretch_min);
+}
+
+Network::CoreState& Network::core_at(std::size_t ci) {
+  assert(lazy_ != nullptr && ci >= site_comp_count_ && ci < topo_.component_count());
+  const auto it = cores_.find(ci);
+  if (it != cores_.end()) return it->second;
+
+  // Mirrors the eager ctor's per-core construction exactly — same fork
+  // keys, same draw order per object; keep the two in sync.
+  const ComponentId id = topo_.component(ci);
+  ComponentParams params = config_.params_for(topo_, ci);
+  const double q = std::min(
+      config_.core_quality_max,
+      std::exp(config_.core_quality_sigma * lazy_->quality_rng.fork(ci).normal(0.0, 1.0)));
+  params.bursts_per_hour *= q;
+  params.base_loss *= std::min(q, 5.0);
+
+  std::vector<StateInterval> boosts;
+  const auto& pe = config_.provider_events;
+  const double event_boost = derived_boost(params, pe.event_loss_rate);
+  boosts.reserve(lazy_->site_events[id.a].size() + lazy_->site_events[id.b].size());
+  for (NodeId endpoint : {id.a, id.b}) {
+    const Rng endpoint_rng = lazy_->hit_root.fork(endpoint);
+    for (const auto& ev : lazy_->site_events[endpoint]) {
+      Rng hit = endpoint_rng.fork(ev.seq).fork(ci);
+      if (hit.next_double() < pe.cross_fraction) {
+        boosts.push_back({ev.start, ev.end, event_boost});
+      }
+    }
+  }
+
+  std::vector<LatencyAddition> additions;
+  for (std::size_t ii = 0; ii < config_.incidents.size(); ++ii) {
+    const Incident& inc = config_.incidents[ii];
+    if (inc.scope != Incident::Scope::kCore) continue;
+    const bool incident_site = inc.site_name.empty() ||
+                               topo_.site(id.a).name == inc.site_name ||
+                               topo_.site(id.b).name == inc.site_name;
+    if (!incident_site) continue;
+    Rng hit = lazy_->hit_root.fork("incident").fork(ii).fork(ci);
+    if (hit.next_double() >= inc.cross_fraction) continue;
+    const double inc_boost =
+        inc.loss_rate > 0.0 ? derived_boost(params, inc.loss_rate) : inc.burst_boost;
+    if (inc_boost != 1.0) boosts.push_back({inc.start, inc.end(), inc_boost});
+    if (inc.added_latency > Duration::zero()) {
+      additions.push_back({inc.start, inc.end(), inc.added_latency});
+    }
+  }
+
+  CoreState st{ComponentProcess(params, topo_.site(id.a).lon_deg, sorted(std::move(boosts)),
+                                lazy_->component_root.fork(ci)),
+               HopMeta{}, std::move(additions)};
+  st.meta.fixed_delay = params.fixed_delay;
+  st.meta.ln_jitter_median = std::log(params.jitter_median.to_seconds_f());
+  st.meta.jitter_sigma = params.jitter_sigma;
+  st.meta.is_core = true;
+  st.meta.has_additions = !st.additions.empty();
+  st.meta.stretched_prop = Duration::from_seconds_f(
+      topo_.propagation(id.a, id.b).to_seconds_f() * core_stretch(id.a, id.b));
+  return cores_.emplace(ci, std::move(st)).first->second;
+}
+
+ComponentProcess& Network::component_at(std::size_t ci) {
+  if (lazy_ && ci >= site_comp_count_) return core_at(ci).proc;
+  return components_[ci];
+}
+
+const Network::HopMeta& Network::hop_meta_at(std::size_t ci) {
+  if (lazy_ && ci >= site_comp_count_) return core_at(ci).meta;
+  return hop_meta_[ci];
+}
+
+const std::vector<Network::LatencyAddition>& Network::additions_at(std::size_t ci) {
+  if (lazy_ && ci >= site_comp_count_) return core_at(ci).additions;
+  return latency_additions_[ci];
 }
 
 void Network::enable_sharded_underlay() {
+  if (lazy_) {
+    throw std::logic_error(
+        "enable_sharded_underlay: incompatible with lazy_components (shard plans "
+        "pre-partition the full component grid)");
+  }
   if (!pkt_rngs_.empty()) return;
   assert(stats_.transmitted == 0 && "enable_sharded_underlay must precede all traffic");
   pkt_rngs_.reserve(components_.size());
@@ -169,12 +295,21 @@ void Network::enable_sharded_underlay() {
 }
 
 Duration Network::hop_floor(std::size_t component) const {
+  if (lazy_ && component >= site_comp_count_) {
+    // Derivable without materializing: quality scaling never touches
+    // fixed_delay, and stretch is recomputed from its keyed fork.
+    const ComponentId id = topo_.component(component);
+    return config_.params_for(topo_, component).fixed_delay +
+           Duration::from_seconds_f(topo_.propagation(id.a, id.b).to_seconds_f() *
+                                    core_stretch(id.a, id.b));
+  }
   const HopMeta& m = hop_meta_[component];
   return m.is_core ? m.fixed_delay + m.stretched_prop : m.fixed_delay;
 }
 
 Network::HopOutcome Network::traverse_hop(std::size_t component, TimePoint t) {
   assert(!pkt_rngs_.empty() && "traverse_hop requires the sharded underlay");
+  assert(lazy_ == nullptr && "sharded underlay excludes lazy components");
   const ComponentSample s = components_[component].sample(t);
   Rng& rng = pkt_rngs_[component];
   HopOutcome out;
@@ -201,7 +336,7 @@ Network::HopOutcome Network::traverse_hop(std::size_t component, TimePoint t) {
 }
 
 Duration Network::hop_delay(std::size_t component, const ComponentSample& s, TimePoint t) {
-  const HopMeta& m = hop_meta_[component];
+  const HopMeta& m = hop_meta_at(component);
   Duration d = m.fixed_delay;
   if (m.is_core) d += m.stretched_prop;
   // Per-packet jitter.
@@ -212,7 +347,7 @@ Duration Network::hop_delay(std::size_t component, const ComponentSample& s, Tim
   }
   // Incident latency additions.
   if (m.has_additions) {
-    for (const auto& add : latency_additions_[component]) {
+    for (const auto& add : additions_at(component)) {
       if (t >= add.start && t < add.end) d += add.added;
     }
   }
@@ -262,7 +397,7 @@ TransmitResult Network::transmit(const PathSpec& path, TimePoint send_time, Traf
       r.drop_component = ci;
       return r;
     }
-    const ComponentSample s = components_[ci].sample(t);
+    const ComponentSample s = component_at(ci).sample(t);
     if (pkt_rng_.bernoulli(s.drop_prob)) {
       TransmitResult r;
       r.delivered = false;
@@ -367,8 +502,24 @@ void Network::save_state(snap::Encoder& e) const {
   // network (or vice versa). Deliberately a bool, not the shard count —
   // the payload is identical at every shard count.
   e.b(sharded_underlay());
+  // Lazy-core marker plus the materialized-core set (sorted for
+  // determinism). The set is itself a deterministic function of the
+  // traffic, so an uninterrupted run and a restored run converge on the
+  // same list at the same point.
+  e.b(lazy_ != nullptr);
   e.u64(components_.size());
   for (const ComponentProcess& c : components_) c.save_state(e);
+  if (lazy_) {
+    std::vector<std::size_t> keys;
+    keys.reserve(cores_.size());
+    for (const auto& [ci, st] : cores_) keys.push_back(ci);
+    std::sort(keys.begin(), keys.end());
+    e.u64(keys.size());
+    for (const std::size_t ci : keys) {
+      e.u64(ci);
+      cores_.at(ci).proc.save_state(e);
+    }
+  }
   snap::save_rng(e, pkt_rng_);
   for (const Rng& r : pkt_rngs_) snap::save_rng(e, r);
   e.i64(stats_.transmitted);
@@ -389,6 +540,13 @@ void Network::restore_state(snap::Decoder& d) {
         (sharded ? "sharded" : "legacy") + ", network is " +
         (sharded_underlay() ? "sharded" : "legacy") + ")");
   }
+  const bool lazy = d.b();
+  if (lazy != (lazy_ != nullptr)) {
+    throw snap::SnapshotError(std::string("snapshot: component materialization mismatch "
+                                          "(snapshot is ") +
+                              (lazy ? "lazy" : "eager") + ", network is " +
+                              (lazy_ ? "lazy" : "eager") + ")");
+  }
   const std::uint64_t n = d.u64();
   if (n != components_.size()) {
     throw snap::SnapshotError("snapshot: component count mismatch (snapshot has " +
@@ -397,6 +555,23 @@ void Network::restore_state(snap::Decoder& d) {
                               " — different topology or configuration)");
   }
   for (ComponentProcess& c : components_) c.restore_state(d);
+  if (lazy_) {
+    // Clear and rebuild the materialized set: each listed core is built
+    // fresh from its keyed forks, then overwritten with the saved
+    // timeline state.
+    cores_.clear();
+    const std::uint64_t n_cores = d.count(9);
+    std::size_t prev = 0;
+    for (std::uint64_t i = 0; i < n_cores; ++i) {
+      const std::uint64_t ci = d.u64();
+      if (ci < site_comp_count_ || ci >= topo_.component_count() ||
+          (i > 0 && ci <= prev)) {
+        throw snap::SnapshotError("snapshot: materialized-core list corrupt or unsorted");
+      }
+      prev = ci;
+      core_at(ci).proc.restore_state(d);
+    }
+  }
   snap::restore_rng(d, pkt_rng_);
   for (Rng& r : pkt_rngs_) snap::restore_rng(d, r);
   stats_.transmitted = d.i64();
@@ -414,6 +589,21 @@ void Network::restore_state(snap::Decoder& d) {
 void Network::check_invariants(std::vector<std::string>& out) const {
   for (std::size_t i = 0; i < components_.size(); ++i) {
     components_[i].check_invariants("component " + std::to_string(i), out);
+  }
+  if (lazy_) {
+    std::vector<std::size_t> keys;
+    keys.reserve(cores_.size());
+    for (const auto& [ci, st] : cores_) {
+      if (ci < site_comp_count_ || ci >= topo_.component_count()) {
+        out.push_back("network: materialized core with out-of-range index " +
+                      std::to_string(ci));
+      }
+      keys.push_back(ci);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::size_t ci : keys) {
+      cores_.at(ci).proc.check_invariants("component " + std::to_string(ci), out);
+    }
   }
   const std::int64_t charged = stats_.delivered + stats_.dropped_random + stats_.dropped_burst +
                                stats_.dropped_outage + stats_.dropped_injected;

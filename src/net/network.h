@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "net/config.h"
@@ -162,9 +163,18 @@ class Network {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  // Test hook: the process driving a component's loss state.
-  [[nodiscard]] ComponentProcess& component(std::size_t index) { return components_[index]; }
-  [[nodiscard]] std::size_t component_count() const { return components_.size(); }
+  // Test hook: the process driving a component's loss state (materializes
+  // it first under lazy_components).
+  [[nodiscard]] ComponentProcess& component(std::size_t index) {
+    return component_at(index);
+  }
+  [[nodiscard]] std::size_t component_count() const { return topo_.component_count(); }
+  // Lazy-components mode: cores materialized so far (== component_count()
+  // minus never-traversed cores; everything in eager mode).
+  [[nodiscard]] std::size_t materialized_components() const {
+    return components_.size() + cores_.size();
+  }
+  [[nodiscard]] bool lazy_components() const { return lazy_ != nullptr; }
 
   // Snapshot support: serializes the mutable state (per-component
   // timelines, packet Rng, drop statistics, monotonicity watermark).
@@ -197,16 +207,51 @@ class Network {
     bool has_additions = false;
   };
 
+  // Lazy-components machinery (config_.lazy_components): site components
+  // stay eager in components_; core (pair) components materialize on
+  // first touch from keyed construction forks, so the untouched bulk of
+  // the n*(n-1) grid costs nothing. Construction of a touched core is
+  // bit-identical to the eager ctor's.
+  struct SiteEvent {
+    TimePoint start;
+    TimePoint end;
+    std::uint64_t seq;
+  };
+  struct LazyCtx {
+    Rng quality_rng;     // fork("core-quality")
+    Rng stretch_rng;     // fork("core-stretch")
+    Rng hit_root;        // fork("event-hits")
+    Rng component_root;  // fork("component")
+    std::vector<std::vector<SiteEvent>> site_events;
+  };
+  struct CoreState {
+    ComponentProcess proc;
+    HopMeta meta;
+    std::vector<LatencyAddition> additions;
+  };
+
+  // Materializes (if needed) and returns the lazy core state for a core
+  // component index. Pre: lazy mode and index >= site component count.
+  [[nodiscard]] CoreState& core_at(std::size_t component);
+  [[nodiscard]] ComponentProcess& component_at(std::size_t component);
+  [[nodiscard]] const HopMeta& hop_meta_at(std::size_t component);
+  [[nodiscard]] const std::vector<LatencyAddition>& additions_at(std::size_t component);
+
   [[nodiscard]] Duration hop_delay(std::size_t component, const ComponentSample& s,
                                    TimePoint t);
   TransmitResult transmit_sharded(const PathSpec& path, TimePoint send_time, TrafficClass cls);
 
   Topology topo_;
   NetConfig config_;
+  // Eager mode: every component, indexed by component id. Lazy mode:
+  // site components only; cores live in cores_.
   std::vector<ComponentProcess> components_;
   std::vector<HopMeta> hop_meta_;
   std::vector<std::vector<LatencyAddition>> latency_additions_;
-  std::vector<double> core_stretch_;  // per core component index offset
+  std::vector<double> core_stretch_;  // eager mode only; lazy recomputes
+  std::unique_ptr<LazyCtx> lazy_;    // non-null => lazy core materialization
+  std::unordered_map<std::size_t, CoreState> cores_;  // lazy mode only
+  std::size_t site_comp_count_ = 0;  // kSiteCompCount * n
   Rng pkt_rng_;
   // Sharded mode: one packet-draw substream per component, forked from
   // pkt_rng_ at enable time. Empty = legacy single-stream discipline.

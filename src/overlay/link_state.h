@@ -7,13 +7,29 @@
 // table. Entries carry their publication time so consumers can apply a
 // staleness bound, and the router's O(N^2) probing overhead is accounted
 // analytically in the model library (see model/overhead.h).
+//
+// Two storage modes share one interface:
+//  * dense  — the legacy n*n matrix (ctor taking only n, or a full-mesh
+//    NeighborSet). Bit-identical to the pre-scaling table.
+//  * sparse — CSR rows over a capped NeighborSet: one entry per directed
+//    overlay edge, O(n * fanout) resident state. Reads of non-adjacent
+//    pairs return a pristine (never-published) entry; writes to them
+//    are a programming error.
+//
+// node_seems_up is O(1) in both modes via per-node incident counters
+// maintained on publish — the path engine calls it for every node on
+// every query, which at 3000 nodes would otherwise be an O(n) scan
+// inside an O(n) loop.
 
 #ifndef RONPATH_OVERLAY_LINK_STATE_H_
 #define RONPATH_OVERLAY_LINK_STATE_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "overlay/neighbors.h"
 #include "util/ids.h"
 #include "util/time.h"
 
@@ -31,35 +47,58 @@ struct LinkMetrics {
   bool has_latency = false;
   std::size_t samples = 0;
   TimePoint published;
+  // Announcement-rotation stride of the publisher: this entry is
+  // refreshed every `stride` probe intervals (1 = every round, the
+  // legacy cadence). Consumers scale staleness bounds by it so capped
+  // announcements don't read as failures (see router.h entry_expired).
+  std::uint32_t stride = 1;
 };
 
 class LinkStateTable {
  public:
   explicit LinkStateTable(std::size_t n_nodes);
+  // Sparse mode when `neighbors` is non-null and not a full mesh; the
+  // NeighborSet must outlive the table. A null or full-mesh set gives
+  // the legacy dense matrix.
+  LinkStateTable(std::size_t n_nodes, const NeighborSet* neighbors);
 
   void publish(NodeId from, NodeId to, const LinkMetrics& metrics);
   [[nodiscard]] const LinkMetrics& get(NodeId from, NodeId to) const;
 
   // A node is considered reachable-in-principle if at least one of its
-  // incident links is not down.
-  [[nodiscard]] bool node_seems_up(NodeId node) const;
+  // incident links is not down (no estimates at all also counts as up).
+  [[nodiscard]] bool node_seems_up(NodeId node) const {
+    return up_cnt_[node] > 0 || est_cnt_[node] == 0;
+  }
 
   [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool sparse() const { return nbrs_ != nullptr; }
 
   // Snapshot support: serializes every published entry.
   void save_state(snap::Encoder& e) const;
   void restore_state(snap::Decoder& d);
 
   // Invariant auditor: TTL/staleness consistency (nothing published in
-  // the future, never-published entries pristine) and latency-sentinel
-  // sanity per entry.
+  // the future, never-published entries pristine), latency-sentinel
+  // sanity per entry, and counter/scan agreement for node_seems_up.
   void check_invariants(TimePoint now, std::vector<std::string>& out) const;
+
+  // Visits every stored entry (dense: all n*n pairs; sparse: every
+  // directed edge), in storage order.
+  void for_each_entry(
+      const std::function<void(NodeId, NodeId, const LinkMetrics&)>& fn) const;
 
  private:
   [[nodiscard]] std::size_t index(NodeId from, NodeId to) const;
+  void recount();
 
   std::size_t n_;
-  std::vector<LinkMetrics> entries_;
+  const NeighborSet* nbrs_ = nullptr;  // non-null => sparse CSR storage
+  std::vector<LinkMetrics> entries_;   // dense n*n, or one per directed edge
+  // Per-node incident-entry counters backing O(1) node_seems_up:
+  // est = incident entries with samples > 0; up = those also not down.
+  std::vector<std::uint32_t> est_cnt_;
+  std::vector<std::uint32_t> up_cnt_;
 };
 
 }  // namespace ronpath

@@ -1,0 +1,80 @@
+// Candidate-neighbor structure for the bandwidth-capped overlay.
+//
+// Full-mesh probing and link-state are O(n^2): fine for the paper's
+// 30-node testbed, dead at 1000. NeighborSet caps the overlay graph:
+// each node keeps its `fanout` nearest peers (by propagation delay, the
+// only metric known before probing starts) plus an edge to every
+// landmark. Landmarks are chosen by greedy farthest-point traversal so
+// they spread across the geography; every node can reach any distant
+// destination through src -> landmark -> dst with candidates drawn from
+// N(src) u N(dst) u landmarks (arXiv:1310.8125's k-nearest + landmark
+// alternate selection).
+//
+// The set is symmetric (a in N(b) <=> b in N(a)) and purely a function
+// of (topology, fanout, landmarks): no RNG involved, so rebuilding it
+// after a restore reproduces the same graph. Rows are sorted CSR, and
+// `edge_index` gives every directed edge a dense rank — the flat
+// storage key used by the overlay's estimator array and the sparse
+// link-state table (state is O(n * fanout) instead of O(n^2)).
+//
+// `full_mesh(n)` (also what `build` returns when fanout >= n-1)
+// materializes the complete graph with `full() == true`; consumers use
+// the flag to keep bit-identical legacy behaviour — that equivalence is
+// the correctness anchor for the capped mode.
+
+#ifndef RONPATH_OVERLAY_NEIGHBORS_H_
+#define RONPATH_OVERLAY_NEIGHBORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/topology.h"
+#include "util/ids.h"
+
+namespace ronpath {
+
+class NeighborSet {
+ public:
+  // The complete graph on n nodes (legacy overlay shape).
+  [[nodiscard]] static NeighborSet full_mesh(std::size_t n);
+
+  // k-nearest (k = fanout) by (propagation delay, id), symmetrized,
+  // plus all-nodes <-> landmark edges. fanout == 0 or >= n-1 yields the
+  // full mesh (with no landmarks: every node already sees every other).
+  [[nodiscard]] static NeighborSet build(const Topology& topo, std::size_t fanout,
+                                         std::size_t landmarks);
+
+  [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
+  [[nodiscard]] bool full() const { return full_; }
+
+  [[nodiscard]] std::size_t degree(NodeId s) const { return offsets_[s + 1] - offsets_[s]; }
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId s) const {
+    return {nbrs_.data() + offsets_[s], degree(s)};
+  }
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const;
+
+  // Dense rank of directed edge (s, d): CSR row offset plus the rank of
+  // d within row s. Asserts that the edge exists.
+  [[nodiscard]] std::size_t edge_index(NodeId s, NodeId d) const;
+  // Total directed edges (== nbrs_.size(); rows are symmetric).
+  [[nodiscard]] std::size_t edge_count() const { return nbrs_.size(); }
+
+  [[nodiscard]] bool is_landmark(NodeId v) const { return is_landmark_[v]; }
+  [[nodiscard]] const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+ private:
+  NeighborSet() = default;
+  void finish(std::size_t n, std::vector<std::vector<NodeId>> rows);
+
+  std::vector<std::size_t> offsets_;  // n + 1
+  std::vector<NodeId> nbrs_;          // sorted per row, symmetric
+  std::vector<NodeId> landmarks_;     // sorted
+  std::vector<bool> is_landmark_;
+  bool full_ = false;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_OVERLAY_NEIGHBORS_H_

@@ -1,11 +1,20 @@
 #include "overlay/overlay.h"
 
+#include <algorithm>
 #include <cassert>
 #include <tuple>
 
 #include "snapshot/codec.h"
 
 namespace ronpath {
+namespace {
+
+NeighborSet make_neighbors(const Topology& topo, const OverlayConfig& cfg) {
+  if (cfg.fanout == 0) return NeighborSet::full_mesh(topo.size());
+  return NeighborSet::build(topo, cfg.fanout, cfg.landmarks);
+}
+
+}  // namespace
 
 OverlayNetwork::OverlayNetwork(Network& net, Scheduler& sched, OverlayConfig cfg, Rng rng)
     : net_(net),
@@ -13,25 +22,40 @@ OverlayNetwork::OverlayNetwork(Network& net, Scheduler& sched, OverlayConfig cfg
       cfg_(cfg),
       n_(net.topology().size()),
       rng_(rng.fork("overlay")),
-      table_(n_) {
+      neighbors_(make_neighbors(net.topology(), cfg_)),
+      table_(n_, &neighbors_),
+      capped_(cfg_.fanout > 0) {
   routers_.reserve(n_);
   for (NodeId i = 0; i < n_; ++i) {
-    routers_.push_back(std::make_unique<Router>(i, table_, cfg_.router));
+    routers_.push_back(std::make_unique<Router>(i, table_, cfg_.router, &neighbors_));
   }
-  links_.resize(n_ * n_);
+  links_.reserve(neighbors_.edge_count());
+  const EstimatorConfig est_cfg{cfg_.loss_window, cfg_.use_ewma_loss, cfg_.loss_ewma_alpha,
+                                cfg_.lat_alpha};
   for (NodeId s = 0; s < n_; ++s) {
-    for (NodeId d = 0; d < n_; ++d) {
-      if (s == d) continue;
-      links_[link_index(s, d)] = std::make_unique<LinkEstimator>(EstimatorConfig{
-          cfg_.loss_window, cfg_.use_ewma_loss, cfg_.loss_ewma_alpha, cfg_.lat_alpha});
+    for (std::size_t i = 0; i < neighbors_.degree(s); ++i) links_.emplace_back(est_cfg);
+  }
+  stride_.resize(n_, 1);
+  budget_.resize(n_, 0);
+  meters_.resize(n_);
+  for (NodeId i = 0; i < n_; ++i) {
+    const std::size_t degree = neighbors_.degree(i);
+    if (capped_ && cfg_.fanout < degree) {
+      stride_[i] = static_cast<std::uint32_t>((degree + cfg_.fanout - 1) / cfg_.fanout);
     }
+    const std::size_t window = capped_ ? std::min(cfg_.fanout, degree) : degree;
+    budget_[i] = cfg_.control_budget_bytes > 0
+                     ? cfg_.control_budget_bytes
+                     : static_cast<std::int64_t>(cfg_.lsa_entry_bytes * window) *
+                           (1 + 2 * static_cast<std::int64_t>(std::max(cfg_.followups, 0)));
   }
   host_failures_.reserve(n_);
   const double per_month = cfg_.host_failures_per_month;
   for (NodeId i = 0; i < n_; ++i) {
     const Duration gap = per_month > 0.0
                              ? Duration::from_seconds_f(30.0 * 86'400.0 / per_month)
-                             // ~100 years: never within any run, no int64 overflow.
+                             // ~100 years: never within any run (draws against it
+                             // saturate in exponential_duration).
                              : Duration::days(36'500);
     host_failures_.emplace_back(gap, cfg_.host_failure_mean, 1.0,
                                 rng_.fork("host-failure").fork(i));
@@ -44,17 +68,31 @@ std::size_t OverlayNetwork::link_index(NodeId src, NodeId dst) const {
 }
 
 const LinkEstimator& OverlayNetwork::estimator(NodeId src, NodeId dst) const {
-  return *links_[link_index(src, dst)];
+  return links_[neighbors_.edge_index(src, dst)];
 }
 
 std::array<std::int64_t, 6> OverlayNetwork::loss_run_counts() const {
   std::array<std::int64_t, 6> total{};
-  for (const auto& link : links_) {
-    if (!link) continue;
-    const auto& runs = link->loss_runs();
+  for (const LinkEstimator& link : links_) {
+    const auto& runs = link.loss_runs();
     for (std::size_t i = 0; i < total.size(); ++i) total[i] += runs[i];
   }
   return total;
+}
+
+std::size_t OverlayNetwork::state_bytes() const {
+  // Approximate: value sizes of the per-edge and per-node containers plus
+  // the estimator windows. Good enough to demonstrate O(n * fanout)
+  // scaling next to the process-level RSS bench_scale also reports.
+  std::size_t bytes = links_.capacity() * sizeof(LinkEstimator);
+  bytes += links_.size() * (cfg_.loss_window / 8);  // probe-window bits
+  bytes += (table_.sparse() ? neighbors_.edge_count() : n_ * n_) * sizeof(LinkMetrics);
+  bytes += probe_tasks_.size() *
+           (sizeof(PeriodicTask) + sizeof(std::unique_ptr<PeriodicTask>));
+  bytes += neighbors_.edge_count() * sizeof(NodeId) + (n_ + 1) * sizeof(std::size_t);
+  bytes += n_ * (sizeof(ControlMeter) + sizeof(std::uint32_t) + sizeof(std::int64_t) +
+                 2 * sizeof(std::uint32_t));
+  return bytes;
 }
 
 bool OverlayNetwork::node_up(NodeId node, TimePoint t) {
@@ -73,15 +111,21 @@ void OverlayNetwork::start() {
   if (started_) return;
   started_ = true;
   for (NodeId s = 0; s < n_; ++s) {
-    for (NodeId d = 0; d < n_; ++d) {
-      if (s == d) continue;
+    const auto row = neighbors_.neighbors(s);
+    const std::uint32_t stride = stride_[s];
+    const Duration period = cfg_.probe_interval * static_cast<std::int64_t>(stride);
+    for (std::size_t rank = 0; rank < row.size(); ++rank) {
+      const NodeId d = row[rank];
       // Stagger initial probes uniformly across the interval so the mesh
-      // does not probe in lockstep.
+      // does not probe in lockstep. The fork key is the legacy dense pair
+      // index, so a stride-1 schedule is the legacy schedule bit for bit;
+      // under rotation the rank's slot spreads the row across the stride.
       const Duration offset =
           rng_.fork("stagger").fork(link_index(s, d)).uniform_duration(Duration::zero(),
-                                                                       cfg_.probe_interval);
+                                                                       cfg_.probe_interval) +
+          cfg_.probe_interval * static_cast<std::int64_t>(rank % stride);
       probe_tasks_.push_back(std::make_unique<PeriodicTask>(
-          sched_, cfg_.probe_interval, offset, [this, s, d] { probe_once(s, d); }));
+          sched_, period, offset, [this, s, d] { probe_once(s, d); }));
     }
   }
 }
@@ -91,7 +135,7 @@ void OverlayNetwork::probe_once(NodeId src, NodeId dst) {
   if (!node_up(src, now)) return;  // failed hosts stop probing
 
   ++probes_sent_;
-  LinkEstimator& est = *links_[link_index(src, dst)];
+  LinkEstimator& est = links_[neighbors_.edge_index(src, dst)];
 
   // Request leg.
   const PathSpec fwd{src, dst, kDirectVia};
@@ -115,7 +159,7 @@ void OverlayNetwork::probe_once(NodeId src, NodeId dst) {
 
 void OverlayNetwork::send_followup(NodeId src, NodeId dst, int remaining) {
   const TimePoint now = sched_.now();
-  LinkEstimator& est = *links_[link_index(src, dst)];
+  LinkEstimator& est = links_[neighbors_.edge_index(src, dst)];
   bool lost = true;
   if (node_up(src, now)) {
     const TransmitResult req =
@@ -150,16 +194,45 @@ void OverlayNetwork::prune_followups() {
 void OverlayNetwork::publish(NodeId src, NodeId dst) {
   // Suppressed advertisements simply never reach the table; the old entry
   // stays and (with entry_ttl set) ages out to "unknown".
-  if (fault_ && fault_->lsa_suppressed(src, sched_.now())) return;
-  const LinkEstimator& est = *links_[link_index(src, dst)];
+  const TimePoint now = sched_.now();
+  if (fault_ && fault_->lsa_suppressed(src, now)) return;
+
+  // Control-plane accounting: one announcement per publish, metered per
+  // global probe round. Both modes meter; only capped mode enforces the
+  // budget (the rotation provably stays within it, so enforcement is a
+  // guard rail, not a steady-state behavior).
+  ControlMeter& meter = meters_[src];
+  const std::int64_t round = now.since_epoch() / cfg_.probe_interval;
+  if (round != meter.round) {
+    meter.round = round;
+    meter.round_bytes = 0;
+  }
+  const auto bytes = static_cast<std::int64_t>(cfg_.lsa_entry_bytes);
+  if (capped_ && meter.round_bytes + bytes > budget_[src]) {
+    ++meter.suppressed;
+    return;
+  }
+  meter.round_bytes += bytes;
+  meter.max_round_bytes = std::max(meter.max_round_bytes, meter.round_bytes);
+  meter.total_bytes += bytes;
+  ++meter.total_announces;
+
+  const LinkEstimator& est = links_[neighbors_.edge_index(src, dst)];
   LinkMetrics m;
   m.loss = est.loss();
   m.latency = est.latency();
   m.has_latency = est.latency() != Duration::max();
   m.down = est.down();
   m.samples = est.samples();
-  m.published = sched_.now();
+  m.published = now;
+  m.stride = stride_[src];
   table_.publish(src, dst, m);
+  // A capped announcement is bidirectional: when the peer's own rotation
+  // is slower than ours, refresh the mirror entry too so slow-rotating
+  // rows (landmarks above all) stay fresh through their neighbors'
+  // announcements. Same LSA, so it is charged once above. Never fires at
+  // stride 1, preserving the full-fanout equivalence anchor.
+  if (capped_ && stride_[dst] > 1) table_.publish(dst, src, m);
 }
 
 PathSpec OverlayNetwork::route(NodeId src, NodeId dst, RouteTag tag) {
@@ -212,16 +285,21 @@ void OverlayNetwork::save_state(snap::Encoder& e) const {
   e.i64(probes_sent_);
   table_.save_state(e);
   for (const auto& router : routers_) router->save_state(e);
-  for (NodeId s = 0; s < n_; ++s) {
-    for (NodeId d = 0; d < n_; ++d) {
-      if (s == d) continue;
-      links_[link_index(s, d)]->save_state(e);
-    }
-  }
+  // Estimators in CSR edge order (for a full mesh this is the legacy
+  // s-major, d-minor order).
+  for (const LinkEstimator& link : links_) link.save_state(e);
   for (const LazyIntervalProcess& proc : host_failures_) proc.save_state(e);
+  for (const ControlMeter& m : meters_) {
+    e.i64(m.round);
+    e.i64(m.round_bytes);
+    e.i64(m.max_round_bytes);
+    e.i64(m.total_bytes);
+    e.i64(m.total_announces);
+    e.i64(m.suppressed);
+  }
 
   // Pending probe ticks: one re-arm descriptor per task, in the stable
-  // construction order (s-major, d-minor).
+  // construction order (CSR edge order).
   e.u64(probe_tasks_.size());
   for (const auto& task : probe_tasks_) {
     TimePoint at;
@@ -264,13 +342,20 @@ void OverlayNetwork::restore_state(snap::Decoder& d) {
   probes_sent_ = d.i64();
   table_.restore_state(d);
   for (const auto& router : routers_) router->restore_state(d);
-  for (NodeId s = 0; s < n_; ++s) {
-    for (NodeId dd = 0; dd < n_; ++dd) {
-      if (s == dd) continue;
-      links_[link_index(s, dd)]->restore_state(d);
+  for (LinkEstimator& link : links_) link.restore_state(d);
+  for (LazyIntervalProcess& proc : host_failures_) proc.restore_state(d);
+  for (ControlMeter& m : meters_) {
+    m.round = d.i64();
+    m.round_bytes = d.i64();
+    m.max_round_bytes = d.i64();
+    m.total_bytes = d.i64();
+    m.total_announces = d.i64();
+    m.suppressed = d.i64();
+    if (m.round_bytes < 0 || m.max_round_bytes < m.round_bytes || m.total_bytes < 0 ||
+        m.total_announces < 0 || m.suppressed < 0) {
+      throw snap::SnapshotError("snapshot: malformed control meter");
     }
   }
-  for (LazyIntervalProcess& proc : host_failures_) proc.restore_state(d);
 
   const std::uint64_t n_tasks = d.u64();
   if (n_tasks != probe_tasks_.size()) {
@@ -313,20 +398,42 @@ void OverlayNetwork::restore_state(snap::Decoder& d) {
 void OverlayNetwork::check_invariants(TimePoint now, std::vector<std::string>& out) const {
   table_.check_invariants(now, out);
   for (const auto& router : routers_) router->check_invariants(now, out);
-  for (NodeId s = 0; s < n_; ++s) {
-    for (NodeId d = 0; d < n_; ++d) {
-      if (s == d) continue;
-      const std::string who =
-          "estimator " + std::to_string(s) + "->" + std::to_string(d);
-      links_[link_index(s, d)]->check_invariants(who, now, out);
+  {
+    std::size_t i = 0;
+    for (NodeId s = 0; s < n_; ++s) {
+      for (const NodeId d : neighbors_.neighbors(s)) {
+        const std::string who =
+            "estimator " + std::to_string(s) + "->" + std::to_string(d);
+        links_[i++].check_invariants(who, now, out);
+      }
     }
   }
   for (NodeId i = 0; i < host_failures_.size(); ++i) {
     host_failures_[i].check_invariants("host-failure " + std::to_string(i), out);
   }
   if (probes_sent_ < 0) out.push_back("overlay: negative probe counter");
-  if (started_ && probe_tasks_.size() != n_ * (n_ - 1)) {
+  if (started_ && probe_tasks_.size() != neighbors_.edge_count()) {
     out.push_back("overlay: probe task count does not cover the mesh");
+  }
+  for (NodeId i = 0; i < n_; ++i) {
+    const ControlMeter& m = meters_[i];
+    const std::string who = "control meter " + std::to_string(i);
+    if (m.round_bytes < 0 || m.total_bytes < 0 || m.total_announces < 0 || m.suppressed < 0) {
+      out.push_back(who + ": negative counter");
+    }
+    if (m.round_bytes > m.max_round_bytes) {
+      out.push_back(who + ": running round above its recorded high-water");
+    }
+    if (capped_ && m.max_round_bytes > budget_[i]) {
+      out.push_back(who + ": round bytes exceeded the control budget");
+    }
+    if (!capped_ && m.suppressed != 0) {
+      out.push_back(who + ": budget suppression fired in legacy mode");
+    }
+    if (!capped_ && stride_[i] != 1) {
+      out.push_back("overlay: legacy mode with rotation stride != 1");
+    }
+    if (stride_[i] == 0) out.push_back("overlay: zero rotation stride");
   }
   for (const PendingFollowup& f : followups_) {
     if (!f.handle.pending()) continue;  // fired but not yet pruned: fine

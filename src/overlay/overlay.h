@@ -15,6 +15,23 @@
 //  * Host failures (machines crashing while the network stays up) are an
 //    explicit per-node on/off process so the measurement pipeline can
 //    exercise the paper's 90-second host-failure filter.
+//
+// Bandwidth-capped mode (fanout > 0; DESIGN.md §14): the probed/announced
+// graph shrinks to a NeighborSet (k-nearest + landmarks) and each node
+// announces at most ~fanout peers per probe round by rotating through its
+// neighbor row: a row of degree d probes each peer every
+// stride = ceil(d / fanout) intervals, rotation slots spread across the
+// stride so per-round announcement volume stays ~fanout. Announcements
+// are metered per node per round against an explicit byte budget (a
+// publish that would exceed it is suppressed and counted — the budget is
+// provably never hit by the rotation itself). Published entries carry
+// their stride so staleness bounds scale with the slower cadence, and a
+// capped publisher also refreshes the mirror entry (peer -> self) when
+// the peer's own rotation is slower — that keeps landmark rows fresh via
+// their neighbors' announcements (one bidirectional LSA, charged once).
+// At fanout >= n-1 every stride is 1, no mirrors are written, and every
+// byte of behavior reduces to the legacy full mesh — the correctness
+// anchor pinned by the scale tests.
 
 #ifndef RONPATH_OVERLAY_OVERLAY_H_
 #define RONPATH_OVERLAY_OVERLAY_H_
@@ -30,6 +47,7 @@
 #include "net/network.h"
 #include "overlay/estimator.h"
 #include "overlay/link_state.h"
+#include "overlay/neighbors.h"
 #include "overlay/router.h"
 #include "util/ids.h"
 #include "util/rng.h"
@@ -62,6 +80,33 @@ struct OverlayConfig {
   // responding and forwarding while the network stays up.
   double host_failures_per_month = 4.0;
   Duration host_failure_mean = Duration::minutes(45);
+
+  // --- bandwidth-capped link-state (0 = legacy full mesh) ---
+  // Max peers per node in the probed graph (k-nearest); each node
+  // announces at most ~fanout of them per probe round, rotating.
+  std::size_t fanout = 0;
+  // Landmark count for hierarchical alternates (capped mode only).
+  std::size_t landmarks = 8;
+  // Modeled wire size of one link-state announcement.
+  std::size_t lsa_entry_bytes = 64;
+  // Per-node control budget in bytes per probe round; 0 derives
+  // lsa_entry_bytes * min(fanout, degree) * (1 + 2 * followups), the
+  // provable per-round publication ceiling of the rotation (a probe
+  // chain contributes at most 1 + followups publishes to its own round
+  // plus at most `followups` spilling in from the previous round's
+  // chain on the same link).
+  std::int64_t control_budget_bytes = 0;
+};
+
+// Per-node control-plane accounting: announcement bytes per probe round
+// against the budget. Rounds are global (now / probe_interval).
+struct ControlMeter {
+  std::int64_t round = -1;  // round of the running counter
+  std::int64_t round_bytes = 0;
+  std::int64_t max_round_bytes = 0;  // high-water across all rounds
+  std::int64_t total_bytes = 0;
+  std::int64_t total_announces = 0;
+  std::int64_t suppressed = 0;  // publishes dropped by the budget
 };
 
 // Outcome of an overlay-level packet transmission.
@@ -97,6 +142,17 @@ class OverlayNetwork {
   [[nodiscard]] Router& router(NodeId node) { return *routers_[node]; }
   [[nodiscard]] const Router& router(NodeId node) const { return *routers_[node]; }
 
+  // The probed/announced graph (full mesh in legacy mode).
+  [[nodiscard]] const NeighborSet& neighbors() const { return neighbors_; }
+  // True when announcement rotation + budget enforcement are active.
+  [[nodiscard]] bool capped() const { return capped_; }
+  // Rotation stride of a node's announcements (1 in legacy mode).
+  [[nodiscard]] std::uint32_t stride(NodeId node) const { return stride_[node]; }
+  // Control-plane accounting (metered in both modes; enforced when
+  // capped).
+  [[nodiscard]] const ControlMeter& control_meter(NodeId node) const { return meters_[node]; }
+  [[nodiscard]] std::int64_t control_budget(NodeId node) const { return budget_[node]; }
+
   // Ground-truth host liveness (drives probing/forwarding; the
   // measurement pipeline must *infer* it from log gaps instead).
   [[nodiscard]] bool node_up(NodeId node, TimePoint t);
@@ -110,11 +166,17 @@ class OverlayNetwork {
   OverlaySendResult send(const PathSpec& path, TimePoint t);
 
   // Probe bookkeeping, exposed for the measurement pipeline and tests.
+  // estimator() requires (src, dst) to be an edge of the probed graph.
   [[nodiscard]] std::int64_t probes_sent() const { return probes_sent_; }
   [[nodiscard]] const LinkEstimator& estimator(NodeId src, NodeId dst) const;
   // Completed consecutive-probe-loss runs summed over all links
   // (lengths 1..5 and 6+): the overlay's outage-duration fingerprint.
   [[nodiscard]] std::array<std::int64_t, 6> loss_run_counts() const;
+
+  // Approximate resident bytes of the overlay's per-link state
+  // (estimators + link-state entries + probe tasks): the O(n * fanout)
+  // quantity bench_scale reports next to process RSS.
+  [[nodiscard]] std::size_t state_bytes() const;
 
   // Snapshot support. Pending probe ticks and follow-up chains are saved
   // as (at, seq) re-arm descriptors; restore_state expects an identically
@@ -127,7 +189,7 @@ class OverlayNetwork {
 
   // Invariant auditor: delegates to routers, estimators, the link-state
   // table and host-failure processes, then checks probe-task/follow-up
-  // bookkeeping consistency.
+  // bookkeeping and control-meter consistency.
   void check_invariants(TimePoint now, std::vector<std::string>& out) const;
 
  private:
@@ -151,6 +213,8 @@ class OverlayNetwork {
   // Drops followups_ records whose events already fired.
   void prune_followups();
   void publish(NodeId src, NodeId dst);
+  // Legacy dense pair key; still the RNG fork key for probe stagger so
+  // capped runs at full fanout keep the legacy stagger bit for bit.
   [[nodiscard]] std::size_t link_index(NodeId src, NodeId dst) const;
 
   Network& net_;
@@ -158,10 +222,16 @@ class OverlayNetwork {
   OverlayConfig cfg_;
   std::size_t n_;
   Rng rng_;
+  // Declared before table_/routers_: both hold pointers into it.
+  NeighborSet neighbors_;
   LinkStateTable table_;
   std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<std::unique_ptr<LinkEstimator>> links_;  // n*n, diagonal unused
-  std::vector<std::unique_ptr<PeriodicTask>> probe_tasks_;
+  std::vector<LinkEstimator> links_;  // one per directed edge, CSR order
+  std::vector<std::uint32_t> stride_;   // per node, 1 in legacy mode
+  std::vector<std::int64_t> budget_;    // per node, bytes per round
+  std::vector<ControlMeter> meters_;    // per node
+  bool capped_ = false;
+  std::vector<std::unique_ptr<PeriodicTask>> probe_tasks_;  // CSR edge order
   std::vector<PendingFollowup> followups_;
   std::vector<LazyIntervalProcess> host_failures_;
   const FaultInjector* fault_ = nullptr;

@@ -1,5 +1,6 @@
 #include "overlay/router.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "overlay/path_engine.h"
@@ -34,7 +35,12 @@ Duration link_latency(const LinkMetrics& m, const RouterConfig& cfg, TimePoint n
 bool entry_expired(const LinkMetrics& m, const RouterConfig& cfg, TimePoint now) {
   if (cfg.entry_ttl <= Duration::zero()) return false;
   if (m.samples == 0) return true;  // never published: unknown, not optimistic
-  return now - m.published > cfg.entry_ttl;
+  // Rotation-capped publishers refresh every `stride` intervals; scale
+  // the TTL so a slower cadence is not misread as staleness. Entries
+  // published every round (stride 1, the legacy cadence) are untouched.
+  const Duration ttl =
+      m.stride > 1 ? cfg.entry_ttl * static_cast<std::int64_t>(m.stride) : cfg.entry_ttl;
+  return now - m.published > ttl;
 }
 
 double path_loss_estimate(const LinkStateTable& table, const PathSpec& path,
@@ -88,10 +94,9 @@ bool path_down(const LinkStateTable& table, const PathSpec& path) {
   return table.get(path.src, path.via).down || table.get(path.via, path.dst).down;
 }
 
-Router::Router(NodeId self, const LinkStateTable& table, RouterConfig cfg)
-    : self_(self), table_(table), cfg_(cfg),
-      loss_incumbent_(table.size()), lat_incumbent_(table.size()),
-      loss_switches_(table.size(), 0), lat_switches_(table.size(), 0) {
+Router::Router(NodeId self, const LinkStateTable& table, RouterConfig cfg,
+               const NeighborSet* neighbors)
+    : self_(self), table_(table), cfg_(cfg), nbrs_(neighbors) {
   // The forwarding plane carries at most two relays.
   if (cfg_.max_intermediates < 1) cfg_.max_intermediates = 1;
   if (cfg_.max_intermediates > 2) cfg_.max_intermediates = 2;
@@ -100,11 +105,52 @@ Router::Router(NodeId self, const LinkStateTable& table, RouterConfig cfg)
 
 Router::~Router() = default;
 
+Router::DstState& Router::dst_state(NodeId dst) {
+  const auto it = std::lower_bound(
+      dst_states_.begin(), dst_states_.end(), dst,
+      [](const auto& e, NodeId key) { return e.first < key; });
+  if (it != dst_states_.end() && it->first == dst) return it->second;
+  return dst_states_.insert(it, {dst, DstState{}})->second;
+}
+
+const Router::DstState* Router::find_dst(NodeId dst) const {
+  const auto it = std::lower_bound(
+      dst_states_.begin(), dst_states_.end(), dst,
+      [](const auto& e, NodeId key) { return e.first < key; });
+  return it != dst_states_.end() && it->first == dst ? &it->second : nullptr;
+}
+
+const Router::Holddown* Router::find_holddown(std::size_t key) const {
+  const auto it = std::lower_bound(
+      holddown_.begin(), holddown_.end(), key,
+      [](const auto& e, std::size_t k) { return e.first < k; });
+  return it != holddown_.end() && it->first == key ? &it->second : nullptr;
+}
+
+std::int64_t Router::loss_switches(NodeId dst) const {
+  const DstState* st = find_dst(dst);
+  return st != nullptr ? st->loss_switches : 0;
+}
+
+std::int64_t Router::lat_switches(NodeId dst) const {
+  const DstState* st = find_dst(dst);
+  return st != nullptr ? st->lat_switches : 0;
+}
+
+bool Router::is_candidate(NodeId v, NodeId dst) const {
+  // Relay candidates over a capped graph: the two endpoint neighbor
+  // rows plus the landmarks. A relay outside this set could not have
+  // fresh link state towards either endpoint anyway.
+  return nbrs_->adjacent(self_, v) || nbrs_->adjacent(dst, v) || nbrs_->is_landmark(v);
+}
+
 std::vector<NodeId> Router::live_intermediates(NodeId dst) const {
   std::vector<NodeId> out;
-  out.reserve(table_.size());
+  const bool capped = restricted();
+  out.reserve(capped ? nbrs_->degree(self_) + nbrs_->degree(dst) : table_.size());
   for (NodeId v = 0; v < table_.size(); ++v) {
     if (v == self_ || v == dst) continue;
+    if (capped && !is_candidate(v, dst)) continue;
     if (!table_.node_seems_up(v)) continue;
     out.push_back(v);
   }
@@ -115,16 +161,26 @@ bool Router::view_degraded(TimePoint now) const {
   if (cfg_.entry_ttl <= Duration::zero()) return false;
   std::size_t expired = 0;
   std::size_t total = 0;
-  for (NodeId v = 0; v < table_.size(); ++v) {
-    if (v == self_) continue;
-    ++total;
-    if (entry_expired(table_.get(self_, v), cfg_, now)) ++expired;
+  if (restricted()) {
+    // Only the neighbor row is ever refreshed over a capped graph;
+    // counting the silent rest of the mesh would read as permanently
+    // degraded at any useful fanout.
+    for (const NodeId v : nbrs_->neighbors(self_)) {
+      ++total;
+      if (entry_expired(table_.get(self_, v), cfg_, now)) ++expired;
+    }
+  } else {
+    for (NodeId v = 0; v < table_.size(); ++v) {
+      if (v == self_) continue;
+      ++total;
+      if (entry_expired(table_.get(self_, v), cfg_, now)) ++expired;
+    }
   }
   return total > 0 &&
          static_cast<double>(expired) > cfg_.degraded_view_threshold * static_cast<double>(total);
 }
 
-std::size_t Router::holddown_index(NodeId dst, NodeId via) const {
+std::size_t Router::holddown_key(NodeId dst, NodeId via) const {
   // via slot n encodes the direct path (never filtered, still tracked).
   const std::size_t n = table_.size();
   const std::size_t slot = via == kDirectVia ? n : via;
@@ -133,13 +189,19 @@ std::size_t Router::holddown_index(NodeId dst, NodeId via) const {
 
 bool Router::held_down(NodeId dst, NodeId via, TimePoint now) const {
   if (cfg_.holddown_base <= Duration::zero() || holddown_.empty()) return false;
-  return holddown_[holddown_index(dst, via)].until > now;
+  const Holddown* h = find_holddown(holddown_key(dst, via));
+  return h != nullptr && h->until > now;
 }
 
 void Router::register_down(NodeId dst, const PathSpec& path, TimePoint now) {
   if (cfg_.holddown_base <= Duration::zero()) return;
-  if (holddown_.empty()) holddown_.resize(table_.size() * (table_.size() + 1));
-  Holddown& h = holddown_[holddown_index(dst, path.via)];
+  const std::size_t key = holddown_key(dst, path.via);
+  const auto it = std::lower_bound(
+      holddown_.begin(), holddown_.end(), key,
+      [](const auto& e, std::size_t k) { return e.first < k; });
+  Holddown& h = (it != holddown_.end() && it->first == key)
+                    ? it->second
+                    : holddown_.insert(it, {key, Holddown{}})->second;
   if (h.strikes > 0 && now - h.last_down > cfg_.holddown_reset) h.strikes = 0;
   h.last_down = now;
   if (now < h.until) return;  // already serving a hold-down; don't escalate per query
@@ -152,41 +214,63 @@ void Router::register_down(NodeId dst, const PathSpec& path, TimePoint now) {
   h.until = now + ban;
 }
 
-void Router::count_switch(std::vector<std::int64_t>& counters, NodeId dst, const Incumbent& inc,
+void Router::count_switch(std::int64_t& counter, const std::optional<PathSpec>& inc,
                           const PathSpec& chosen) {
-  if (inc.path && *inc.path != chosen) ++counters[dst];
+  if (inc && *inc != chosen) ++counter;
 }
 
-const std::vector<bool>* Router::holddown_mask(NodeId dst, TimePoint now) {
-  if (cfg_.holddown_base <= Duration::zero() || holddown_.empty()) return nullptr;
+const std::vector<bool>* Router::exclusion_mask(NodeId dst, TimePoint now) {
   const std::size_t n = table_.size();
+  if (restricted()) {
+    // Start from everything excluded and open up the candidate set, so
+    // the engine's relax never touches non-candidates at all.
+    excluded_scratch_.assign(n, true);
+    for (const NodeId v : nbrs_->neighbors(self_)) excluded_scratch_[v] = false;
+    for (const NodeId v : nbrs_->neighbors(dst)) excluded_scratch_[v] = false;
+    for (const NodeId v : nbrs_->landmarks()) excluded_scratch_[v] = false;
+    excluded_scratch_[self_] = false;
+    excluded_scratch_[dst] = false;
+    if (cfg_.holddown_base > Duration::zero()) {
+      for (const auto& [key, h] : holddown_) {
+        if (key / (n + 1) != dst) continue;
+        const std::size_t slot = key % (n + 1);
+        if (slot < n && h.until > now) excluded_scratch_[slot] = true;
+      }
+    }
+    return &excluded_scratch_;
+  }
+  // Legacy unrestricted path: hold-downs only, nullptr when none bite.
+  if (cfg_.holddown_base <= Duration::zero() || holddown_.empty()) return nullptr;
   excluded_scratch_.assign(n, false);
   bool any = false;
-  for (NodeId v = 0; v < n; ++v) {
-    if (held_down(dst, v, now)) {
-      excluded_scratch_[v] = true;
+  for (const auto& [key, h] : holddown_) {
+    if (key / (n + 1) != dst) continue;
+    const std::size_t slot = key % (n + 1);
+    if (slot < n && h.until > now) {
+      excluded_scratch_[slot] = true;
       any = true;
     }
   }
   return any ? &excluded_scratch_ : nullptr;
 }
 
-PathChoice Router::evaluate_loss(NodeId dst, Incumbent& inc, TimePoint now) {
+PathChoice Router::evaluate_loss(NodeId dst, DstState& st, TimePoint now) {
   const PathSpec direct{self_, dst, kDirectVia};
+  std::optional<PathSpec>& inc = st.loss_path;
 
   // Degraded view: the node's own probing state is mostly stale; the
   // composed estimates below would be fiction. Fall back to direct.
   if (view_degraded(now)) {
-    count_switch(loss_switches_, dst, inc, direct);
-    inc.path = direct;
+    count_switch(st.loss_switches, inc, direct);
+    inc = direct;
     return PathChoice{direct, path_loss_estimate(table_, direct, cfg_, now),
                       path_latency_estimate(table_, direct, cfg_, now)};
   }
 
   // Hold-down bookkeeping: an incumbent whose link went down both loses
   // incumbency and serves a ban before re-selection.
-  if (inc.path && !inc.path->is_direct() && path_down(table_, *inc.path)) {
-    register_down(dst, *inc.path, now);
+  if (inc && !inc->is_direct() && path_down(table_, *inc)) {
+    register_down(dst, *inc, now);
   }
 
   // Candidate scan via the path engine. At max_intermediates == 1 the
@@ -194,53 +278,54 @@ PathChoice Router::evaluate_loss(NodeId dst, Incumbent& inc, TimePoint now) {
   // tie-break expressions) as the historical inline loop; at 2 it also
   // relaxes two-relay chains, each relay charged indirect_loss_penalty.
   const EngineChoice cand =
-      engine_->best_loss(self_, dst, cfg_.max_intermediates, now, holddown_mask(dst, now));
+      engine_->best_loss(self_, dst, cfg_.max_intermediates, now, exclusion_mask(dst, now));
   PathChoice best{cand.path.to_spec(self_, dst), cand.loss, Duration::zero()};
 
   // Hysteresis: keep the incumbent while it is close to the best.
-  if (inc.path && !held_down(dst, inc.path->via, now)) {
-    const double inc_loss = path_loss_estimate(table_, *inc.path, cfg_, now);
-    if (!path_down(table_, *inc.path) && inc_loss <= best.loss + cfg_.loss_abs_margin) {
-      best = PathChoice{*inc.path, inc_loss, Duration::zero()};
+  if (inc && !held_down(dst, inc->via, now)) {
+    const double inc_loss = path_loss_estimate(table_, *inc, cfg_, now);
+    if (!path_down(table_, *inc) && inc_loss <= best.loss + cfg_.loss_abs_margin) {
+      best = PathChoice{*inc, inc_loss, Duration::zero()};
     }
   }
-  count_switch(loss_switches_, dst, inc, best.path);
-  inc.path = best.path;
+  count_switch(st.loss_switches, inc, best.path);
+  inc = best.path;
   best.latency = path_latency_estimate(table_, best.path, cfg_, now);
   return best;
 }
 
-PathChoice Router::evaluate_lat(NodeId dst, Incumbent& inc, TimePoint now) {
+PathChoice Router::evaluate_lat(NodeId dst, DstState& st, TimePoint now) {
   const PathSpec direct{self_, dst, kDirectVia};
+  std::optional<PathSpec>& inc = st.lat_path;
 
   if (view_degraded(now)) {
-    count_switch(lat_switches_, dst, inc, direct);
-    inc.path = direct;
+    count_switch(st.lat_switches, inc, direct);
+    inc = direct;
     return PathChoice{direct, path_loss_estimate(table_, direct, cfg_, now),
                       path_latency_estimate(table_, direct, cfg_, now)};
   }
 
-  if (inc.path && !inc.path->is_direct() && path_down(table_, *inc.path)) {
-    register_down(dst, *inc.path, now);
+  if (inc && !inc->is_direct() && path_down(table_, *inc)) {
+    register_down(dst, *inc, now);
   }
 
   const EngineChoice cand =
-      engine_->best_latency(self_, dst, cfg_.max_intermediates, now, holddown_mask(dst, now));
+      engine_->best_latency(self_, dst, cfg_.max_intermediates, now, exclusion_mask(dst, now));
   PathChoice best{cand.path.to_spec(self_, dst), 0.0, cand.latency};
 
-  if (inc.path && best.latency != Duration::max() && !held_down(dst, inc.path->via, now)) {
-    const Duration inc_lat = path_latency_estimate(table_, *inc.path, cfg_, now);
-    if (!path_down(table_, *inc.path) && inc_lat != Duration::max()) {
+  if (inc && best.latency != Duration::max() && !held_down(dst, inc->via, now)) {
+    const Duration inc_lat = path_latency_estimate(table_, *inc, cfg_, now);
+    if (!path_down(table_, *inc) && inc_lat != Duration::max()) {
       const auto margin_ns = static_cast<std::int64_t>(
           static_cast<double>(inc_lat.count_nanos()) * cfg_.lat_rel_margin);
       const Duration needed = inc_lat - std::max(cfg_.lat_abs_margin, Duration::nanos(margin_ns));
       if (best.latency >= needed) {
-        best = PathChoice{*inc.path, 0.0, inc_lat};
+        best = PathChoice{*inc, 0.0, inc_lat};
       }
     }
   }
-  count_switch(lat_switches_, dst, inc, best.path);
-  inc.path = best.path;
+  count_switch(st.lat_switches, inc, best.path);
+  inc = best.path;
   best.loss = path_loss_estimate(table_, best.path, cfg_, now);
   return best;
 }
@@ -261,35 +346,38 @@ PathChoice Router::best_loss_path_two_hop(NodeId dst, TimePoint now) const {
 
 PathChoice Router::best_loss_path(NodeId dst, TimePoint now) {
   assert(dst < table_.size() && dst != self_);
-  return evaluate_loss(dst, loss_incumbent_[dst], now);
+  return evaluate_loss(dst, dst_state(dst), now);
 }
 
 PathChoice Router::best_lat_path(NodeId dst, TimePoint now) {
   assert(dst < table_.size() && dst != self_);
-  return evaluate_lat(dst, lat_incumbent_[dst], now);
+  return evaluate_lat(dst, dst_state(dst), now);
 }
 
 void Router::save_state(snap::Encoder& e) const {
   e.tag("ROUT");
-  const auto put_incumbents = [&](const std::vector<Incumbent>& incs) {
-    e.u64(incs.size());
-    for (const Incumbent& inc : incs) {
-      e.b(inc.path.has_value());
-      if (inc.path) {
-        e.u64(inc.path->src);
-        e.u64(inc.path->dst);
-        e.u64(inc.path->via);
-        e.u64(inc.path->via2);
-      }
+  const auto put_path = [&](const std::optional<PathSpec>& p) {
+    e.b(p.has_value());
+    if (p) {
+      e.u64(p->src);
+      e.u64(p->dst);
+      e.u64(p->via);
+      e.u64(p->via2);
     }
   };
-  put_incumbents(loss_incumbent_);
-  put_incumbents(lat_incumbent_);
-  e.u64(loss_switches_.size());
-  for (const std::int64_t s : loss_switches_) e.i64(s);
-  for (const std::int64_t s : lat_switches_) e.i64(s);
+  // Sorted flat maps serialize in key order: deterministic regardless
+  // of the order destinations were first touched.
+  e.u64(dst_states_.size());
+  for (const auto& [dst, st] : dst_states_) {
+    e.u64(dst);
+    put_path(st.loss_path);
+    put_path(st.lat_path);
+    e.i64(st.loss_switches);
+    e.i64(st.lat_switches);
+  }
   e.u64(holddown_.size());
-  for (const Holddown& h : holddown_) {
+  for (const auto& [key, h] : holddown_) {
+    e.u64(key);
     e.time(h.until);
     e.time(h.last_down);
     e.i64(h.strikes);
@@ -298,51 +386,63 @@ void Router::save_state(snap::Encoder& e) const {
 
 void Router::restore_state(snap::Decoder& d) {
   d.expect_tag("ROUT");
-  const auto get_incumbents = [&](std::vector<Incumbent>& incs) {
-    const std::uint64_t n = d.u64();
-    if (n != incs.size()) {
-      throw snap::SnapshotError("snapshot: router incumbent count mismatch");
-    }
-    for (Incumbent& inc : incs) {
-      if (d.b()) {
-        PathSpec p;
-        p.src = static_cast<NodeId>(d.u64());
-        p.dst = static_cast<NodeId>(d.u64());
-        p.via = static_cast<NodeId>(d.u64());
-        p.via2 = static_cast<NodeId>(d.u64());
-        inc.path = p;
-      } else {
-        inc.path.reset();
-      }
+  const auto get_path = [&](std::optional<PathSpec>& p) {
+    if (d.b()) {
+      PathSpec spec;
+      spec.src = static_cast<NodeId>(d.u64());
+      spec.dst = static_cast<NodeId>(d.u64());
+      spec.via = static_cast<NodeId>(d.u64());
+      spec.via2 = static_cast<NodeId>(d.u64());
+      p = spec;
+    } else {
+      p.reset();
     }
   };
-  get_incumbents(loss_incumbent_);
-  get_incumbents(lat_incumbent_);
-  const std::uint64_t n_switch = d.u64();
-  if (n_switch != loss_switches_.size()) {
-    throw snap::SnapshotError("snapshot: router switch-counter count mismatch");
+  const std::uint64_t n_dst = d.count(19);
+  dst_states_.clear();
+  dst_states_.reserve(n_dst);
+  std::uint64_t prev_dst = 0;
+  for (std::uint64_t i = 0; i < n_dst; ++i) {
+    const std::uint64_t dst = d.u64();
+    if (dst >= table_.size() || (i > 0 && dst <= prev_dst)) {
+      throw snap::SnapshotError("snapshot: router destination keys corrupt or unsorted");
+    }
+    prev_dst = dst;
+    DstState st;
+    get_path(st.loss_path);
+    get_path(st.lat_path);
+    st.loss_switches = d.i64();
+    st.lat_switches = d.i64();
+    dst_states_.emplace_back(static_cast<NodeId>(dst), std::move(st));
   }
-  for (std::int64_t& s : loss_switches_) s = d.i64();
-  for (std::int64_t& s : lat_switches_) s = d.i64();
-  const std::uint64_t n_hold = d.count(24);
-  holddown_.assign(n_hold, Holddown{});
-  for (Holddown& h : holddown_) {
+  const std::uint64_t n_hold = d.count(32);
+  holddown_.clear();
+  holddown_.reserve(n_hold);
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t i = 0; i < n_hold; ++i) {
+    const std::uint64_t key = d.u64();
+    if (key >= table_.size() * (table_.size() + 1) || (i > 0 && key <= prev_key)) {
+      throw snap::SnapshotError("snapshot: router hold-down keys corrupt or unsorted");
+    }
+    prev_key = key;
+    Holddown h;
     h.until = d.time();
     h.last_down = d.time();
     h.strikes = static_cast<int>(d.i64());
+    holddown_.emplace_back(static_cast<std::size_t>(key), h);
   }
 }
 
 void Router::check_invariants(TimePoint now, std::vector<std::string>& out) const {
   const std::string who = "router " + std::to_string(self_);
   const std::size_t n = table_.size();
-  if (!holddown_.empty() && holddown_.size() != n * (n + 1)) {
-    out.push_back(who + ": hold-down table has unexpected size");
-    return;
-  }
   for (std::size_t i = 0; i < holddown_.size(); ++i) {
-    const Holddown& h = holddown_[i];
-    const std::string slot = who + " holddown[" + std::to_string(i) + "]";
+    const auto& [key, h] = holddown_[i];
+    const std::string slot = who + " holddown[" + std::to_string(key) + "]";
+    if (key >= n * (n + 1)) out.push_back(slot + ": key out of range");
+    if (i > 0 && holddown_[i - 1].first >= key) {
+      out.push_back(who + ": hold-down keys out of order");
+    }
     // Strike monotonicity: strikes only move in [0, 20], and a live ban
     // implies at least one strike.
     if (h.strikes < 0 || h.strikes > 20) out.push_back(slot + ": strikes outside [0,20]");
@@ -358,25 +458,25 @@ void Router::check_invariants(TimePoint now, std::vector<std::string>& out) cons
       out.push_back(slot + ": ban extends past holddown_max from the last down event");
     }
   }
-  const auto check_incumbents = [&](const std::vector<Incumbent>& incs, const char* kind) {
-    for (std::size_t dst = 0; dst < incs.size(); ++dst) {
-      const auto& p = incs[dst].path;
-      if (!p) continue;
+  for (std::size_t i = 0; i < dst_states_.size(); ++i) {
+    const auto& [dst, st] = dst_states_[i];
+    if (dst >= n) out.push_back(who + ": destination state key out of range");
+    if (i > 0 && dst_states_[i - 1].first >= dst) {
+      out.push_back(who + ": destination state keys out of order");
+    }
+    const auto check_path = [&](const std::optional<PathSpec>& p, const char* kind) {
+      if (!p) return;
       const bool via_ok = p->via == kDirectVia || p->via < n;
       const bool via2_ok = p->via2 == kDirectVia || p->via2 < n;
       if (p->src != self_ || p->dst != dst || !via_ok || !via2_ok) {
         out.push_back(who + ": malformed " + kind + " incumbent for dst " +
                       std::to_string(dst));
       }
-    }
-  };
-  check_incumbents(loss_incumbent_, "loss");
-  check_incumbents(lat_incumbent_, "latency");
-  for (const std::int64_t s : loss_switches_) {
-    if (s < 0) out.push_back(who + ": negative loss switch counter");
-  }
-  for (const std::int64_t s : lat_switches_) {
-    if (s < 0) out.push_back(who + ": negative latency switch counter");
+    };
+    check_path(st.loss_path, "loss");
+    check_path(st.lat_path, "latency");
+    if (st.loss_switches < 0) out.push_back(who + ": negative loss switch counter");
+    if (st.lat_switches < 0) out.push_back(who + ": negative latency switch counter");
   }
 }
 

@@ -22,6 +22,15 @@
 // holddown_base is set, a selected path whose link goes down enters an
 // exponentially growing hold-down before it can be re-selected, bounding
 // flap amplification.
+//
+// Scaling (DESIGN.md §14): constructed over a capped NeighborSet the
+// router restricts relay candidates to N(self) u N(dst) u landmarks via
+// the engine's exclusion mask, its degraded-view denominator becomes
+// the neighbor row, and per-destination state (incumbents, switch
+// counters, hold-downs) lives in sorted flat maps populated on first
+// touch — O(destinations actually routed), not O(n) per router. Over a
+// full mesh (or with no NeighborSet) every code path reduces to the
+// legacy behaviour bit for bit.
 
 #ifndef RONPATH_OVERLAY_ROUTER_H_
 #define RONPATH_OVERLAY_ROUTER_H_
@@ -29,9 +38,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "overlay/link_state.h"
+#include "overlay/neighbors.h"
 #include "util/ids.h"
 #include "util/time.h"
 
@@ -68,6 +79,9 @@ struct RouterConfig {
   // rather than being trusted forever. Zero disables expiry. Callers
   // normally set this to a few probe intervals so entries only expire
   // when publication actually stops (LSA loss, crash, blackhole).
+  // Entries published under announcement rotation carry a stride > 1
+  // and their effective TTL scales by it (capped refresh cadence is not
+  // staleness).
   Duration entry_ttl = Duration::zero();
   // Loss assumed for expired/unknown entries: pessimistic enough that
   // unknown paths never beat a measured one, short of "down".
@@ -135,7 +149,12 @@ struct PathChoice {
 
 class Router {
  public:
-  Router(NodeId self, const LinkStateTable& table, RouterConfig cfg);
+  // `neighbors`, when non-null and not a full mesh, restricts relay
+  // candidates and scopes the degraded-view scan to the neighbor row;
+  // it must outlive the router. Null (or full mesh) is the legacy
+  // unrestricted router.
+  Router(NodeId self, const LinkStateTable& table, RouterConfig cfg,
+         const NeighborSet* neighbors = nullptr);
   ~Router();  // out of line: PathEngine is incomplete here
 
   // Best path choices under each objective; re-evaluated on demand.
@@ -152,9 +171,10 @@ class Router {
 
   // Route-change counters per destination, split by objective. A switch
   // is any evaluation whose selected path differs from the incumbent;
-  // flap-amplification tests bound these.
-  [[nodiscard]] std::int64_t loss_switches(NodeId dst) const { return loss_switches_[dst]; }
-  [[nodiscard]] std::int64_t lat_switches(NodeId dst) const { return lat_switches_[dst]; }
+  // flap-amplification tests bound these. Zero for never-routed
+  // destinations.
+  [[nodiscard]] std::int64_t loss_switches(NodeId dst) const;
+  [[nodiscard]] std::int64_t lat_switches(NodeId dst) const;
 
   // True while `via` is serving an exponential hold-down for routes to
   // `dst` (always false with holddown_base == 0).
@@ -162,16 +182,17 @@ class Router {
 
   // Scaling extension: best loss path allowing up to two intermediates
   // (the paper's one-intermediate router generalized). O(N^2) per call
-  // and stateless (no hysteresis, no hold-down); intended for analysis
-  // and ablations, not the per-packet fast path. `now` drives the
-  // staleness policy so graceful-degradation runs cannot relay through
-  // stale entries; the historical default (epoch) still treats
-  // never-published entries as unknown rather than perfect when
-  // entry_ttl is enabled.
+  // and stateless (no hysteresis, no hold-down, no candidate
+  // restriction); intended for analysis and ablations, not the
+  // per-packet fast path. `now` drives the staleness policy so
+  // graceful-degradation runs cannot relay through stale entries; the
+  // historical default (epoch) still treats never-published entries as
+  // unknown rather than perfect when entry_ttl is enabled.
   [[nodiscard]] PathChoice best_loss_path_two_hop(NodeId dst,
                                                   TimePoint now = TimePoint::epoch()) const;
 
-  // Candidate intermediates that currently seem up (excludes self, dst).
+  // Candidate intermediates that currently seem up (excludes self, dst;
+  // restricted to N(self) u N(dst) u landmarks over a capped graph).
   [[nodiscard]] std::vector<NodeId> live_intermediates(NodeId dst) const;
 
   // Snapshot support: incumbents, switch counters and hold-down state.
@@ -180,13 +201,17 @@ class Router {
   void restore_state(snap::Decoder& d);
 
   // Invariant auditor: hold-down strike monotonicity (strikes in [0,20],
-  // bans bounded by holddown_max from the last down event) and incumbent
-  // well-formedness.
+  // bans bounded by holddown_max from the last down event), incumbent
+  // well-formedness, and flat-map key ordering.
   void check_invariants(TimePoint now, std::vector<std::string>& out) const;
 
  private:
-  struct Incumbent {
-    std::optional<PathSpec> path;
+  // All mutable state for one destination, created on first touch.
+  struct DstState {
+    std::optional<PathSpec> loss_path;
+    std::optional<PathSpec> lat_path;
+    std::int64_t loss_switches = 0;
+    std::int64_t lat_switches = 0;
   };
   struct Holddown {
     TimePoint until;      // banned before this instant
@@ -194,25 +219,31 @@ class Router {
     int strikes = 0;
   };
 
-  [[nodiscard]] PathChoice evaluate_loss(NodeId dst, Incumbent& inc, TimePoint now);
-  [[nodiscard]] PathChoice evaluate_lat(NodeId dst, Incumbent& inc, TimePoint now);
-  // Builds the per-destination hold-down exclusion mask for the engine;
-  // returns nullptr when no hold-down can be active (the common case).
-  [[nodiscard]] const std::vector<bool>* holddown_mask(NodeId dst, TimePoint now);
+  [[nodiscard]] PathChoice evaluate_loss(NodeId dst, DstState& st, TimePoint now);
+  [[nodiscard]] PathChoice evaluate_lat(NodeId dst, DstState& st, TimePoint now);
+  // Builds the per-destination engine exclusion mask: hold-downs, plus
+  // (over a capped graph) everything outside the candidate set. Returns
+  // nullptr when nothing is excluded (the legacy common case).
+  [[nodiscard]] const std::vector<bool>* exclusion_mask(NodeId dst, TimePoint now);
   // Registers a down event on the incumbent's via, escalating hold-down.
   void register_down(NodeId dst, const PathSpec& path, TimePoint now);
-  void count_switch(std::vector<std::int64_t>& counters, NodeId dst, const Incumbent& inc,
-                    const PathSpec& chosen);
-  [[nodiscard]] std::size_t holddown_index(NodeId dst, NodeId via) const;
+  static void count_switch(std::int64_t& counter, const std::optional<PathSpec>& inc,
+                           const PathSpec& chosen);
+  [[nodiscard]] std::size_t holddown_key(NodeId dst, NodeId via) const;
+  [[nodiscard]] DstState& dst_state(NodeId dst);
+  [[nodiscard]] const DstState* find_dst(NodeId dst) const;
+  [[nodiscard]] const Holddown* find_holddown(std::size_t key) const;
+  [[nodiscard]] bool restricted() const { return nbrs_ != nullptr && !nbrs_->full(); }
+  [[nodiscard]] bool is_candidate(NodeId v, NodeId dst) const;
 
   NodeId self_;
   const LinkStateTable& table_;
   RouterConfig cfg_;
-  std::vector<Incumbent> loss_incumbent_;  // per destination
-  std::vector<Incumbent> lat_incumbent_;
-  std::vector<std::int64_t> loss_switches_;  // per destination
-  std::vector<std::int64_t> lat_switches_;
-  std::vector<Holddown> holddown_;  // (dst, via) keyed; lazily sized
+  const NeighborSet* nbrs_ = nullptr;
+  // Sorted flat maps: key order is the serialization order, so
+  // snapshots are deterministic regardless of touch order.
+  std::vector<std::pair<NodeId, DstState>> dst_states_;
+  std::vector<std::pair<std::size_t, Holddown>> holddown_;  // key: dst * (n+1) + via-slot
   // Candidate evaluation kernel (owned; scratch state only, so const
   // queries may use it). unique_ptr keeps router.h free of the engine
   // header.

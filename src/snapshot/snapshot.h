@@ -5,7 +5,9 @@
 //
 //   offset  size  field
 //        0     8  magic "RONPSNAP"
-//        8     4  format version (currently 2)
+//        8     4  format version (currently 3: link-state entries carry
+//                 a rotation stride, OVLY carries control meters, ROUT
+//                 moved to sorted flat maps, NETW gained lazy-core state)
 //       12     8  context fingerprint (FNV-1a over scenario/scheme/
 //                 config/seed; see SimWorld::fingerprint)
 //       20     8  payload length in bytes
@@ -33,7 +35,7 @@
 
 namespace ronpath::snap {
 
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 inline constexpr std::size_t kSnapshotHeaderBytes = 28;
 inline constexpr std::size_t kSnapshotMinBytes = kSnapshotHeaderBytes + 8;
 

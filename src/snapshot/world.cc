@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "net/config.h"
+#include "net/scale_topology.h"
 #include "snapshot/codec.h"
 
 namespace ronpath {
@@ -35,16 +36,27 @@ SimWorld::SimWorld(const Scenario& scenario, FaultScheme scheme, const FaultMatr
       topo_(testbed_2003()) {
   // Mirror of run_fault_cell's setup; the differential test in
   // tests/snapshot_world_test.cc pins the two against each other.
-  assert(cfg_.node_count >= 2);
-  if (cfg_.node_count < topo_.size()) {
-    std::vector<Site> subset(topo_.sites().begin(),
-                             topo_.sites().begin() + static_cast<long>(cfg_.node_count));
-    topo_ = Topology(std::move(subset));
+  if (cfg_.lazy_underlay && cfg_.shards > 0) {
+    throw std::invalid_argument("lazy_underlay is incompatible with sharded execution");
+  }
+  if (cfg_.synth_nodes > 0) {
+    ScaleTopologyParams params;
+    params.nodes = cfg_.synth_nodes;
+    params.seed = cfg_.seed;
+    topo_ = scale_topology(params);
+  } else {
+    assert(cfg_.node_count >= 2);
+    if (cfg_.node_count < topo_.size()) {
+      std::vector<Site> subset(topo_.sites().begin(),
+                               topo_.sites().begin() + static_cast<long>(cfg_.node_count));
+      topo_ = Topology(std::move(subset));
+    }
   }
 
   const Duration run_span = cfg_.warmup + cfg_.measured;
   NetConfig net_cfg = NetConfig::profile_2003(run_span);
   net_cfg.incidents.clear();
+  net_cfg.lazy_components = cfg_.lazy_underlay;
 
   std::string parse_error;
   const auto schedule = FaultSchedule::parse(dsl_, &parse_error);
@@ -64,6 +76,8 @@ SimWorld::SimWorld(const Scenario& scenario, FaultScheme scheme, const FaultMatr
   OverlayConfig ocfg;
   ocfg.router.forward_delay = net_cfg.forward_delay;
   ocfg.host_failures_per_month = 0.0;
+  ocfg.fanout = cfg_.overlay_fanout;
+  ocfg.landmarks = cfg_.overlay_landmarks;
   if (cfg_.graceful_degradation) {
     ocfg.router.entry_ttl = ocfg.probe_interval * 5;
     ocfg.router.holddown_base = ocfg.probe_interval * 2;
@@ -154,6 +168,14 @@ std::uint64_t SimWorld::fingerprint() const {
   // shard-count-invariant, so a --shards 4 snapshot must restore into a
   // --shards 1 world.
   h = fnv1a_u64(cfg_.shards > 0 ? 1 : 0, h);
+  // Scaling knobs (DESIGN.md §14). lazy_underlay is deliberately NOT
+  // hashed: materialization order never changes the simulation, so a
+  // lazy snapshot may not restore into an eager world — but that is a
+  // format property and Network::restore_state rejects it with a
+  // specific diagnostic.
+  h = fnv1a_u64(cfg_.synth_nodes, h);
+  h = fnv1a_u64(cfg_.overlay_fanout, h);
+  h = fnv1a_u64(cfg_.overlay_landmarks, h);
   return h;
 }
 
@@ -222,7 +244,7 @@ std::string SimWorld::report() const {
   std::string out;
   out += "== sim world ==\n";
   out += "scenario " + scenario_name_ + " | scheme " + std::string(to_string(scheme_)) +
-         " | seed " + std::to_string(seed_) + " | nodes " + std::to_string(cfg_.node_count) +
+         " | seed " + std::to_string(seed_) + " | nodes " + std::to_string(topo_.size()) +
          "\n";
   std::snprintf(buf, sizeof buf, "clock %lldns | dispatched %llu | next-seq %llu",
                 static_cast<long long>(sched_.now().since_epoch().count_nanos()),

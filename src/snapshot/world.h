@@ -84,6 +84,10 @@ class SimWorld {
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
   [[nodiscard]] const FaultMatrixConfig& config() const { return cfg_; }
   [[nodiscard]] std::string_view scenario_name() const { return scenario_name_; }
+  // Read-only views for benches/tests (control meters, resident state,
+  // materialized-component counts).
+  [[nodiscard]] const OverlayNetwork& overlay() const { return *overlay_; }
+  [[nodiscard]] const Network& network() const { return *net_; }
 
  private:
   [[nodiscard]] Scenario scenario_view() const;

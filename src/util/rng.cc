@@ -1,5 +1,6 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -84,7 +85,13 @@ double Rng::pareto(double x_m, double alpha) {
 }
 
 Duration Rng::exponential_duration(Duration mean) {
-  return Duration::from_seconds_f(exponential(mean.to_seconds_f()));
+  // Saturate before the int64 nanosecond cast: a draw against a huge
+  // disabled-process mean (the overlay's ~100-year host-failure gap)
+  // multiplies it by |ln u| and can exceed Duration's range, which is
+  // UB in the cast and used to fabricate pre-epoch intervals. ~280
+  // years is still "never within any run".
+  constexpr double kMaxSeconds = 9.0e9;
+  return Duration::from_seconds_f(std::min(exponential(mean.to_seconds_f()), kMaxSeconds));
 }
 
 Duration Rng::uniform_duration(Duration lo, Duration hi) {

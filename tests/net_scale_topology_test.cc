@@ -1,0 +1,101 @@
+// The synthetic hierarchical topology generator (net/scale_topology.h):
+// determinism, naming, and delay structure at scaling-tier sizes.
+
+#include "net/scale_topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ronpath {
+namespace {
+
+std::string metro_of(const Site& s) { return s.name.substr(0, s.name.find('-')); }
+
+TEST(ScaleTopology, SizesAreExact) {
+  for (const std::size_t n : {2u, 30u, 300u, 1000u}) {
+    ScaleTopologyParams p;
+    p.nodes = n;
+    EXPECT_EQ(scale_topology(p).size(), n);
+  }
+}
+
+TEST(ScaleTopology, ByteIdenticalAcrossCalls) {
+  ScaleTopologyParams p;
+  p.nodes = 300;
+  p.seed = 7;
+  const Topology a = scale_topology(p);
+  const Topology b = scale_topology(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId i = 0; i < static_cast<NodeId>(a.size()); ++i) {
+    EXPECT_EQ(a.site(i).name, b.site(i).name);
+    EXPECT_EQ(a.site(i).location, b.site(i).location);
+    EXPECT_EQ(a.site(i).link_class, b.site(i).link_class);
+    EXPECT_EQ(a.site(i).lat_deg, b.site(i).lat_deg);  // bitwise: same fork, same draws
+    EXPECT_EQ(a.site(i).lon_deg, b.site(i).lon_deg);
+  }
+}
+
+TEST(ScaleTopology, SeedChangesPlacement) {
+  ScaleTopologyParams p;
+  p.nodes = 60;
+  p.seed = 1;
+  const Topology a = scale_topology(p);
+  p.seed = 2;
+  const Topology b = scale_topology(p);
+  bool differs = false;
+  for (NodeId i = 0; i < static_cast<NodeId>(a.size()) && !differs; ++i) {
+    differs = a.site(i).lat_deg != b.site(i).lat_deg || a.site(i).lon_deg != b.site(i).lon_deg;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScaleTopology, NamesAreUniqueAndSynthetic) {
+  ScaleTopologyParams p;
+  p.nodes = 300;
+  const Topology topo = scale_topology(p);
+  std::set<std::string> names;
+  for (const Site& s : topo.sites()) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate name " << s.name;
+    // NetConfig::params_for matches testbed hosts by exact name; the
+    // synthetic namespace must never collide (notably "Korea").
+    EXPECT_EQ(s.name[0], 'm') << s.name;
+    EXPECT_NE(s.name, "Korea");
+  }
+}
+
+TEST(ScaleTopology, DelayStructureIsHierarchical) {
+  ScaleTopologyParams p;
+  p.nodes = 300;
+  const Topology topo = scale_topology(p);
+  const auto n = static_cast<NodeId>(topo.size());
+
+  // Within a metro: sub-millisecond-ish propagation (coordinate jitter
+  // around one center). Across the world table: transoceanic pairs.
+  Duration best_intra = Duration::max();
+  Duration worst = Duration::seconds(0);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+      const Duration d = topo.propagation(a, b);
+      if (metro_of(topo.site(a)) == metro_of(topo.site(b))) {
+        best_intra = std::min(best_intra, d);
+      }
+      worst = std::max(worst, d);
+    }
+  }
+  EXPECT_LT(best_intra, Duration::millis(2));
+  EXPECT_GT(worst, Duration::millis(20));
+}
+
+TEST(ScaleTopology, LinkClassMixIsHeterogeneous) {
+  ScaleTopologyParams p;
+  p.nodes = 300;
+  const Topology topo = scale_topology(p);
+  std::set<LinkClass> classes;
+  for (const Site& s : topo.sites()) classes.insert(s.link_class);
+  EXPECT_GE(classes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -58,6 +58,10 @@ struct SoakOptions {
   std::size_t checkpoint_every = 1000;  // sends between checkpoints
   std::size_t kill_every = 3;           // kill/restore at every k-th checkpoint (0 = never)
   int shards = 0;                       // > 0: sharded underlay discipline
+  std::size_t synth_nodes = 0;          // > 0: synthetic hierarchical topology
+  std::size_t fanout = 0;               // > 0: bandwidth-capped overlay
+  std::size_t landmarks = 8;
+  bool lazy = false;  // materialize underlay cores on demand
   bool audit = true;
   bool verify = false;
   std::string snapshot_dir;  // empty = snapshots stay in memory
@@ -69,6 +73,7 @@ struct SoakOptions {
       "usage: soak [--scenario NAME|day-stream|FILE] [--scheme direct|reactive|mesh|hybrid]\n"
       "            [--seed N] [--nodes N] [--hours H] [--send-interval-ms M]\n"
       "            [--checkpoint-every SENDS] [--kill-every K] [--shards K] [--no-audit]\n"
+      "            [--synth-nodes N] [--fanout K] [--landmarks L] [--lazy]\n"
       "            [--snapshot-dir DIR] [--verify] [--quick]\n");
   std::exit(code);
 }
@@ -124,6 +129,14 @@ SoakOptions parse_args(int argc, char** argv) {
       opt.kill_every = static_cast<std::size_t>(parse_int("--kill-every", next(), 0, 1'000'000));
     } else if (arg == "--shards") {
       opt.shards = static_cast<int>(parse_int("--shards", next(), 1, 256));
+    } else if (arg == "--synth-nodes") {
+      opt.synth_nodes = static_cast<std::size_t>(parse_int("--synth-nodes", next(), 4, 65'000));
+    } else if (arg == "--fanout") {
+      opt.fanout = static_cast<std::size_t>(parse_int("--fanout", next(), 1, 65'534));
+    } else if (arg == "--landmarks") {
+      opt.landmarks = static_cast<std::size_t>(parse_int("--landmarks", next(), 0, 65'534));
+    } else if (arg == "--lazy") {
+      opt.lazy = true;
     } else if (arg == "--no-audit") {
       opt.audit = false;
     } else if (arg == "--snapshot-dir") {
@@ -206,6 +219,10 @@ int main(int argc, char** argv) {
   cfg.measured = opt.measured;
   cfg.send_interval = opt.send_interval;
   cfg.shards = opt.shards;
+  cfg.synth_nodes = opt.synth_nodes;
+  cfg.overlay_fanout = opt.fanout;
+  cfg.overlay_landmarks = opt.landmarks;
+  cfg.lazy_underlay = opt.lazy;
   std::string dsl_storage;
   const Scenario scenario = resolve_scenario(opt, cfg, dsl_storage);
 
@@ -223,7 +240,8 @@ int main(int argc, char** argv) {
     const std::size_t total = world->total_sends();
     std::printf("soak: %s / %s, %zu nodes, %zu sends, checkpoint every %zu, kill every %zu%s\n",
                 std::string(scenario.name).c_str(), std::string(to_string(opt.scheme)).c_str(),
-                opt.nodes, total, opt.checkpoint_every, opt.kill_every,
+                opt.synth_nodes > 0 ? opt.synth_nodes : opt.nodes, total, opt.checkpoint_every,
+                opt.kill_every,
                 opt.snapshot_dir.empty() ? " (snapshots in memory)" : "");
 
     std::size_t checkpoints = 0;
