@@ -5,7 +5,9 @@
 // sweeps the microburst fraction to show the knob shaping the curve.
 
 #include <iostream>
+#include <limits>
 
+#include "bench/bench_common.h"
 #include "core/testbed.h"
 #include "net/network.h"
 #include "util/table.h"
@@ -38,9 +40,24 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--hours" && i + 1 < argc) hours = std::atoi(argv[++i]);
-    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    if (a == "--quick") hours = 3;
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--hours") {
+      hours = static_cast<int>(bench::BenchArgs::parse_int("--hours", next(), 1, 24 * 365));
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(bench::BenchArgs::parse_int(
+          "--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (a == "--quick") {
+      hours = 3;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 2;
+    }
   }
 
   std::printf("== Ablation: CLP vs inter-packet gap ==\n");

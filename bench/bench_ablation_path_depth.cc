@@ -16,7 +16,9 @@
 #include <iostream>
 #include <string>
 #include <vector>
+#include <limits>
 
+#include "bench/bench_common.h"
 #include "overlay/link_state.h"
 #include "overlay/path_engine.h"
 #include "overlay/router.h"
@@ -65,8 +67,22 @@ int main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    if (a == "--quick") quick = true;
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(bench::BenchArgs::parse_int(
+          "--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (a == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 2;
+    }
   }
 
   std::vector<std::size_t> sizes = {30, 100, 300};

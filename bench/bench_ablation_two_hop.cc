@@ -9,7 +9,9 @@
 // quantify why RON stopped at one.
 
 #include <iostream>
+#include <limits>
 
+#include "bench/bench_common.h"
 #include "core/testbed.h"
 #include "event/scheduler.h"
 #include "net/network.h"
@@ -24,8 +26,11 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--hours" && i + 1 < argc) hours = std::atoi(argv[++i]);
-    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    if (a == "--hours" && i + 1 < argc)
+      hours = static_cast<int>(bench::BenchArgs::parse_int("--hours", argv[++i], 1, 24 * 365));
+    if (a == "--seed" && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(bench::BenchArgs::parse_int(
+          "--seed", argv[++i], 0, std::numeric_limits<std::int64_t>::max()));
     if (a == "--quick") hours = 2;
   }
 

@@ -9,7 +9,9 @@
 // loss-window's 25-minute nominal memory.
 
 #include <iostream>
+#include <limits>
 
+#include "bench/bench_common.h"
 #include "core/testbed.h"
 #include "event/scheduler.h"
 #include "net/network.h"
@@ -89,9 +91,24 @@ int main(int argc, char** argv) {
   int seeds = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    if (a == "--seeds" && i + 1 < argc) seeds = std::atoi(argv[++i]);
-    if (a == "--quick") seeds = 1;
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(bench::BenchArgs::parse_int(
+          "--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (a == "--seeds") {
+      seeds = static_cast<int>(bench::BenchArgs::parse_int("--seeds", next(), 1, 100000));
+    } else if (a == "--quick") {
+      seeds = 1;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 2;
+    }
   }
 
   std::printf("== Failover time vs probing rate (Section 5.1) ==\n");

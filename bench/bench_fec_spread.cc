@@ -7,6 +7,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "bench/bench_common.h"
 #include "core/testbed.h"
@@ -115,10 +116,26 @@ int main(int argc, char** argv) {
   std::string csv_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--payloads" && i + 1 < argc) payloads = std::atoi(argv[++i]);
-    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    if (a == "--csv" && i + 1 < argc) csv_path = argv[++i];
-    if (a == "--quick") payloads = 30'000;
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--payloads") {
+      payloads = static_cast<int>(bench::BenchArgs::parse_int("--payloads", next(), 1, 100000000));
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(bench::BenchArgs::parse_int(
+          "--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (a == "--csv") {
+      csv_path = next();
+    } else if (a == "--quick") {
+      payloads = 30'000;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 2;
+    }
   }
 
   std::printf("== Spread FEC over the overlay: residual loss, RS(5,2), Intel -> NC-Cable ==\n");

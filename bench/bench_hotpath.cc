@@ -37,10 +37,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -63,6 +66,34 @@ double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// Strict integer parsing (the BenchArgs convention): the whole token
+// must be a number in range; garbage and trailing junk exit 2.
+std::int64_t parse_int(const char* flag, const char* text, std::int64_t lo, std::int64_t hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::fprintf(stderr, "%s: expected an integer in [%lld, %lld], got \"%s\"\n", flag,
+                 static_cast<long long>(lo), static_cast<long long>(hi), text);
+    std::exit(2);
+  }
+  return v;
+}
+
+// Strict floating-point parsing for --max-regress: garbage, trailing
+// junk, non-finite and non-positive thresholds exit 2. strtod's silent
+// 0.0 on garbage would turn a typo into an always-failing gate.
+double parse_positive_double(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v) || v <= 0.0) {
+    std::fprintf(stderr, "%s: expected a positive number, got \"%s\"\n", flag, text);
+    std::exit(2);
+  }
+  return v;
 }
 
 struct Result {
@@ -414,22 +445,14 @@ int run(int argc, char** argv) {
       n_events = 300'000;
       n_samples = 300'000;
     } else if (arg == "--seed") {
-      seed = std::strtoull(next(), nullptr, 10);
+      seed = static_cast<std::uint64_t>(
+          parse_int("--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
     } else if (arg == "--reps") {
-      reps = static_cast<int>(std::strtol(next(), nullptr, 10));
-      if (reps < 1) reps = 1;
+      reps = static_cast<int>(parse_int("--reps", next(), 1, 1000));
     } else if (arg == "--shards") {
-      // Strict parse (the BenchArgs contract): "--shards 0" and
-      // non-numeric values exit 2 instead of silently running legacy.
-      errno = 0;
-      char* end = nullptr;
-      const char* text = next();
-      const long v = std::strtol(text, &end, 10);
-      if (end == text || *end != '\0' || errno == ERANGE || v < 1 || v > 256) {
-        std::fprintf(stderr, "--shards: expected an integer in [1, 256], got \"%s\"\n", text);
-        return 2;
-      }
-      shards = static_cast<int>(v);
+      // "--shards 0" and non-numeric values exit 2 instead of silently
+      // running legacy.
+      shards = static_cast<int>(parse_int("--shards", next(), 1, 256));
     } else if (arg == "--shard-sweep") {
       shard_sweep = true;
     } else if (arg == "--label") {
@@ -439,7 +462,7 @@ int run(int argc, char** argv) {
     } else if (arg == "--compare") {
       compare_path = next();
     } else if (arg == "--max-regress") {
-      max_regress = std::strtod(next(), nullptr);
+      max_regress = parse_positive_double("--max-regress", next());
     } else if (arg == "--help") {
       std::printf("usage: %s [--quick] [--reps N] [--seed S] [--shards K] [--shard-sweep] "
                   "[--label NAME] [--out PATH] [--compare FILE] [--max-regress F]\n",

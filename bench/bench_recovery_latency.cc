@@ -11,7 +11,9 @@
 // constant 2x bandwidth and keeps the latency distribution tight.
 
 #include <iostream>
+#include <limits>
 
+#include "bench/bench_common.h"
 #include "core/testbed.h"
 #include "event/scheduler.h"
 #include "net/network.h"
@@ -47,9 +49,24 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--packets" && i + 1 < argc) packets = std::atoi(argv[++i]);
-    if (a == "--seed" && i + 1 < argc) seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    if (a == "--quick") packets = 30'000;
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--packets") {
+      packets = static_cast<int>(bench::BenchArgs::parse_int("--packets", next(), 1, 100000000));
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(bench::BenchArgs::parse_int(
+          "--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (a == "--quick") {
+      packets = 30'000;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return 2;
+    }
   }
 
   std::printf("== Recovery latency: direct vs ARQ vs overlay-ARQ vs mesh ==\n");

@@ -45,6 +45,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +78,20 @@ std::int64_t parse_int(const char* flag, const char* text, std::int64_t lo, std:
   if (end == text || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
     std::fprintf(stderr, "%s: expected an integer in [%lld, %lld], got \"%s\"\n", flag,
                  static_cast<long long>(lo), static_cast<long long>(hi), text);
+    std::exit(2);
+  }
+  return v;
+}
+
+// Strict floating-point parsing for --max-regress: garbage, trailing
+// junk, non-finite and non-positive thresholds exit 2. strtod's silent
+// 0.0 on garbage would turn a typo into an always-failing gate.
+double parse_positive_double(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v) || v <= 0.0) {
+    std::fprintf(stderr, "%s: expected a positive number, got \"%s\"\n", flag, text);
     std::exit(2);
   }
   return v;
@@ -329,7 +344,7 @@ int run(int argc, char** argv) {
     } else if (arg == "--compare") {
       compare_path = next();
     } else if (arg == "--max-regress") {
-      max_regress = std::strtod(next(), nullptr);
+      max_regress = parse_positive_double("--max-regress", next());
     } else if (arg == "--help") {
       std::printf("usage: %s [--nodes N[,N...]] [--fanout K] [--landmarks L] [--seed S] "
                   "[--reps N] [--label NAME] [--quick] [--no-anchor] [--out PATH] "

@@ -1,0 +1,37 @@
+#include "fec/rate_select.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ronpath {
+
+double fec_block_failure_prob(std::size_t k, std::size_t m, double loss_p) {
+  assert(k >= 1 && k + m <= 255);
+  const double p = std::clamp(loss_p, 0.0, 1.0);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  const std::size_t n = k + m;
+  // Walk the binomial pmf upward from j = 0 by the recurrence
+  // pmf(j+1) = pmf(j) * (n-j)/(j+1) * p/(1-p); the tail above m is
+  // 1 - CDF(m). Accumulating the head keeps every term positive and
+  // well-scaled for n <= 255.
+  const double ratio = p / (1.0 - p);
+  double pmf = 1.0;
+  for (std::size_t i = 0; i < n; ++i) pmf *= (1.0 - p);  // (1-p)^n
+  double cdf = 0.0;
+  for (std::size_t j = 0; j <= m; ++j) {
+    cdf += pmf;
+    pmf *= static_cast<double>(n - j) / static_cast<double>(j + 1) * ratio;
+  }
+  return std::clamp(1.0 - cdf, 0.0, 1.0);
+}
+
+std::size_t pick_parity(std::size_t k, double loss_p, double target, std::size_t m_max) {
+  assert(k >= 1 && k + m_max <= 255);
+  for (std::size_t m = 0; m <= m_max; ++m) {
+    if (fec_block_failure_prob(k, m, loss_p) <= target) return m;
+  }
+  return m_max;
+}
+
+}  // namespace ronpath

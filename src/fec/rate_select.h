@@ -1,0 +1,38 @@
+// Closed-loop FEC rate selection.
+//
+// Given a measured path loss probability p, pick the minimal parity
+// count m such that an RS(k, m) block is unrecoverable with probability
+// at most `target`: under independent per-shard loss, a block of k+m
+// shards fails iff more than m shards are lost, so
+//
+//   P(fail) = sum_{j = m+1 .. k+m} C(k+m, j) p^j (1-p)^(k+m-j)
+//
+// and pick_parity() returns the smallest m in [0, m_max] meeting the
+// target, or m_max when none does (the adaptive layer then escalates to
+// duplication instead of paying ever more parity). This is the
+// rate-allocation side of the Figure 6 design space turned into a
+// per-flow control action: overhead (k+m)/k is chosen from measured
+// path state instead of being a static analytic curve.
+//
+// Everything is closed-form double arithmetic on small integers —
+// deterministic across runs and platforms for the magnitudes involved
+// (k + m <= 255, binomial tails far from denormals).
+
+#ifndef RONPATH_FEC_RATE_SELECT_H_
+#define RONPATH_FEC_RATE_SELECT_H_
+
+#include <cstddef>
+
+namespace ronpath {
+
+// P(more than m of k+m shards lost) with iid per-shard loss p.
+[[nodiscard]] double fec_block_failure_prob(std::size_t k, std::size_t m, double loss_p);
+
+// Minimal m in [0, m_max] with fec_block_failure_prob(k, m, p) <=
+// target; m_max when no such m exists. k >= 1, k + m_max <= 255.
+[[nodiscard]] std::size_t pick_parity(std::size_t k, double loss_p, double target,
+                                      std::size_t m_max);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_FEC_RATE_SELECT_H_

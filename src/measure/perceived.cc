@@ -1,0 +1,93 @@
+#include "measure/perceived.h"
+
+#include <algorithm>
+
+namespace ronpath {
+
+std::string_view to_string(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kVoip: return "voip";
+    case ServiceClass::kVideo: return "video";
+    case ServiceClass::kWeb: return "web";
+    case ServiceClass::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+void ClassMetrics::merge(const ClassMetrics& other) {
+  latency_.merge(other.latency_);
+  sent_ += other.sent_;
+  delivered_ += other.delivered_;
+  slo_ok_ += other.slo_ok_;
+  bursts_ += other.bursts_;
+  burst_len_sum_ += other.burst_len_sum_;
+}
+
+double ClassMetrics::loss_pct() const {
+  return sent_ > 0
+             ? 100.0 * static_cast<double>(sent_ - delivered_) / static_cast<double>(sent_)
+             : 0.0;
+}
+
+double ClassMetrics::mean_burst_len() const {
+  return bursts_ > 0 ? static_cast<double>(burst_len_sum_) / static_cast<double>(bursts_)
+                     : 0.0;
+}
+
+double ClassMetrics::slo_attainment_pct() const {
+  return sent_ > 0 ? 100.0 * static_cast<double>(slo_ok_) / static_cast<double>(sent_) : 0.0;
+}
+
+double ClassMetrics::mos(Duration slo_latency) const {
+  if (sent_ == 0) return 4.5;
+  const double loss_frac =
+      static_cast<double>(sent_ - delivered_) / static_cast<double>(sent_);
+  // Bursts amplify perceived loss; with no completed bursts recorded
+  // (all isolated losses) the multiplier degenerates to 1.
+  const double burst_mult = std::max(1.0, mean_burst_len());
+  const double eff_loss = loss_frac * burst_mult;
+  const double r_loss = 1.0 / (1.0 + 30.0 * eff_loss);
+  const std::int64_t p99_ns = p99().count_nanos();
+  const double r_delay =
+      p99_ns > 0 ? std::min(1.0, static_cast<double>(slo_latency.count_nanos()) /
+                                     static_cast<double>(p99_ns))
+                 : 1.0;
+  return std::clamp(1.0 + 3.5 * r_loss * r_delay, 1.0, 4.5);
+}
+
+void ClassMetrics::save_state(snap::Encoder& e) const {
+  e.tag("CLSM");
+  latency_.save_state(e);
+  e.u64(sent_);
+  e.u64(delivered_);
+  e.u64(slo_ok_);
+  e.u64(bursts_);
+  e.u64(burst_len_sum_);
+}
+
+void ClassMetrics::restore_state(snap::Decoder& d) {
+  d.expect_tag("CLSM");
+  latency_.restore_state(d);
+  sent_ = d.u64();
+  delivered_ = d.u64();
+  slo_ok_ = d.u64();
+  bursts_ = d.u64();
+  burst_len_sum_ = d.u64();
+  if (delivered_ > sent_ || slo_ok_ > sent_) {
+    throw snap::SnapshotError("class metrics: counters out of order");
+  }
+}
+
+void ClassMetrics::check_invariants(std::vector<std::string>& out) const {
+  latency_.check_invariants(out);
+  if (delivered_ > sent_) out.push_back("class metrics: delivered exceeds sent");
+  if (slo_ok_ > sent_) out.push_back("class metrics: slo_ok exceeds sent");
+  if (latency_.count() != delivered_) {
+    out.push_back("class metrics: latency sample count disagrees with deliveries");
+  }
+  if (burst_len_sum_ < bursts_) {
+    out.push_back("class metrics: burst length sum below burst count");
+  }
+}
+
+}  // namespace ronpath

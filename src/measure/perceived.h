@@ -1,0 +1,99 @@
+// User-perceived, per-class metrics for the workload layer.
+//
+// The paper's tables score *paths* (average loss, average latency); a
+// production workload is scored by what each user's flow experienced:
+// tail latency (p99/p999 via QuantileSketch), loss-burst structure
+// (three consecutive lost VoIP packets are audible where three isolated
+// ones are not), and whether the packet met its class SLO.
+//
+// MOS-style score (documented in DESIGN.md §15): a transmission-rating
+// style composition
+//
+//   mos = 1 + 3.5 * r_loss * r_delay
+//   r_loss  = 1 / (1 + k_loss * eff_loss)          eff_loss = loss_frac * mean_burst_len
+//   r_delay = min(1, slo_latency / p99)            (1 when the tail meets the bound)
+//
+// clamped to [1, 4.5]. eff_loss multiplies the raw loss fraction by the
+// mean loss-burst length, so bursty loss is penalized super-linearly —
+// the standard observation behind Markov/Gilbert loss models of
+// perceived quality. k_loss = 30 puts 1% random loss at ~4.2 and 10%
+// bursty loss deep below 3.
+//
+// ClassMetrics merge bucket-wise/count-wise (exact), so per-shard or
+// per-trial collection composes; everything snapshots through the codec.
+
+#ifndef RONPATH_MEASURE_PERCEIVED_H_
+#define RONPATH_MEASURE_PERCEIVED_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "measure/quantile_sketch.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+// Workload traffic classes, ordered by latency sensitivity. Distinct
+// from wire/packet.h's TrafficClass (probe-vs-data plumbing).
+enum class ServiceClass : std::uint8_t { kVoip = 0, kVideo = 1, kWeb = 2, kBulk = 3 };
+
+inline constexpr std::size_t kServiceClassCount = 4;
+
+[[nodiscard]] std::string_view to_string(ServiceClass c);
+
+// Per-class accumulator. The caller reports every packet once, and
+// every completed loss burst (a maximal run of consecutive losses
+// within one flow) once.
+class ClassMetrics {
+ public:
+  ClassMetrics() : latency_(0.01) {}
+
+  void note_packet(bool delivered, Duration latency, bool slo_ok) {
+    ++sent_;
+    if (delivered) {
+      ++delivered_;
+      latency_.add(latency);
+    }
+    if (slo_ok) ++slo_ok_;
+  }
+  void note_loss_burst(std::uint64_t length) {
+    ++bursts_;
+    burst_len_sum_ += length;
+  }
+
+  void merge(const ClassMetrics& other);
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t bursts() const { return bursts_; }
+  [[nodiscard]] double loss_pct() const;
+  [[nodiscard]] double mean_burst_len() const;
+  // Share of packets that met the class SLO (delivered within bound).
+  [[nodiscard]] double slo_attainment_pct() const;
+  [[nodiscard]] Duration p50() const { return latency_.quantile(0.50); }
+  [[nodiscard]] Duration p99() const { return latency_.quantile(0.99); }
+  [[nodiscard]] Duration p999() const { return latency_.quantile(0.999); }
+  // MOS-style score in [1, 4.5]; needs the class's SLO latency bound.
+  [[nodiscard]] double mos(Duration slo_latency) const;
+
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+  void check_invariants(std::vector<std::string>& out) const;
+
+ private:
+  QuantileSketch latency_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t slo_ok_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t burst_len_sum_ = 0;
+};
+
+using PerClassMetrics = std::array<ClassMetrics, kServiceClassCount>;
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MEASURE_PERCEIVED_H_

@@ -1,0 +1,95 @@
+#include "measure/quantile_sketch.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ronpath {
+
+QuantileSketch::QuantileSketch(double alpha) : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha < 0.5);
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::size_t QuantileSketch::index_of(std::int64_t nanos) const {
+  if (nanos <= 1) return 0;
+  // Bucket i covers (gamma^(i-1), gamma^i]; ceil() puts each value in
+  // the first bucket whose upper bound reaches it.
+  const double idx = std::ceil(std::log(static_cast<double>(nanos)) * inv_log_gamma_);
+  return idx < 1.0 ? 1 : static_cast<std::size_t>(idx);
+}
+
+void QuantileSketch::add(Duration latency) {
+  const std::size_t i = index_of(latency.count_nanos());
+  if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+  ++buckets_[i];
+  ++count_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  assert(alpha_ == other.alpha_);
+  if (other.buckets_.size() > buckets_.size()) buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+}
+
+Duration QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return Duration::nanos(0);
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile among `count_` ordered observations.
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum > target) {
+      if (i == 0) return Duration::nanos(1);
+      // Midpoint of (gamma^(i-1), gamma^i] in the multiplicative sense:
+      // within alpha of every value the bucket can contain.
+      const double mid =
+          2.0 * std::pow(gamma_, static_cast<double>(i)) / (gamma_ + 1.0);
+      return Duration::nanos(static_cast<std::int64_t>(std::llround(mid)));
+    }
+  }
+  return Duration::nanos(0);  // unreachable when count_ > 0
+}
+
+void QuantileSketch::save_state(snap::Encoder& e) const {
+  e.tag("QSKT");
+  e.f64(alpha_);
+  e.u64(count_);
+  e.u64(buckets_.size());
+  for (const std::uint64_t b : buckets_) e.u64(b);
+}
+
+void QuantileSketch::restore_state(snap::Decoder& d) {
+  d.expect_tag("QSKT");
+  const double alpha = d.f64();
+  if (alpha != alpha_) {
+    throw snap::SnapshotError("quantile sketch: alpha mismatch between snapshot and world");
+  }
+  count_ = d.u64();
+  const std::uint64_t n = d.count(8);
+  buckets_.assign(n, 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets_[i] = d.u64();
+    total += buckets_[i];
+  }
+  if (total != count_) {
+    throw snap::SnapshotError("quantile sketch: bucket counts disagree with the total");
+  }
+}
+
+void QuantileSketch::check_invariants(std::vector<std::string>& out) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets_) total += b;
+  if (total != count_) {
+    out.push_back("quantile sketch: bucket counts disagree with the total");
+  }
+  if (!buckets_.empty() && buckets_.back() == 0) {
+    out.push_back("quantile sketch: trailing empty bucket (growth invariant broken)");
+  }
+}
+
+}  // namespace ronpath

@@ -1,0 +1,70 @@
+// Streaming quantile sketch for one-way latencies.
+//
+// DDSketch-style logarithmic buckets (Masson et al.): bucket i covers
+// (gamma^(i-1), gamma^i] nanoseconds with gamma = (1+alpha)/(1-alpha),
+// so reporting the bucket midpoint 2*gamma^i/(gamma+1) guarantees a
+// *relative* error of at most alpha for every quantile — p999 of a
+// 40 ms distribution is as accurate as p50, which a fixed-width
+// histogram cannot promise. Memory is O(log(max/min)/alpha): at the
+// default alpha = 0.01 a sketch spanning 1 ns .. 100 s is ~1150
+// buckets, grown lazily from zero.
+//
+// Sketches merge by bucket-wise addition (exact: merging N sketches
+// equals one sketch fed the union), which is what makes per-flow or
+// per-shard collection composable into per-class columns. All state is
+// integral counts plus the construction-time alpha, so byte-identical
+// runs produce byte-identical sketches; save_state/restore_state use
+// the snapshot codec (header-only, no snapshot-library link needed).
+
+#ifndef RONPATH_MEASURE_QUANTILE_SKETCH_H_
+#define RONPATH_MEASURE_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <string>
+
+#include "snapshot/codec.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+class QuantileSketch {
+ public:
+  // alpha: guaranteed relative accuracy, in (0, 0.5). 0.01 = 1%.
+  explicit QuantileSketch(double alpha = 0.01);
+
+  // Records one latency. Non-positive durations land in bucket 0
+  // (reported as 1 ns); a delivered packet always has positive latency.
+  void add(Duration latency);
+
+  // Bucket-wise sum. Both sketches must share the same alpha.
+  void merge(const QuantileSketch& other);
+
+  // The q-quantile (q in [0, 1]) with relative error <= alpha.
+  // Undefined (returns zero) on an empty sketch.
+  [[nodiscard]] Duration quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  void save_state(snap::Encoder& e) const;
+  // Expects a sketch constructed with the same alpha.
+  void restore_state(snap::Decoder& d);
+
+  void check_invariants(std::vector<std::string>& out) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(std::int64_t nanos) const;
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  std::uint64_t count_ = 0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_MEASURE_QUANTILE_SKETCH_H_

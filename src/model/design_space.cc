@@ -67,6 +67,48 @@ DesignPoint DesignSpace::evaluate(double improvement, double data_capacity) cons
   return pt;
 }
 
+std::string_view to_string(RedundancyAction a) {
+  switch (a) {
+    case RedundancyAction::kNone: return "none";
+    case RedundancyAction::kReactive: return "reactive";
+    case RedundancyAction::kFec: return "fec";
+    case RedundancyAction::kDuplicate: return "duplicate";
+  }
+  return "?";
+}
+
+RedundancyAction DesignSpace::classify_requirement(double improvement, double data_capacity,
+                                                   double fec_overhead) const {
+  const double x = std::clamp(improvement, 0.0, 1.0);
+  const double y = std::clamp(data_capacity, 0.0, 1.0);
+  const bool reactive = reactive_feasible(x, y);
+  const bool duplicate = redundant_feasible(x, y);
+  // FEC shares the independence limit with duplication (parity rides a
+  // detour path; only independent losses reconstruct) but costs
+  // y * fec_overhead instead of a full extra copy.
+  const bool fec = x <= p_.independence_limit && y * (1.0 + fec_overhead) <= 1.0;
+  if (!reactive && !duplicate && !fec) return RedundancyAction::kNone;
+
+  const double probe_cost = p_.probe_capacity_base + p_.probe_capacity_slope * x;
+  const double dup_cost = y * (p_.redundancy - 1.0);
+  const double fec_cost = y * fec_overhead;
+  RedundancyAction best = RedundancyAction::kNone;
+  double best_cost = 2.0;  // all costs are <= 1 when feasible
+  if (reactive && probe_cost < best_cost) {
+    best = RedundancyAction::kReactive;
+    best_cost = probe_cost;
+  }
+  if (fec && fec_cost < best_cost) {
+    best = RedundancyAction::kFec;
+    best_cost = fec_cost;
+  }
+  if (duplicate && dup_cost < best_cost) {
+    best = RedundancyAction::kDuplicate;
+    best_cost = dup_cost;
+  }
+  return best;
+}
+
 std::vector<DesignPoint> DesignSpace::grid(std::size_t nx, std::size_t ny) const {
   assert(nx >= 2 && ny >= 2);
   std::vector<DesignPoint> out;

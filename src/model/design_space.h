@@ -20,6 +20,7 @@
 #ifndef RONPATH_MODEL_DESIGN_SPACE_H_
 #define RONPATH_MODEL_DESIGN_SPACE_H_
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -56,6 +57,14 @@ struct DesignPoint {
 
 [[nodiscard]] std::string_view to_string(SchemeRegion r);
 
+// Redundancy actions the closed-loop workload policy can take per flow.
+// kFec sits between reactive routing and full duplication: parity
+// overhead m/k instead of a whole extra copy, but only independent
+// losses are recoverable, so it inherits the independence limit.
+enum class RedundancyAction : std::uint8_t { kNone = 0, kReactive = 1, kFec = 2, kDuplicate = 3 };
+
+[[nodiscard]] std::string_view to_string(RedundancyAction a);
+
 class DesignSpace {
  public:
   explicit DesignSpace(DesignSpaceParams params) : p_(params) {}
@@ -70,6 +79,17 @@ class DesignSpace {
   // Capacity-limit boundary curves y(improvement) for each scheme.
   [[nodiscard]] double reactive_capacity_limit(double improvement) const;
   [[nodiscard]] double redundant_capacity_limit(double improvement) const;
+
+  // Closed-loop hook (workload layer): the action the design space
+  // recommends for a flow that needs `improvement` of its current loss
+  // removed while already using `data_capacity` of its link, when FEC
+  // at overhead `fec_overhead` (= m/k) is on the table. FEC is treated
+  // as a redundant scheme with fractional capacity cost: feasible under
+  // the independence limit whenever y * (1 + fec_overhead) <= 1. Among
+  // feasible actions the cheapest in capacity wins; kNone means no
+  // scheme reaches the requirement (the caller keeps the single path).
+  [[nodiscard]] RedundancyAction classify_requirement(double improvement, double data_capacity,
+                                                      double fec_overhead) const;
 
   [[nodiscard]] const DesignSpaceParams& params() const { return p_; }
 

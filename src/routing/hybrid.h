@@ -91,9 +91,12 @@ class HybridSender {
   // packets, duplications never exceed packets).
   void check_invariants(std::vector<std::string>& out) const;
 
- private:
   // Chooses the alternate path for the second copy: best disjoint via.
+  // Public so the workload layer's FEC mode can route parity shards on
+  // the same detour a duplicate would take (shared disjointness logic).
   [[nodiscard]] PathSpec alternate_path(NodeId src, NodeId dst, const PathSpec& primary);
+
+ private:
 
   OverlayNetwork& overlay_;
   HybridConfig cfg_;

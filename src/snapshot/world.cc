@@ -2,10 +2,7 @@
 
 #include <cassert>
 #include <cstdio>
-#include <stdexcept>
 
-#include "net/config.h"
-#include "net/scale_topology.h"
 #include "snapshot/codec.h"
 
 namespace ronpath {
@@ -33,64 +30,9 @@ SimWorld::SimWorld(const Scenario& scenario, FaultScheme scheme, const FaultMatr
       scheme_(scheme),
       cfg_(cfg),
       seed_(seed),
-      topo_(testbed_2003()) {
-  // Mirror of run_fault_cell's setup; the differential test in
-  // tests/snapshot_world_test.cc pins the two against each other.
-  if (cfg_.lazy_underlay && cfg_.shards > 0) {
-    throw std::invalid_argument("lazy_underlay is incompatible with sharded execution");
-  }
-  if (cfg_.synth_nodes > 0) {
-    ScaleTopologyParams params;
-    params.nodes = cfg_.synth_nodes;
-    params.seed = cfg_.seed;
-    topo_ = scale_topology(params);
-  } else {
-    assert(cfg_.node_count >= 2);
-    if (cfg_.node_count < topo_.size()) {
-      std::vector<Site> subset(topo_.sites().begin(),
-                               topo_.sites().begin() + static_cast<long>(cfg_.node_count));
-      topo_ = Topology(std::move(subset));
-    }
-  }
-
-  const Duration run_span = cfg_.warmup + cfg_.measured;
-  NetConfig net_cfg = NetConfig::profile_2003(run_span);
-  net_cfg.incidents.clear();
-  net_cfg.lazy_components = cfg_.lazy_underlay;
-
-  std::string parse_error;
-  const auto schedule = FaultSchedule::parse(dsl_, &parse_error);
-  if (!schedule) {
-    throw std::runtime_error("scenario '" + scenario_name_ + "': " + parse_error);
-  }
-  injector_.emplace(*schedule, topo_, run_span + Duration::hours(1));
-
-  Rng rng(seed_);
-  net_.emplace(topo_, net_cfg, run_span + Duration::hours(1), rng.fork("net"));
-  if (cfg_.shards > 0) {
-    net_->enable_sharded_underlay();
-    advance_.emplace(*net_, pdes::ShardPlan::build(*net_, cfg_.shards));
-    net_->set_advance_hook(&*advance_);
-  }
-
-  OverlayConfig ocfg;
-  ocfg.router.forward_delay = net_cfg.forward_delay;
-  ocfg.host_failures_per_month = 0.0;
-  ocfg.fanout = cfg_.overlay_fanout;
-  ocfg.landmarks = cfg_.overlay_landmarks;
-  if (cfg_.graceful_degradation) {
-    ocfg.router.entry_ttl = ocfg.probe_interval * 5;
-    ocfg.router.holddown_base = ocfg.probe_interval * 2;
-  }
-  overlay_.emplace(*net_, sched_, ocfg, rng.fork("overlay"));
-  overlay_->set_fault_injector(&*injector_);
-  overlay_->start();
-
-  HybridConfig hcfg;
-  hcfg.mode =
-      scheme_ == FaultScheme::kMesh ? HybridMode::kAlwaysDuplicate : HybridMode::kAdaptive;
-  sender_.emplace(*overlay_, hcfg, rng.fork("hybrid"));
-
+      env_(scenario,
+           scheme == FaultScheme::kMesh ? HybridMode::kAlwaysDuplicate : HybridMode::kAdaptive,
+           cfg, seed) {
   delivered_.reserve(total_sends() + 1);
 }
 
@@ -115,12 +57,12 @@ bool SimWorld::send_one(TimePoint t) {
   constexpr NodeId dst = 1;
   switch (scheme_) {
     case FaultScheme::kDirect:
-      return overlay_->send(overlay_->route(src, dst, RouteTag::kDirect), t).delivered();
+      return env_.overlay->send(env_.overlay->route(src, dst, RouteTag::kDirect), t).delivered();
     case FaultScheme::kReactive:
-      return overlay_->send(overlay_->route(src, dst, RouteTag::kLoss), t).delivered();
+      return env_.overlay->send(env_.overlay->route(src, dst, RouteTag::kLoss), t).delivered();
     case FaultScheme::kMesh:
     case FaultScheme::kHybrid:
-      return sender_->send(src, dst, t).delivered();
+      return env_.sender->send(src, dst, t).delivered();
   }
   return false;
 }
@@ -129,13 +71,13 @@ void SimWorld::advance_to(std::size_t send_index) {
   const std::size_t total = total_sends();
   if (send_index > total) send_index = total;
   if (!warmed_) {
-    sched_.run_until(measure_start());
+    env_.sched.run_until(measure_start());
     warmed_ = true;
   }
   while (next_send_ < send_index) {
     const TimePoint t =
         measure_start() + cfg_.send_interval * static_cast<std::int64_t>(next_send_);
-    sched_.run_until(t);
+    env_.sched.run_until(t);
     delivered_.push_back(send_one(t));
     ++next_send_;
   }
@@ -144,7 +86,7 @@ void SimWorld::advance_to(std::size_t send_index) {
 void SimWorld::run_to_end() {
   advance_to(total_sends());
   if (!drained_) {
-    sched_.run_until(end_time());
+    env_.sched.run_until(end_time());
     drained_ = true;
   }
 }
@@ -187,12 +129,12 @@ void SimWorld::save_state(snap::Encoder& e) const {
   e.u64(delivered_.size());
   for (const std::uint8_t byte : pack_bits(delivered_)) e.u8(byte);
   // Scheduler clock first: restore resets it before owners re-arm.
-  e.time(sched_.now());
-  e.u64(sched_.next_seq());
-  e.u64(sched_.dispatched_events());
-  net_->save_state(e);
-  overlay_->save_state(e);
-  sender_->save_state(e);
+  e.time(env_.sched.now());
+  e.u64(env_.sched.next_seq());
+  e.u64(env_.sched.dispatched_events());
+  env_.net->save_state(e);
+  env_.overlay->save_state(e);
+  env_.sender->save_state(e);
 }
 
 void SimWorld::restore_state(snap::Decoder& d) {
@@ -219,10 +161,10 @@ void SimWorld::restore_state(snap::Decoder& d) {
   // Clock before owners: restore_clock invalidates every old handle and
   // empties the heap, then net/overlay re-arm with the saved sequence
   // numbers so firing order is preserved exactly.
-  sched_.restore_clock(now, next_seq, dispatched);
-  net_->restore_state(d);
-  overlay_->restore_state(d);
-  sender_->restore_state(d);
+  env_.sched.restore_clock(now, next_seq, dispatched);
+  env_.net->restore_state(d);
+  env_.overlay->restore_state(d);
+  env_.sender->restore_state(d);
   d.expect_done();
 }
 
@@ -231,11 +173,11 @@ FaultCell SimWorld::cell() const {
   const Scenario scenario = scenario_view();
   FaultCell cell = analyze_fault_cell(scenario, cfg_, delivered_);
   cell.overhead = (scheme_ == FaultScheme::kMesh || scheme_ == FaultScheme::kHybrid)
-                      ? sender_->overhead_factor()
+                      ? env_.sender->overhead_factor()
                       : 1.0;
-  cell.route_switches = overlay_->router(0).loss_switches(1);
-  cell.injected_drops = net_->stats().dropped_injected;
-  cell.merged_fault_windows = injector_->merged_window_count();
+  cell.route_switches = env_.overlay->router(0).loss_switches(1);
+  cell.injected_drops = env_.net->stats().dropped_injected;
+  cell.merged_fault_windows = env_.injector->merged_window_count();
   return cell;
 }
 
@@ -244,16 +186,16 @@ std::string SimWorld::report() const {
   std::string out;
   out += "== sim world ==\n";
   out += "scenario " + scenario_name_ + " | scheme " + std::string(to_string(scheme_)) +
-         " | seed " + std::to_string(seed_) + " | nodes " + std::to_string(topo_.size()) +
+         " | seed " + std::to_string(seed_) + " | nodes " + std::to_string(env_.topo.size()) +
          "\n";
   std::snprintf(buf, sizeof buf, "clock %lldns | dispatched %llu | next-seq %llu",
-                static_cast<long long>(sched_.now().since_epoch().count_nanos()),
-                static_cast<unsigned long long>(sched_.dispatched_events()),
-                static_cast<unsigned long long>(sched_.next_seq()));
+                static_cast<long long>(env_.sched.now().since_epoch().count_nanos()),
+                static_cast<unsigned long long>(env_.sched.dispatched_events()),
+                static_cast<unsigned long long>(env_.sched.next_seq()));
   out += buf;
   out += " | sends " + std::to_string(next_send_) + "/" + std::to_string(total_sends()) + "\n";
 
-  const Network::Stats& st = net_->stats();
+  const Network::Stats& st = env_.net->stats();
   std::snprintf(buf, sizeof buf,
                 "net: transmitted %lld | delivered %lld | drops random %lld burst %lld "
                 "outage %lld injected %lld\n",
@@ -268,7 +210,7 @@ std::string SimWorld::report() const {
       std::string_view(reinterpret_cast<const char*>(bits.data()), bits.size()));
   hash = snap::fnv1a_u64(delivered_.size(), hash);
   std::snprintf(buf, sizeof buf, "probes sent %lld | delivered-hash %016llx\n",
-                static_cast<long long>(overlay_->probes_sent()),
+                static_cast<long long>(env_.overlay->probes_sent()),
                 static_cast<unsigned long long>(hash));
   out += buf;
 
@@ -288,10 +230,10 @@ std::string SimWorld::report() const {
 }
 
 void SimWorld::check_invariants(std::vector<std::string>& out) const {
-  sched_.check_invariants(out);
-  net_->check_invariants(out);
-  overlay_->check_invariants(sched_.now(), out);
-  sender_->check_invariants(out);
+  env_.sched.check_invariants(out);
+  env_.net->check_invariants(out);
+  env_.overlay->check_invariants(env_.sched.now(), out);
+  env_.sender->check_invariants(out);
   if (delivered_.size() != next_send_) {
     out.push_back("world: delivery timeline length disagrees with the send counter");
   }

@@ -1,11 +1,12 @@
 // A fault-matrix cell as a resumable object.
 //
-// SimWorld replicates core/fault_matrix.cc's run_fault_cell exactly —
-// same construction order, same RNG fork sequence, same CBR send loop —
-// but exposes the run as explicit steps (advance_to / run_to_end) with
-// checkpoints in between. A differential test pins SimWorld's finished
-// cell() against run_fault_cell for every canonical scenario, so the two
-// cannot drift apart silently.
+// SimWorld runs the same world as core/fault_matrix.cc's run_fault_cell
+// — both build it through core/cell_env.h, so construction order and the
+// RNG fork sequence are shared by code, not by convention — but exposes
+// the run as explicit steps (advance_to / run_to_end) with checkpoints
+// in between. A differential test pins SimWorld's finished cell()
+// against run_fault_cell for every canonical scenario, so the CBR send
+// loops cannot drift apart silently.
 //
 // Checkpoint model: pending events are closures, so save_state records
 // per-owner re-arm descriptors (see event/scheduler.h). A restore
@@ -20,19 +21,11 @@
 #define RONPATH_SNAPSHOT_WORLD_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cell_env.h"
 #include "core/fault_matrix.h"
-#include "core/testbed.h"
-#include "event/scheduler.h"
-#include "fault/injector.h"
-#include "fault/scenarios.h"
-#include "net/network.h"
-#include "overlay/overlay.h"
-#include "pdes/advance.h"
-#include "routing/hybrid.h"
 
 namespace ronpath {
 
@@ -81,13 +74,13 @@ class SimWorld {
   // counters) plus world-level progress consistency.
   void check_invariants(std::vector<std::string>& out) const;
 
-  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] Scheduler& scheduler() { return env_.sched; }
   [[nodiscard]] const FaultMatrixConfig& config() const { return cfg_; }
   [[nodiscard]] std::string_view scenario_name() const { return scenario_name_; }
   // Read-only views for benches/tests (control meters, resident state,
   // materialized-component counts).
-  [[nodiscard]] const OverlayNetwork& overlay() const { return *overlay_; }
-  [[nodiscard]] const Network& network() const { return *net_; }
+  [[nodiscard]] const OverlayNetwork& overlay() const { return *env_.overlay; }
+  [[nodiscard]] const Network& network() const { return *env_.net; }
 
  private:
   [[nodiscard]] Scenario scenario_view() const;
@@ -106,18 +99,9 @@ class SimWorld {
   FaultMatrixConfig cfg_;
   std::uint64_t seed_;
 
-  // The simulated world, in run_fault_cell's construction order.
-  Topology topo_;
-  std::optional<FaultInjector> injector_;
-  Scheduler sched_;
-  std::optional<Network> net_;
-  // Sharded-underlay pregeneration service (cfg_.shards > 0). Declared
-  // after net_ so its worker threads stop before the Network they feed
-  // is torn down. No mutable state of its own: the quantized grid replays
-  // as a no-op after restore (DESIGN.md §13).
-  std::optional<pdes::AdvanceService> advance_;
-  std::optional<OverlayNetwork> overlay_;
-  std::optional<HybridSender> sender_;
+  // The simulated world, built by the shared CellEnv sequence (same
+  // construction + RNG fork order as run_fault_cell by construction).
+  CellEnv env_;
 
   // Mutable progress state.
   std::vector<bool> delivered_;

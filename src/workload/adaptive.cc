@@ -1,0 +1,77 @@
+#include "workload/adaptive.h"
+
+#include <algorithm>
+
+#include "fec/rate_select.h"
+#include "snapshot/codec.h"
+
+namespace ronpath {
+
+std::string_view to_string(RedundancyLevel level) {
+  switch (level) {
+    case RedundancyLevel::kSingle: return "single";
+    case RedundancyLevel::kFec: return "fec";
+    case RedundancyLevel::kDup: return "dup";
+  }
+  return "?";
+}
+
+RedundancyLevel desired_level(const AdaptiveConfig& cfg, double est_loss, double target,
+                              double capacity_fraction) {
+  if (est_loss <= target) return RedundancyLevel::kSingle;
+  const double x = std::clamp(1.0 - target / est_loss, 0.0, 1.0);
+  const std::size_t m = pick_parity(cfg.fec_k, est_loss, cfg.fec_block_target, cfg.fec_m_max);
+  const double overhead =
+      static_cast<double>(m) / static_cast<double>(cfg.fec_k);
+  const DesignSpace space(cfg.design);
+  switch (space.classify_requirement(x, capacity_fraction, overhead)) {
+    case RedundancyAction::kFec: return RedundancyLevel::kFec;
+    case RedundancyAction::kDuplicate: return RedundancyLevel::kDup;
+    case RedundancyAction::kReactive:
+    case RedundancyAction::kNone: return RedundancyLevel::kSingle;
+  }
+  return RedundancyLevel::kSingle;
+}
+
+void AdaptiveController::update(const AdaptiveConfig& cfg, double est_loss, double target,
+                                double capacity_fraction, TimePoint now) {
+  const RedundancyLevel desired = desired_level(cfg, est_loss, target, capacity_fraction);
+  if (desired == level_) return;
+  if (now - last_change_ < cfg.min_dwell) return;  // dwell gate, both directions
+  if (desired < level_ && est_loss >= cfg.exit_margin * target) return;  // hysteresis band
+  level_ = desired;
+  last_change_ = now;
+  ++transitions_;
+}
+
+std::size_t AdaptiveController::parity(const AdaptiveConfig& cfg, double est_loss) const {
+  // Never zero parity while at kFec: a block with no parity protects
+  // nothing, and the level said protection is warranted.
+  return std::max<std::size_t>(
+      1, pick_parity(cfg.fec_k, est_loss, cfg.fec_block_target, cfg.fec_m_max));
+}
+
+void AdaptiveController::save_state(snap::Encoder& e) const {
+  e.u8(static_cast<std::uint8_t>(level_));
+  e.time(last_change_);
+  e.i64(transitions_);
+}
+
+void AdaptiveController::restore_state(snap::Decoder& d) {
+  const std::uint8_t lv = d.u8();
+  if (lv > static_cast<std::uint8_t>(RedundancyLevel::kDup)) {
+    throw snap::SnapshotError("adaptive controller: bad redundancy level");
+  }
+  level_ = static_cast<RedundancyLevel>(lv);
+  last_change_ = d.time();
+  transitions_ = d.i64();
+}
+
+void AdaptiveController::check_invariants(std::vector<std::string>& out) const {
+  if (transitions_ < 0) out.push_back("adaptive: negative transition count");
+  if (level_ != RedundancyLevel::kSingle && transitions_ == 0) {
+    out.push_back("adaptive: non-single level with no recorded transition");
+  }
+}
+
+}  // namespace ronpath

@@ -1,0 +1,97 @@
+// Closed-loop adaptive redundancy: per-(pair, class) control of how much
+// protection a flow's packets get, driven by measured path loss.
+//
+// Control law (DESIGN.md §15):
+//
+//   est   = per-pair EWMA of primary-copy loss (alpha per data packet)
+//   x     = clamp(1 - target / est, 0, 1)   improvement needed to reach
+//                                           the class loss budget
+//   y     = class capacity fraction          rate * bytes / access capacity
+//   action = DesignSpace::classify_requirement(x, y, m / k)
+//
+// with m = pick_parity(k, est, block-failure target, m_max). The Figure 6
+// machinery thus decides *per flow*: thin flows under moderate loss get
+// duplication, fat flows get FEC (a duplicate would blow the access
+// link's capacity limit), flows already inside budget stay single. The
+// kReactive and kNone classifications both map to kSingle — best-path
+// routing is always on, and when no scheme reaches the requirement the
+// controller refuses to burn capacity for nothing.
+//
+// Hysteresis, composing with the PR 2 hold-down: at most one level
+// transition per min_dwell, and de-escalation additionally requires the
+// estimate to fall below exit_margin * target (a band below the enter
+// threshold), so a flapping link cannot make the controller amplify the
+// flap into redundancy churn. The transition counter is exposed and
+// bounded by the flap test.
+
+#ifndef RONPATH_WORKLOAD_ADAPTIVE_H_
+#define RONPATH_WORKLOAD_ADAPTIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/design_space.h"
+#include "util/time.h"
+
+namespace ronpath {
+
+namespace snap {
+class Encoder;
+class Decoder;
+}  // namespace snap
+
+enum class RedundancyLevel : std::uint8_t { kSingle = 0, kFec = 1, kDup = 2 };
+
+[[nodiscard]] std::string_view to_string(RedundancyLevel level);
+
+struct AdaptiveConfig {
+  // EWMA smoothing per observed data packet.
+  double loss_alpha = 0.05;
+  // De-escalation band: leave a level only when est < exit_margin * target.
+  double exit_margin = 0.5;
+  // Minimum time between level transitions of one controller.
+  Duration min_dwell = Duration::seconds(60);
+  // FEC geometry: blocks of k data shards, up to m_max parity shards on
+  // the disjoint detour, parity count chosen for this residual target.
+  std::size_t fec_k = 8;
+  std::size_t fec_m_max = 4;
+  double fec_block_target = 1e-3;
+  DesignSpaceParams design;
+};
+
+// One controller instance (the world keeps one per pair x class).
+class AdaptiveController {
+ public:
+  // `target` is the class loss budget as a fraction (slo_loss_pct/100),
+  // `capacity_fraction` the class's y axis value.
+  AdaptiveController() = default;
+
+  // Re-evaluates the level from the current loss estimate. Call on every
+  // flow start and periodically within long flows.
+  void update(const AdaptiveConfig& cfg, double est_loss, double target,
+              double capacity_fraction, TimePoint now);
+
+  [[nodiscard]] RedundancyLevel level() const { return level_; }
+  // Parity count for the current estimate (kFec levels).
+  [[nodiscard]] std::size_t parity(const AdaptiveConfig& cfg, double est_loss) const;
+  [[nodiscard]] std::int64_t transitions() const { return transitions_; }
+
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+  void check_invariants(std::vector<std::string>& out) const;
+
+ private:
+  RedundancyLevel level_ = RedundancyLevel::kSingle;
+  TimePoint last_change_ = TimePoint::epoch() - Duration::days(1);  // first change is free
+  std::int64_t transitions_ = 0;
+};
+
+// The open-loop classification: what level the design space recommends
+// for this estimate, before hysteresis. Exposed for tests.
+[[nodiscard]] RedundancyLevel desired_level(const AdaptiveConfig& cfg, double est_loss,
+                                            double target, double capacity_fraction);
+
+}  // namespace ronpath
+
+#endif  // RONPATH_WORKLOAD_ADAPTIVE_H_

@@ -1,0 +1,301 @@
+#include "workload/spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <vector>
+
+namespace ronpath {
+namespace {
+
+// Same lexer shape as fault/fault.cc: whitespace-separated tokens, '#'
+// starts a comment, tokens are views into the line so pointer arithmetic
+// recovers 1-based columns for diagnostics.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    std::size_t j = i;
+    while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j])) &&
+           line[j] != '#') {
+      ++j;
+    }
+    out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+// Full-token double. std::from_chars accepts "inf" and "nan", so every
+// caller must range-check with std::isfinite — the strictness this layer
+// exists for lives in those checks, not here.
+std::optional<double> parse_number(std::string_view tok) {
+  double v = 0.0;
+  const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || end != tok.data() + tok.size()) return std::nullopt;
+  return v;
+}
+
+// "1.5%" or "1.5" -> 1.5 (percent units either way).
+std::optional<double> parse_percent(std::string_view tok) {
+  if (!tok.empty() && tok.back() == '%') tok.remove_suffix(1);
+  return parse_number(tok);
+}
+
+// Duration literal: NUMBER followed by ms|s|m|h, as in the fault DSL.
+std::optional<Duration> parse_duration_token(std::string_view tok) {
+  std::size_t unit_at = tok.size();
+  while (unit_at > 0 && !std::isdigit(static_cast<unsigned char>(tok[unit_at - 1])) &&
+         tok[unit_at - 1] != '.') {
+    --unit_at;
+  }
+  const std::string_view num = tok.substr(0, unit_at);
+  const std::string_view unit = tok.substr(unit_at);
+  if (num.empty()) return std::nullopt;
+  const auto v = parse_number(num);
+  if (!v || !std::isfinite(*v) || *v < 0.0) return std::nullopt;
+  if (unit == "ms") return Duration::from_millis_f(*v);
+  if (unit == "s") return Duration::from_seconds_f(*v);
+  if (unit == "m") return Duration::from_seconds_f(*v * 60.0);
+  if (unit == "h") return Duration::from_seconds_f(*v * 3600.0);
+  return std::nullopt;
+}
+
+std::optional<NodeId> parse_node(std::string_view tok) {
+  unsigned v = 0;
+  const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || end != tok.data() + tok.size() || v >= kInvalidNode) {
+    return std::nullopt;
+  }
+  return static_cast<NodeId>(v);
+}
+
+std::optional<ServiceClass> parse_class_name(std::string_view tok) {
+  for (std::size_t c = 0; c < kServiceClassCount; ++c) {
+    if (tok == to_string(static_cast<ServiceClass>(c))) return static_cast<ServiceClass>(c);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+WorkloadSpec WorkloadSpec::defaults() {
+  WorkloadSpec s;
+  s.hot_pairs = {{0, 1, 8.0}};
+  s.classes[static_cast<std::size_t>(ServiceClass::kVoip)] =
+      {0.20, 50.0, 160.0, Duration::millis(150), 1.0};
+  s.classes[static_cast<std::size_t>(ServiceClass::kVideo)] =
+      {0.20, 30.0, 1200.0, Duration::millis(300), 2.0};
+  s.classes[static_cast<std::size_t>(ServiceClass::kWeb)] =
+      {0.40, 10.0, 600.0, Duration::millis(500), 5.0};
+  s.classes[static_cast<std::size_t>(ServiceClass::kBulk)] =
+      {0.20, 20.0, 1400.0, Duration::seconds(2), 10.0};
+  return s;
+}
+
+std::string WorkloadSpec::validate() const {
+  const auto bad = [](double v) { return !std::isfinite(v) || v < 0.0; };
+  if (bad(population) || population <= 0.0) return "population must be positive and finite";
+  if (peak_hour < 0 || peak_hour > 23) return "peak-hour must be in [0, 23]";
+  if (bad(trough) || trough <= 0.0 || trough > 1.0) return "trough must be in (0, 1]";
+  if (bad(tz_spread_hours)) return "tz-spread must be non-negative and finite";
+  if (bad(flows_per_user_hour) || flows_per_user_hour <= 0.0) {
+    return "flows-per-user-hour must be positive and finite";
+  }
+  if (bad(mean_flow_packets) || mean_flow_packets < 1.0) {
+    return "flow-packets must be >= 1 and finite";
+  }
+  if (bad(access_bytes_per_s) || access_bytes_per_s <= 0.0) {
+    return "access-capacity must be positive and finite";
+  }
+  for (const HotPair& hp : hot_pairs) {
+    if (hp.src == hp.dst) return "hot-pair src and dst must differ";
+    if (bad(hp.weight) || hp.weight <= 0.0) return "hot-pair weight must be positive and finite";
+  }
+  double mix_sum = 0.0;
+  for (std::size_t c = 0; c < kServiceClassCount; ++c) {
+    const ClassSpec& cs = classes[c];
+    const std::string name(to_string(static_cast<ServiceClass>(c)));
+    if (bad(cs.mix)) return "class " + name + ": mix must be non-negative and finite";
+    if (bad(cs.rate_pps) || cs.rate_pps <= 0.0) {
+      return "class " + name + ": rate must be positive and finite";
+    }
+    if (bad(cs.packet_bytes) || cs.packet_bytes <= 0.0) {
+      return "class " + name + ": bytes must be positive and finite";
+    }
+    if (cs.slo_latency <= Duration::zero()) {
+      return "class " + name + ": slo-latency must be positive";
+    }
+    if (bad(cs.slo_loss_pct) || cs.slo_loss_pct > 100.0) {
+      return "class " + name + ": slo-loss must be in [0, 100]%";
+    }
+    mix_sum += cs.mix;
+  }
+  if (std::abs(mix_sum - 1.0) > 1e-6) return "class mixes must sum to 1";
+  return "";
+}
+
+std::optional<WorkloadSpec> WorkloadSpec::parse(std::string_view text, std::string* error) {
+  WorkloadSpec spec = defaults();
+  int line_no = 0;
+  auto fail = [&](std::size_t col, const std::string& msg) -> std::optional<WorkloadSpec> {
+    if (error) {
+      *error = "line " + std::to_string(line_no) + ", col " + std::to_string(col) + ": " + msg;
+    }
+    return std::nullopt;
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    std::size_t i = 0;
+    auto next = [&]() -> std::optional<std::string_view> {
+      if (i >= tok.size()) return std::nullopt;
+      return tok[i++];
+    };
+    const auto col_of = [&](std::string_view t) {
+      return static_cast<std::size_t>(t.data() - line.data()) + 1;
+    };
+    const auto end_col = [&]() {
+      if (i == 0) return std::size_t{1};
+      const std::string_view last = tok[i - 1];
+      return col_of(last) + last.size();
+    };
+    // Shared "KEY NUMBER" scalar field: strict full-token parse, then the
+    // finite/sign policy the bugfix sweep is about.
+    bool failed = false;
+    std::size_t fail_col = 0;
+    std::string fail_msg;
+    const auto scalar = [&](std::string_view key, double min_v, double max_v) -> double {
+      const auto vt = next();
+      if (!vt) {
+        failed = true;
+        fail_col = end_col();
+        fail_msg = "expected a number after '" + std::string(key) + "'";
+        return 0.0;
+      }
+      const auto v = parse_number(*vt);
+      if (!v) {
+        failed = true;
+        fail_col = col_of(*vt);
+        fail_msg = "bad number \"" + std::string(*vt) + "\"";
+        return 0.0;
+      }
+      if (!std::isfinite(*v)) {
+        failed = true;
+        fail_col = col_of(*vt);
+        fail_msg = "non-finite value \"" + std::string(*vt) + "\"";
+        return 0.0;
+      }
+      if (*v < min_v || *v > max_v) {
+        failed = true;
+        fail_col = col_of(*vt);
+        fail_msg = "value " + std::string(*vt) + " out of range";
+        return 0.0;
+      }
+      return *v;
+    };
+
+    const std::string_view head = *next();
+    if (head == "population") {
+      spec.population = scalar(head, 1e-9, 1e12);
+    } else if (head == "peak-hour") {
+      spec.peak_hour = static_cast<int>(scalar(head, 0, 23));
+    } else if (head == "trough") {
+      spec.trough = scalar(head, 1e-9, 1.0);
+    } else if (head == "tz-spread") {
+      spec.tz_spread_hours = scalar(head, 0.0, 24.0);
+    } else if (head == "flows-per-user-hour") {
+      spec.flows_per_user_hour = scalar(head, 1e-9, 1e9);
+    } else if (head == "flow-packets") {
+      spec.mean_flow_packets = scalar(head, 1.0, 1e9);
+    } else if (head == "access-capacity") {
+      spec.access_bytes_per_s = scalar(head, 1e-9, 1e12) * 1024.0;  // KB/s on the wire format
+    } else if (head == "hot-pair") {
+      HotPair hp;
+      const auto src_tok = next();
+      if (!src_tok) return fail(end_col(), "expected a source site id");
+      const auto src = parse_node(*src_tok);
+      if (!src) return fail(col_of(*src_tok), "bad site id \"" + std::string(*src_tok) + "\"");
+      const auto dst_tok = next();
+      if (!dst_tok) return fail(end_col(), "expected a destination site id");
+      const auto dst = parse_node(*dst_tok);
+      if (!dst) return fail(col_of(*dst_tok), "bad site id \"" + std::string(*dst_tok) + "\"");
+      if (*src == *dst) return fail(col_of(*dst_tok), "hot-pair src and dst must differ");
+      const auto kw = next();
+      if (!kw || *kw != "weight") return fail(end_col(), "expected 'weight'");
+      hp.src = *src;
+      hp.dst = *dst;
+      hp.weight = scalar("weight", 1e-9, 1e9);
+      if (!failed) spec.hot_pairs.push_back(hp);
+    } else if (head == "class") {
+      const auto name_tok = next();
+      if (!name_tok) return fail(end_col(), "expected a class name (voip|video|web|bulk)");
+      const auto cls = parse_class_name(*name_tok);
+      if (!cls) {
+        return fail(col_of(*name_tok),
+                    "unknown class \"" + std::string(*name_tok) + "\" (want voip|video|web|bulk)");
+      }
+      ClassSpec& cs = spec.classes[static_cast<std::size_t>(*cls)];
+      while (!failed && i < tok.size()) {
+        const std::string_view key = *next();
+        if (key == "mix") {
+          cs.mix = scalar(key, 0.0, 1.0);
+        } else if (key == "rate") {
+          cs.rate_pps = scalar(key, 1e-9, 1e9);
+        } else if (key == "bytes") {
+          cs.packet_bytes = scalar(key, 1.0, 1e9);
+        } else if (key == "slo-latency") {
+          const auto vt = next();
+          if (!vt) return fail(end_col(), "expected a duration after 'slo-latency'");
+          const auto d = parse_duration_token(*vt);
+          if (!d || d->is_zero()) {
+            return fail(col_of(*vt),
+                        "bad duration \"" + std::string(*vt) + "\" (want e.g. 150ms, 2s)");
+          }
+          cs.slo_latency = *d;
+        } else if (key == "slo-loss") {
+          const auto vt = next();
+          if (!vt) return fail(end_col(), "expected a percentage after 'slo-loss'");
+          const auto v = parse_percent(*vt);
+          if (!v) return fail(col_of(*vt), "bad percentage \"" + std::string(*vt) + "\"");
+          if (!std::isfinite(*v)) {
+            return fail(col_of(*vt), "non-finite value \"" + std::string(*vt) + "\"");
+          }
+          if (*v < 0.0 || *v > 100.0) {
+            return fail(col_of(*vt), "value " + std::string(*vt) + " out of range");
+          }
+          cs.slo_loss_pct = *v;
+        } else {
+          return fail(col_of(key), "unknown class field \"" + std::string(key) +
+                                       "\" (want mix|rate|bytes|slo-latency|slo-loss)");
+        }
+      }
+    } else {
+      return fail(col_of(head), "unknown directive \"" + std::string(head) + "\"");
+    }
+    if (failed) return fail(fail_col, fail_msg);
+    if (i < tok.size()) {
+      return fail(col_of(tok[i]), "trailing token \"" + std::string(tok[i]) + "\"");
+    }
+  }
+
+  const std::string semantic = spec.validate();
+  if (!semantic.empty()) {
+    if (error) *error = "line " + std::to_string(line_no) + ", col 1: " + semantic;
+    return std::nullopt;
+  }
+  return spec;
+}
+
+}  // namespace ronpath

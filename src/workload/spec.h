@@ -1,0 +1,112 @@
+// Workload specification: the traffic-matrix model and per-class SLOs.
+//
+// A WorkloadSpec describes a population of users spread over the overlay
+// sites, the diurnal rhythm of their activity, and the four service
+// classes their flows belong to (VoIP / video / web / bulk), each with a
+// packet rate, packet size, and an SLO (one-way latency bound plus a
+// loss budget). It also carries the per-site access-link capacity that
+// turns the Figure 6 "fraction of capacity used by the data flow" axis
+// into concrete accounting: a class's capacity share is
+// rate_pps * packet_bytes / access capacity, and every redundant copy
+// (duplicate or FEC parity) drains the same bucket.
+//
+// Specs parse from a line-oriented DSL in the fault-schedule style
+// (fault/fault.h): '#' comments, whitespace tokens, and diagnostics of
+// the form "line N, col C: msg". Parsing is strict: every numeric field
+// rejects non-finite and negative values at parse time (std::from_chars
+// happily reads "inf" and "nan"; we do not).
+//
+//   population 400            # users per site at the diurnal peak
+//   peak-hour 14              # local hour of peak activity [0, 23]
+//   trough 0.25               # off-peak activity floor, fraction of peak
+//   tz-spread 2               # hours of phase lag per site index
+//   flows-per-user-hour 0.5   # flow starts per active user per hour
+//   flow-packets 40           # mean packets per flow (shifted exponential)
+//   access-capacity 64        # per-site access link, kilobytes per second
+//   hot-pair 0 1 weight 8     # extra destination weight for one pair
+//   class voip mix 0.2 rate 50 bytes 160 slo-latency 150ms slo-loss 1%
+
+#ifndef RONPATH_WORKLOAD_SPEC_H_
+#define RONPATH_WORKLOAD_SPEC_H_
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "measure/perceived.h"
+#include "util/time.h"
+#include "wire/packet.h"
+
+namespace ronpath {
+
+struct ClassSpec {
+  double mix = 0.25;          // fraction of flows in this class
+  double rate_pps = 10.0;     // packets per second within a flow
+  double packet_bytes = 500;  // bytes per packet (capacity accounting)
+  Duration slo_latency = Duration::millis(500);  // one-way bound
+  double slo_loss_pct = 1.0;  // loss budget, percent
+
+  // Offered load of one flow as a fraction of the access capacity
+  // (the Figure 6 y axis).
+  [[nodiscard]] double capacity_fraction(double access_bytes_per_s) const {
+    return rate_pps * packet_bytes / access_bytes_per_s;
+  }
+};
+
+struct HotPair {
+  NodeId src = 0;
+  NodeId dst = 1;
+  double weight = 1.0;  // multiplies the uniform destination weight
+};
+
+struct WorkloadSpec {
+  // Diurnal user populations: site s at time t has
+  //   population * (trough + (1 - trough) * (1 + cos(2*pi*(h - peak)/24)) / 2)
+  // active users, where h = t in hours + s * tz_spread_hours (mod 24) is
+  // the site's local hour. The simulation epoch is local midnight at
+  // site 0.
+  double population = 400.0;
+  int peak_hour = 14;
+  double trough = 0.25;
+  double tz_spread_hours = 2.0;
+
+  // Flow arrivals: each active user starts flows_per_user_hour flows per
+  // hour (Poisson), each a CBR run of a class-dependent rate with a
+  // shifted-exponential packet count of the given mean.
+  double flows_per_user_hour = 0.5;
+  double mean_flow_packets = 40.0;
+
+  // Per-site access-link capacity in bytes per second. Every copy sent
+  // from a site (data, duplicate, FEC parity) drains a leaky bucket of
+  // this rate; the backlog is charged as queueing delay on top of the
+  // network one-way latency.
+  double access_bytes_per_s = 64.0 * 1024.0;
+
+  // Destination weighting: uniform over other sites, times the weight of
+  // any matching hot pair (concentrates load on instrumented pairs).
+  std::vector<HotPair> hot_pairs;
+
+  std::array<ClassSpec, kServiceClassCount> classes;
+
+  // The reference spec used by benches and tests: the class table from
+  // the README (VoIP/video/web/bulk) and one 8x hot pair on the
+  // fault-instrumented 0 -> 1 pair.
+  [[nodiscard]] static WorkloadSpec defaults();
+
+  // Strict DSL parser (see header comment). Returns std::nullopt and
+  // fills *error with "line N, col C: msg" on any malformed, non-finite
+  // or negative field. Unmentioned fields keep their defaults().
+  [[nodiscard]] static std::optional<WorkloadSpec> parse(std::string_view text,
+                                                         std::string* error);
+
+  // Semantic validation shared by parse() and hand-built specs: mixes
+  // sum to ~1, every rate/size/bound positive and finite. Returns an
+  // empty string when valid.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_WORKLOAD_SPEC_H_

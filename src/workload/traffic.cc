@@ -1,0 +1,118 @@
+#include "workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ronpath {
+namespace {
+
+// Flow lengths are capped so a single heavy-tailed draw cannot dominate
+// a cell's runtime; the cap is far out in the tail for any sane mean.
+constexpr std::int64_t kMaxFlowPackets = 100'000;
+
+double hot_weight(const WorkloadSpec& spec, NodeId src, NodeId dst) {
+  double w = 1.0;
+  for (const HotPair& hp : spec.hot_pairs) {
+    if (hp.src == src && hp.dst == dst) w *= hp.weight;
+  }
+  return w;
+}
+
+}  // namespace
+
+double diurnal_factor(const WorkloadSpec& spec, NodeId site, TimePoint t) {
+  const double hours =
+      t.since_epoch().to_seconds_f() / 3600.0 + static_cast<double>(site) * spec.tz_spread_hours;
+  const double phase = 2.0 * 3.14159265358979323846 *
+                       (hours - static_cast<double>(spec.peak_hour)) / 24.0;
+  return spec.trough + (1.0 - spec.trough) * 0.5 * (1.0 + std::cos(phase));
+}
+
+TrafficMatrix::TrafficMatrix(const WorkloadSpec& spec, std::size_t node_count, TimePoint start,
+                             TimePoint end, const Rng& root) {
+  const std::size_t n = node_count;
+  // Destination weights are normalized per source so a hot pair shifts
+  // traffic toward its destination without changing the source's total
+  // flow rate (each user still starts flows_per_user_hour flows).
+  std::vector<double> weight_sum(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (d != s) {
+        weight_sum[s] += hot_weight(spec, static_cast<NodeId>(s), static_cast<NodeId>(d));
+      }
+    }
+  }
+
+  // Class mix CDF for inverse-transform class draws.
+  std::array<double, kServiceClassCount> mix_cdf{};
+  double acc = 0.0;
+  for (std::size_t c = 0; c < kServiceClassCount; ++c) {
+    acc += spec.classes[c].mix;
+    mix_cdf[c] = acc;
+  }
+
+  struct Keyed {
+    Flow flow;
+    std::uint64_t seq = 0;  // per-pair sequence, the cross-pair tiebreak
+  };
+  std::vector<Keyed> keyed;
+
+  for (std::size_t si = 0; si < n; ++si) {
+    for (std::size_t di = 0; di < n; ++di) {
+      if (di == si) continue;
+      const NodeId s = static_cast<NodeId>(si);
+      const NodeId d = static_cast<NodeId>(di);
+      // Peak pair rate (flows/sec): all of the source's users active,
+      // destination at full attractiveness. The diurnal factors of both
+      // endpoints thin the process below this envelope.
+      const double lambda_max = spec.population * spec.flows_per_user_hour / 3600.0 *
+                                hot_weight(spec, s, d) / weight_sum[si];
+      if (lambda_max <= 0.0) continue;
+      Rng rng = root.fork(static_cast<std::uint64_t>(s) * n + d);
+      std::uint64_t seq = 0;
+      TimePoint t = start;
+      for (;;) {
+        t += Duration::from_seconds_f(rng.exponential(1.0 / lambda_max));
+        if (t >= end) break;
+        const double keep = diurnal_factor(spec, s, t) * diurnal_factor(spec, d, t);
+        // Thinning draw happens for every candidate (accepted or not) so
+        // the stream layout is independent of the diurnal parameters.
+        const bool accept = rng.next_double() < keep;
+        const double class_u = rng.next_double();
+        const double len_extra = rng.exponential(std::max(0.0, spec.mean_flow_packets - 1.0));
+        if (!accept) continue;
+
+        Flow f;
+        f.src = s;
+        f.dst = d;
+        f.start = t;
+        f.cls = ServiceClass::kBulk;
+        for (std::size_t c = 0; c < kServiceClassCount; ++c) {
+          if (class_u < mix_cdf[c]) {
+            f.cls = static_cast<ServiceClass>(c);
+            break;
+          }
+        }
+        const ClassSpec& cs = spec.classes[static_cast<std::size_t>(f.cls)];
+        f.packets = std::min<std::int64_t>(1 + static_cast<std::int64_t>(len_extra),
+                                           kMaxFlowPackets);
+        f.interval = Duration::from_seconds_f(1.0 / cs.rate_pps);
+        keyed.push_back({f, seq++});
+      }
+    }
+  }
+
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.flow.start != b.flow.start) return a.flow.start < b.flow.start;
+    if (a.flow.src != b.flow.src) return a.flow.src < b.flow.src;
+    if (a.flow.dst != b.flow.dst) return a.flow.dst < b.flow.dst;
+    return a.seq < b.seq;
+  });
+  flows_.reserve(keyed.size());
+  for (const Keyed& k : keyed) {
+    flows_.push_back(k.flow);
+    total_packets_ += k.flow.packets;
+  }
+}
+
+}  // namespace ronpath

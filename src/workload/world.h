@@ -1,0 +1,176 @@
+// WorkloadWorld: one (scenario, policy) workload cell as a resumable
+// simulation, the workload-layer analogue of snapshot/world.h's
+// SimWorld.
+//
+// The underlay/overlay/fault machinery is the shared core/cell_env.h
+// sequence; on top of it the world replays a pregenerated TrafficMatrix
+// packet schedule (its own "workload" RNG fork, so the flow set is
+// identical across policies and shard counts) and scores every packet
+// into per-class ClassMetrics. Three redundancy policies are compared:
+//
+//   kProbeOnly  every packet rides the loss-optimized best path (the
+//               paper's pure reactive scheme);
+//   kStatic2    every packet is duplicated on disjoint paths (the 2x
+//               mesh scheme Figure 6 budgets for);
+//   kAdaptive   the closed loop of workload/adaptive.h picks single /
+//               FEC / duplicate per (pair, class) from measured loss.
+//
+// Access-link model: each source site owns a leaky bucket of
+// spec.access_bytes_per_s; every copy (data, duplicate, FEC parity)
+// drains it and the standing backlog is charged as queueing delay on
+// top of the network one-way latency. That is the Figure 6 capacity
+// limit enforced in the data plane: blind duplication of fat flows
+// queues latency-sensitive classes past their SLO, which is exactly the
+// effect the adaptive policy exists to avoid.
+//
+// FEC model (accounting-level, like every packet in this simulator):
+// at level kFec a flow's data packets accumulate into blocks of up to
+// fec_k shards on the primary path; at each block boundary m parity
+// shards ride the disjoint detour (HybridSender::alternate_path). A
+// lost data packet is recovered iff delivered shards >= block size, at
+// the latency of the last delivered shard in the block.
+//
+// Determinism: a finished world is a pure function of (scenario,
+// policy, config, seed) — byte-identical report at any --jobs/--shards,
+// and snapshot kill/restore reproduces it exactly (same re-arm
+// discipline as SimWorld; clock first, then owners).
+
+#ifndef RONPATH_WORKLOAD_WORLD_H_
+#define RONPATH_WORKLOAD_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cell_env.h"
+#include "measure/perceived.h"
+#include "workload/adaptive.h"
+#include "workload/spec.h"
+#include "workload/traffic.h"
+
+namespace ronpath {
+
+enum class WorkloadPolicy : std::uint8_t { kProbeOnly = 0, kStatic2 = 1, kAdaptive = 2 };
+
+[[nodiscard]] std::string_view to_string(WorkloadPolicy policy);
+[[nodiscard]] std::span<const WorkloadPolicy> all_workload_policies();
+
+struct WorkloadConfig {
+  // Underlay / overlay / fault knobs (node_count, warmup, measured,
+  // shards, scale tier). send_interval and stable_streak are unused by
+  // the workload layer.
+  FaultMatrixConfig cell;
+  WorkloadSpec spec;
+  AdaptiveConfig adaptive;
+};
+
+class WorkloadWorld {
+ public:
+  // Throws std::runtime_error when the scenario DSL does not parse and
+  // std::invalid_argument when the spec fails validation.
+  WorkloadWorld(const Scenario& scenario, WorkloadPolicy policy, const WorkloadConfig& cfg,
+                std::uint64_t seed);
+
+  [[nodiscard]] std::size_t total_packets() const { return schedule_.size(); }
+  [[nodiscard]] std::size_t next_packet() const { return next_packet_; }
+  [[nodiscard]] bool finished() const { return drained_; }
+
+  // Runs forward until `packet_index` scheduled packets have been sent
+  // (clamped). The warmup runs on first call.
+  void advance_to(std::size_t packet_index);
+  void run_to_end();
+
+  [[nodiscard]] const PerClassMetrics& metrics() const { return metrics_; }
+  // Copies sent per application packet (data + duplicates + parity).
+  [[nodiscard]] double overhead_factor() const;
+  // Total controller level transitions (flap-amplification bound).
+  [[nodiscard]] std::int64_t transitions() const;
+  [[nodiscard]] std::int64_t fec_blocks() const { return fec_blocks_; }
+  [[nodiscard]] std::int64_t fec_recovered() const { return fec_recovered_; }
+
+  // Identity sealed into snapshot files (scenario, policy, config, seed,
+  // full workload spec).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  void save_state(snap::Encoder& e) const;
+  void restore_state(snap::Decoder& d);
+
+  // Deterministic text report: progress, per-class table, overhead,
+  // transitions, metric hash. Byte-identical between an uninterrupted
+  // run and any kill/restore schedule.
+  [[nodiscard]] std::string report() const;
+
+  void check_invariants(std::vector<std::string>& out) const;
+
+  [[nodiscard]] Scheduler& scheduler() { return env_.sched; }
+  [[nodiscard]] const WorkloadConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<Flow>& flows() const { return traffic_.flows(); }
+
+ private:
+  struct PacketEvent {
+    TimePoint t;
+    std::uint32_t flow = 0;
+    std::int64_t index = 0;  // packet index within the flow
+  };
+  // A data shard waiting for its FEC block to resolve.
+  struct PendingShard {
+    TimePoint sent;
+    TimePoint arrival;       // valid when delivered
+    bool delivered = false;
+  };
+  struct FlowProgress {
+    std::uint64_t burst_run = 0;       // current run of consecutive losses
+    std::vector<PendingShard> block;   // open FEC block (kFec only)
+    bool burst_flushed = false;        // end-of-flow flush happened
+  };
+  struct AccessBucket {
+    double backlog_bytes = 0.0;
+    TimePoint last;
+  };
+
+  [[nodiscard]] TimePoint measure_start() const { return TimePoint::epoch() + cfg_.cell.warmup; }
+  [[nodiscard]] TimePoint end_time() const { return measure_start() + cfg_.cell.measured; }
+  [[nodiscard]] std::size_t pair_index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * nodes_ + dst;
+  }
+  // Charges `bytes` to src's access bucket at `t` and returns the
+  // queueing delay this copy waits behind.
+  Duration charge_access(NodeId src, double bytes, TimePoint t);
+  // Scores one resolved data packet (metrics + burst run).
+  void score_packet(const Flow& flow, FlowProgress& fp, bool delivered, Duration latency);
+  // Sends parity and resolves the open block of `flow` at time `t`.
+  void flush_block(std::uint32_t flow_idx, TimePoint t);
+  // End-of-flow bookkeeping (close the burst run).
+  void finish_flow(std::uint32_t flow_idx, TimePoint t);
+  void send_one(const PacketEvent& ev);
+
+  // Configuration (immutable after construction).
+  std::string scenario_name_;
+  std::string dsl_;
+  WorkloadPolicy policy_;
+  WorkloadConfig cfg_;
+  std::uint64_t seed_;
+  std::size_t nodes_ = 0;
+
+  CellEnv env_;
+  TrafficMatrix traffic_;
+  std::vector<PacketEvent> schedule_;
+
+  // Mutable progress state (all snapshotted).
+  std::vector<FlowProgress> progress_;
+  std::vector<AccessBucket> buckets_;        // per source site
+  std::vector<double> loss_est_;             // per ordered pair EWMA
+  std::vector<AdaptiveController> ctrl_;     // per pair x class
+  PerClassMetrics metrics_;
+  std::size_t next_packet_ = 0;
+  std::int64_t app_packets_ = 0;
+  std::int64_t copies_ = 0;
+  std::int64_t fec_blocks_ = 0;
+  std::int64_t fec_recovered_ = 0;
+  bool warmed_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace ronpath
+
+#endif  // RONPATH_WORKLOAD_WORLD_H_

@@ -1,0 +1,193 @@
+// Closed-loop FEC rate selection and the adaptive redundancy controller.
+//
+// pick_parity is pinned against a direct binomial-tail evaluation and
+// its monotonicity properties (more loss never needs less parity, more
+// parity never raises the failure probability). The controller tests pin
+// the open-loop classification (thin flows duplicate, fat flows take
+// FEC, in-budget flows stay single) and the hysteresis contract: at most
+// one transition per dwell, de-escalation only below the exit band.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fec/rate_select.h"
+#include "snapshot/codec.h"
+#include "workload/adaptive.h"
+
+namespace ronpath {
+namespace {
+
+// Direct tail sum, written independently of the implementation.
+double tail_reference(std::size_t k, std::size_t m, double p) {
+  const std::size_t n = k + m;
+  double sum = 0.0;
+  for (std::size_t j = m + 1; j <= n; ++j) {
+    double log_c = std::lgamma(static_cast<double>(n) + 1.0) -
+                   std::lgamma(static_cast<double>(j) + 1.0) -
+                   std::lgamma(static_cast<double>(n - j) + 1.0);
+    sum += std::exp(log_c + static_cast<double>(j) * std::log(p) +
+                    static_cast<double>(n - j) * std::log1p(-p));
+  }
+  return sum;
+}
+
+TEST(RateSelect, FailureProbMatchesBinomialTail) {
+  for (const double p : {0.001, 0.01, 0.05, 0.2}) {
+    for (std::size_t m = 0; m <= 4; ++m) {
+      const double got = fec_block_failure_prob(8, m, p);
+      const double want = tail_reference(8, m, p);
+      EXPECT_NEAR(got, want, 1e-12 + 1e-9 * want) << "p=" << p << " m=" << m;
+    }
+  }
+}
+
+TEST(RateSelect, FailureProbEdgeCases) {
+  EXPECT_DOUBLE_EQ(fec_block_failure_prob(8, 2, 0.0), 0.0);
+  EXPECT_NEAR(fec_block_failure_prob(8, 2, 1.0), 1.0, 1e-12);
+  // m = 0: any single loss kills the block.
+  EXPECT_NEAR(fec_block_failure_prob(4, 0, 0.1), 1.0 - std::pow(0.9, 4), 1e-12);
+}
+
+TEST(RateSelect, PickParityMeetsTargetMinimally) {
+  const double target = 1e-3;
+  for (const double p : {0.002, 0.01, 0.03, 0.08}) {
+    const std::size_t m = pick_parity(8, p, target, 4);
+    if (fec_block_failure_prob(8, 4, p) <= target) {
+      EXPECT_LE(fec_block_failure_prob(8, m, p), target) << "p=" << p;
+      if (m > 0) {
+        EXPECT_GT(fec_block_failure_prob(8, m - 1, p), target)
+            << "p=" << p << ": m=" << m << " is not minimal";
+      }
+    } else {
+      // No parity count in range reaches the target (p = 0.08 needs more
+      // than 4 shards): saturate at m_max and let the caller escalate.
+      EXPECT_EQ(m, 4u) << "p=" << p;
+    }
+  }
+}
+
+TEST(RateSelect, PickParityMonotoneInLossAndSaturates) {
+  std::size_t prev = 0;
+  for (double p = 0.001; p < 0.5; p *= 1.5) {
+    const std::size_t m = pick_parity(8, p, 1e-3, 4);
+    EXPECT_GE(m, prev) << "parity decreased as loss grew at p=" << p;
+    EXPECT_LE(m, 4u);
+    prev = m;
+  }
+  // Hopeless loss rates saturate at m_max instead of diverging.
+  EXPECT_EQ(pick_parity(8, 0.45, 1e-3, 4), 4u);
+  EXPECT_EQ(pick_parity(8, 0.0, 1e-3, 4), 0u);
+}
+
+// ----------------------------------------------------------- controller
+
+TEST(Adaptive, DesiredLevelSingleWhenInsideBudget) {
+  AdaptiveConfig cfg;
+  EXPECT_EQ(desired_level(cfg, /*est_loss=*/0.001, /*target=*/0.01, /*y=*/0.1),
+            RedundancyLevel::kSingle);
+  EXPECT_EQ(desired_level(cfg, 0.01, 0.01, 0.1), RedundancyLevel::kSingle);
+}
+
+TEST(Adaptive, FecEngagesInsideLimitsSingleBeyondThem) {
+  AdaptiveConfig cfg;
+  // 2% loss against a 1% budget is x = 0.5, right at the independence
+  // limit: FEC's fractional overhead (m/k of the flow) undercuts both a
+  // full duplicate and the probing cost for thin and fat flows alike.
+  EXPECT_EQ(desired_level(cfg, 0.02, 0.01, 0.02), RedundancyLevel::kFec);
+  EXPECT_EQ(desired_level(cfg, 0.02, 0.01, 0.55), RedundancyLevel::kFec);
+  // 3% against 1% is x = 0.67, beyond every feasibility limit: the
+  // controller refuses to burn capacity for an unreachable target.
+  EXPECT_EQ(desired_level(cfg, 0.03, 0.01, 0.02), RedundancyLevel::kSingle);
+}
+
+TEST(Adaptive, DesignSpacePicksDuplicationWhenParityIsDearer) {
+  // The kDuplicate branch needs a thin flow (extra copy cheaper than
+  // probing bandwidth) AND FEC overhead above a whole extra copy — the
+  // regime where an RS code is pointless and the classifier falls back
+  // to duplication on cost. Fat flows at the same point go reactive.
+  const DesignSpace space{DesignSpaceParams{}};
+  EXPECT_EQ(space.classify_requirement(0.5, 0.05, 1.2), RedundancyAction::kDuplicate);
+  EXPECT_EQ(space.classify_requirement(0.5, 0.05, 0.25), RedundancyAction::kFec);
+  EXPECT_EQ(space.classify_requirement(0.3, 0.3, 1.2), RedundancyAction::kReactive);
+}
+
+TEST(Adaptive, HysteresisBoundsTransitionRate) {
+  AdaptiveConfig cfg;
+  cfg.min_dwell = Duration::seconds(60);
+  AdaptiveController ctrl;
+  TimePoint t = TimePoint::epoch();
+
+  // Flap the loss estimate between clean and lossy every second for ten
+  // minutes; the dwell bound caps transitions at one per minute.
+  int flips = 0;
+  for (int s = 0; s < 600; ++s) {
+    const double est = (s % 2 == 0) ? 0.018 : 0.0001;
+    ctrl.update(cfg, est, 0.01, 0.02, t);
+    t += Duration::seconds(1);
+    ++flips;
+  }
+  EXPECT_EQ(flips, 600);
+  EXPECT_LE(ctrl.transitions(), 600 / 60 + 1) << "dwell bound violated";
+  EXPECT_GE(ctrl.transitions(), 1);
+}
+
+TEST(Adaptive, DeEscalationRequiresExitMargin) {
+  AdaptiveConfig cfg;
+  cfg.min_dwell = Duration::seconds(1);
+  cfg.exit_margin = 0.5;
+  AdaptiveController ctrl;
+  TimePoint t = TimePoint::epoch();
+
+  ctrl.update(cfg, 0.018, 0.01, 0.02, t);  // escalate
+  ASSERT_EQ(ctrl.level(), RedundancyLevel::kFec);
+
+  // Estimate falls back inside budget but above the exit band
+  // (0.008 > 0.5 * 0.01): must hold the level.
+  t += Duration::minutes(1);
+  ctrl.update(cfg, 0.008, 0.01, 0.02, t);
+  EXPECT_EQ(ctrl.level(), RedundancyLevel::kFec);
+
+  // Below the band: de-escalates.
+  t += Duration::minutes(1);
+  ctrl.update(cfg, 0.004, 0.01, 0.02, t);
+  EXPECT_EQ(ctrl.level(), RedundancyLevel::kSingle);
+  EXPECT_EQ(ctrl.transitions(), 2);
+}
+
+TEST(Adaptive, ControllerSnapshotRoundTrip) {
+  AdaptiveConfig cfg;
+  AdaptiveController ctrl;
+  TimePoint t = TimePoint::epoch() + Duration::minutes(5);
+  ctrl.update(cfg, 0.018, 0.01, 0.02, t);
+  ASSERT_EQ(ctrl.level(), RedundancyLevel::kFec);
+
+  snap::Encoder e;
+  ctrl.save_state(e);
+  AdaptiveController restored;
+  snap::Decoder d(e.bytes());
+  restored.restore_state(d);
+  d.expect_done();
+
+  EXPECT_EQ(restored.level(), ctrl.level());
+  EXPECT_EQ(restored.transitions(), ctrl.transitions());
+  // The dwell clock restores too: an immediate de-escalation attempt
+  // must be refused exactly as on the original.
+  restored.update(cfg, 0.0001, 0.01, 0.02, t + Duration::seconds(1));
+  ctrl.update(cfg, 0.0001, 0.01, 0.02, t + Duration::seconds(1));
+  EXPECT_EQ(restored.level(), ctrl.level());
+}
+
+TEST(Adaptive, ParityNeverZeroAtFecLevel) {
+  AdaptiveConfig cfg;
+  AdaptiveController ctrl;
+  // Even a tiny estimate yields at least one parity shard while at kFec:
+  // a 0-parity "block" would be pure bookkeeping with no protection.
+  EXPECT_GE(ctrl.parity(cfg, 0.0), 1u);
+  EXPECT_GE(ctrl.parity(cfg, 0.0001), 1u);
+  EXPECT_LE(ctrl.parity(cfg, 0.4), cfg.fec_m_max);
+}
+
+}  // namespace
+}  // namespace ronpath

@@ -1,0 +1,169 @@
+// QuantileSketch correctness pins.
+//
+// The sketch's contract is a *relative* error bound: for any quantile q,
+// the reported value is within alpha of the exact order statistic. The
+// tests check that bound against exact quantiles on adversarial
+// distributions (heavy tails, many decades of dynamic range), that
+// merging is exact (merge(N sketches) == one sketch fed the union), and
+// that snapshot round-trips reproduce the sketch bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "measure/perceived.h"
+#include "measure/quantile_sketch.h"
+#include "snapshot/codec.h"
+#include "util/rng.h"
+
+namespace ronpath {
+namespace {
+
+Duration exact_quantile(std::vector<Duration> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+void expect_within_alpha(const QuantileSketch& sketch, const std::vector<Duration>& values,
+                         double q, double alpha) {
+  const double exact = static_cast<double>(exact_quantile(values, q).count_nanos());
+  const double approx = static_cast<double>(sketch.quantile(q).count_nanos());
+  // The sketch guarantees |approx - v| <= alpha * v for SOME sample v
+  // whose rank brackets q; against the exact order statistic that means
+  // a 2*alpha window is always safe (one alpha of bucket width, one of
+  // rank slack on repeated values).
+  EXPECT_NEAR(approx, exact, 2.0 * alpha * exact)
+      << "q=" << q << " exact=" << exact << " approx=" << approx;
+}
+
+TEST(QuantileSketch, RelativeErrorBoundOnHeavyTail) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  std::vector<Duration> values;
+  Rng rng(7);
+  // Log-uniform over 6 decades: 1 us .. 1 s, the worst case for a
+  // fixed-width histogram and the design case for log buckets.
+  for (int i = 0; i < 20000; ++i) {
+    const double log_ns = 3.0 + 6.0 * rng.next_double();
+    const auto nanos = static_cast<std::int64_t>(std::pow(10.0, log_ns));
+    values.push_back(Duration::nanos(nanos));
+    sketch.add(values.back());
+  }
+  ASSERT_EQ(sketch.count(), values.size());
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    expect_within_alpha(sketch, values, q, alpha);
+  }
+}
+
+TEST(QuantileSketch, RelativeErrorBoundOnLatencyLikeMixture) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  std::vector<Duration> values;
+  Rng rng(11);
+  // Bimodal latency: ~30 ms direct path plus a 5% slow mode near 400 ms
+  // (the overlay-detour shape whose p99 sits in the minority mode).
+  for (int i = 0; i < 50000; ++i) {
+    const bool slow = rng.next_double() < 0.05;
+    const double ms = slow ? 350.0 + 100.0 * rng.next_double() : 20.0 + 20.0 * rng.next_double();
+    values.push_back(Duration::nanos(static_cast<std::int64_t>(ms * 1e6)));
+    sketch.add(values.back());
+  }
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    expect_within_alpha(sketch, values, q, alpha);
+  }
+}
+
+TEST(QuantileSketch, MergeEqualsUnion) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.01);
+  QuantileSketch all(0.01);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const Duration d = Duration::nanos(1000 + static_cast<std::int64_t>(rng.next_below(1u << 30)));
+    ((i % 2 == 0) ? a : b).add(d);
+    all.add(d);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.count(), all.count());
+  // Merging is bucket-wise addition, so the merged sketch must agree
+  // with the union sketch *exactly*, not just within alpha.
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.quantile(q).count_nanos(), all.quantile(q).count_nanos()) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, EmptySketchReturnsZero) {
+  QuantileSketch sketch(0.01);
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.quantile(0.99).count_nanos(), 0);
+}
+
+TEST(QuantileSketch, SnapshotRoundTripIsExact) {
+  QuantileSketch sketch(0.02);
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    sketch.add(Duration::micros(1 + static_cast<std::int64_t>(rng.next_below(1000000))));
+  }
+  snap::Encoder e;
+  sketch.save_state(e);
+
+  QuantileSketch restored(0.02);
+  snap::Decoder d(e.bytes());
+  restored.restore_state(d);
+  d.expect_done();
+
+  EXPECT_EQ(restored.count(), sketch.count());
+  EXPECT_EQ(restored.bucket_count(), sketch.bucket_count());
+  for (const double q : {0.1, 0.5, 0.99, 0.999}) {
+    EXPECT_EQ(restored.quantile(q).count_nanos(), sketch.quantile(q).count_nanos());
+  }
+  std::vector<std::string> violations;
+  restored.check_invariants(violations);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(ClassMetrics, SloAttainmentAndBurstAccounting) {
+  ClassMetrics m;
+  // 8 delivered in SLO, 1 delivered late, 1 lost; one 1-long burst.
+  for (int i = 0; i < 8; ++i) m.note_packet(true, Duration::millis(30), true);
+  m.note_packet(true, Duration::millis(900), false);
+  m.note_packet(false, Duration::zero(), false);
+  m.note_loss_burst(1);
+
+  EXPECT_EQ(m.sent(), 10u);
+  EXPECT_EQ(m.delivered(), 9u);
+  EXPECT_DOUBLE_EQ(m.loss_pct(), 10.0);
+  EXPECT_DOUBLE_EQ(m.slo_attainment_pct(), 80.0);
+  EXPECT_DOUBLE_EQ(m.mean_burst_len(), 1.0);
+  EXPECT_EQ(m.bursts(), 1u);
+}
+
+TEST(ClassMetrics, MosRewardsLowLossAndPunishesBursts) {
+  ClassMetrics clean;
+  for (int i = 0; i < 1000; ++i) clean.note_packet(true, Duration::millis(30), true);
+
+  ClassMetrics bursty;
+  for (int i = 0; i < 900; ++i) bursty.note_packet(true, Duration::millis(30), true);
+  for (int i = 0; i < 100; ++i) bursty.note_packet(false, Duration::zero(), false);
+  for (int i = 0; i < 20; ++i) bursty.note_loss_burst(5);
+
+  const Duration slo = Duration::millis(150);
+  EXPECT_GT(clean.mos(slo), 4.4);
+  EXPECT_LT(bursty.mos(slo), 3.0);
+  EXPECT_GE(bursty.mos(slo), 1.0);
+  // Same loss spread over isolated drops hurts less than 5-long bursts.
+  ClassMetrics isolated;
+  for (int i = 0; i < 900; ++i) isolated.note_packet(true, Duration::millis(30), true);
+  for (int i = 0; i < 100; ++i) {
+    isolated.note_packet(false, Duration::zero(), false);
+    isolated.note_loss_burst(1);
+  }
+  EXPECT_GT(isolated.mos(slo), bursty.mos(slo));
+}
+
+}  // namespace
+}  // namespace ronpath

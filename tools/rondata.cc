@@ -24,9 +24,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <set>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/experiment.h"
 #include "measure/aggregator.h"
 #include "measure/records.h"
@@ -82,11 +84,14 @@ int cmd_capture(int argc, char** argv) {
       else if (d == "ronnarrow") cfg.dataset = Dataset::kRonNarrow;
       else return usage();
     } else if (a == "--hours") {
-      cfg.duration = Duration::hours(std::atoll(next()));
+      cfg.duration = Duration::hours(
+          ronpath::bench::BenchArgs::parse_int("--hours", next(), 1, 24 * 365));
     } else if (a == "--days") {
-      cfg.duration = Duration::days(std::atoll(next()));
+      cfg.duration =
+          Duration::days(ronpath::bench::BenchArgs::parse_int("--days", next(), 1, 365));
     } else if (a == "--seed") {
-      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      cfg.seed = static_cast<std::uint64_t>(ronpath::bench::BenchArgs::parse_int(
+          "--seed", next(), 0, std::numeric_limits<std::int64_t>::max()));
     } else {
       return usage();
     }

@@ -9,11 +9,16 @@
 // uninterrupted twin runs first and the final reports are compared
 // byte for byte.
 //
+// With --workload the same kill/restore loop drives a WorkloadWorld
+// (traffic-matrix flows + adaptive redundancy) instead of a SimWorld;
+// --policy picks the redundancy policy under test.
+//
 // Exit codes: 0 clean; 1 audit violation, report divergence or
 // snapshot I/O failure; 2 usage error.
 //
-//   soak --scenario link-flap --scheme hybrid --hours 24 \
+//   soak --scenario link-flap --scheme hybrid --hours 24
 //        --checkpoint-every 1000 --kill-every 3 --snapshot-dir /tmp/s --verify
+//   soak --workload --scenario provider-blackout --policy adaptive --quick --verify
 
 #include <cstdint>
 #include <cstdio>
@@ -34,6 +39,7 @@
 #include "snapshot/codec.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/world.h"
+#include "workload/world.h"
 
 using namespace ronpath;
 
@@ -64,6 +70,8 @@ struct SoakOptions {
   bool lazy = false;  // materialize underlay cores on demand
   bool audit = true;
   bool verify = false;
+  bool workload = false;  // soak a WorkloadWorld instead of a SimWorld
+  WorkloadPolicy policy = WorkloadPolicy::kAdaptive;
   std::string snapshot_dir;  // empty = snapshots stay in memory
 };
 
@@ -74,7 +82,8 @@ struct SoakOptions {
       "            [--seed N] [--nodes N] [--hours H] [--send-interval-ms M]\n"
       "            [--checkpoint-every SENDS] [--kill-every K] [--shards K] [--no-audit]\n"
       "            [--synth-nodes N] [--fanout K] [--landmarks L] [--lazy]\n"
-      "            [--snapshot-dir DIR] [--verify] [--quick]\n");
+      "            [--snapshot-dir DIR] [--verify] [--quick]\n"
+      "            [--workload] [--policy probe-only|static-2x|adaptive]\n");
   std::exit(code);
 }
 
@@ -88,6 +97,15 @@ std::int64_t parse_int(const char* flag, const char* text, std::int64_t lo, std:
     std::exit(2);
   }
   return v;
+}
+
+WorkloadPolicy parse_policy(const char* text) {
+  for (const WorkloadPolicy p : all_workload_policies()) {
+    if (to_string(p) == text) return p;
+  }
+  std::fprintf(stderr, "--policy: unknown policy \"%s\" (want probe-only|static-2x|adaptive)\n",
+               text);
+  std::exit(2);
 }
 
 FaultScheme parse_scheme(const char* text) {
@@ -143,6 +161,10 @@ SoakOptions parse_args(int argc, char** argv) {
       opt.snapshot_dir = next();
     } else if (arg == "--verify") {
       opt.verify = true;
+    } else if (arg == "--workload") {
+      opt.workload = true;
+    } else if (arg == "--policy") {
+      opt.policy = parse_policy(next());
     } else if (arg == "--quick") {
       opt.measured = Duration::minutes(10);
       opt.send_interval = Duration::seconds(1);
@@ -209,6 +231,99 @@ void audit_or_die(const SimWorld& world, const SoakOptions& opt, const char* whe
   }
 }
 
+void workload_audit_or_die(const WorkloadWorld& world, const SoakOptions& opt,
+                           const char* where) {
+  if (!opt.audit) return;
+  std::vector<std::string> violations;
+  world.check_invariants(violations);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "workload invariant audit failed %s:\n", where);
+    for (const std::string& v : violations) std::fprintf(stderr, "  %s\n", v.c_str());
+    std::exit(1);
+  }
+}
+
+// The SimWorld loop, rehosted on a WorkloadWorld: checkpoint on packet
+// counts, kill/restore through the same sealed envelope, byte-compare
+// against an uninterrupted twin with --verify.
+int run_workload_soak(const SoakOptions& opt, const Scenario& scenario) {
+  WorkloadConfig cfg;
+  cfg.cell.seed = opt.seed;
+  cfg.cell.shards = opt.shards;
+  if (opt.measured < cfg.cell.measured) cfg.spec.population /= 4.0;  // --quick
+
+  std::string expected;
+  if (opt.verify) {
+    WorkloadWorld reference(scenario, opt.policy, cfg, opt.seed);
+    reference.run_to_end();
+    expected = reference.report();
+    std::printf("verify: uninterrupted reference run complete (%zu packets)\n",
+                reference.total_packets());
+  }
+
+  auto world = std::make_unique<WorkloadWorld>(scenario, opt.policy, cfg, opt.seed);
+  const std::size_t total = world->total_packets();
+  std::printf("workload soak: %s / %s, %zu packets, checkpoint every %zu, kill every %zu%s\n",
+              std::string(scenario.name).c_str(), std::string(to_string(opt.policy)).c_str(),
+              total, opt.checkpoint_every, opt.kill_every,
+              opt.snapshot_dir.empty() ? " (snapshots in memory)" : "");
+
+  std::size_t checkpoints = 0;
+  std::size_t kills = 0;
+  for (std::size_t next = opt.checkpoint_every; next < total; next += opt.checkpoint_every) {
+    world->advance_to(next);
+    workload_audit_or_die(*world, opt, ("at packet " + std::to_string(next)).c_str());
+    ++checkpoints;
+
+    snap::Encoder e;
+    world->save_state(e);
+    const std::uint64_t fp = world->fingerprint();
+    std::vector<std::uint8_t> file;
+    std::string path;
+    if (opt.snapshot_dir.empty()) {
+      file = snap::seal(fp, e.bytes());
+    } else {
+      path = opt.snapshot_dir + "/soak-workload-" + std::string(scenario.name) + "-" +
+             std::to_string(next) + ".snap";
+      snap::write_file(path, fp, e.bytes());
+    }
+
+    if (opt.kill_every != 0 && checkpoints % opt.kill_every == 0) {
+      world.reset();  // the crash
+      auto restored = std::make_unique<WorkloadWorld>(scenario, opt.policy, cfg, opt.seed);
+      const std::vector<std::uint8_t> payload =
+          path.empty() ? snap::unseal(file, restored->fingerprint())
+                       : snap::read_file(path, restored->fingerprint());
+      snap::Decoder d(payload);
+      restored->restore_state(d);
+      workload_audit_or_die(*restored, opt,
+                            ("after restore at packet " + std::to_string(next)).c_str());
+      world = std::move(restored);
+      ++kills;
+      std::printf("  killed and restored at packet %zu\n", next);
+    }
+  }
+  world->run_to_end();
+  workload_audit_or_die(*world, opt, "at end of run");
+
+  const std::string report = world->report();
+  std::printf("%s", report.c_str());
+  std::printf("workload soak complete: %zu checkpoints, %zu kill/restore cycles%s\n",
+              checkpoints, kills, opt.audit ? ", audits clean" : "");
+
+  if (opt.verify) {
+    if (report != expected) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: restored run diverged from the uninterrupted run\n"
+                   "--- uninterrupted ---\n%s--- soak ---\n%s",
+                   expected.c_str(), report.c_str());
+      return 1;
+    }
+    std::printf("verify: report byte-identical to the uninterrupted run\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +340,18 @@ int main(int argc, char** argv) {
   cfg.lazy_underlay = opt.lazy;
   std::string dsl_storage;
   const Scenario scenario = resolve_scenario(opt, cfg, dsl_storage);
+
+  if (opt.workload) {
+    try {
+      return run_workload_soak(opt, scenario);
+    } catch (const snap::SnapshotError& err) {
+      std::fprintf(stderr, "snapshot error: %s\n", err.what());
+      return 1;
+    } catch (const std::exception& err) {
+      std::fprintf(stderr, "error: %s\n", err.what());
+      return 1;
+    }
+  }
 
   try {
     std::string expected;
